@@ -1,0 +1,145 @@
+// Command bcecal reports the synthetic-workload calibration against
+// the paper's Table 2 targets: per-benchmark misprediction rates under
+// the baseline hybrid predictor, with per-behavior-class attribution —
+// the tooling used to tune internal/workload/profiles.go.
+//
+// Usage:
+//
+//	bcecal                  # rates vs targets for all benchmarks
+//	bcecal -bench mcf       # per-class attribution for one benchmark
+//	bcecal -uops 1000000    # longer measurement
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"bce/internal/predictor"
+	"bce/internal/workload"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "", "show per-class attribution for one benchmark")
+		uops  = flag.Int("uops", 400_000, "measured uops (after 100k warmup)")
+	)
+	flag.Parse()
+	if err := run(*bench, *uops); err != nil {
+		fmt.Fprintln(os.Stderr, "bcecal:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench string, uops int) error {
+	if bench != "" {
+		return attribute(bench, uops)
+	}
+	fmt.Printf("%-9s %10s %10s %8s\n", "bench", "misp/Kuop", "target", "ratio")
+	var worst float64 = 1
+	for _, name := range workload.Names() {
+		rate, err := mispRate(name, uops)
+		if err != nil {
+			return err
+		}
+		target := workload.Table2Target[name]
+		ratio := rate / target
+		if ratio > worst {
+			worst = ratio
+		}
+		if 1/ratio > worst {
+			worst = 1 / ratio
+		}
+		fmt.Printf("%-9s %10.2f %10.2f %7.2fx\n", name, rate, target, ratio)
+	}
+	fmt.Printf("\nworst deviation: %.2fx (calibration keeps every benchmark within 2x)\n", worst)
+	return nil
+}
+
+func mispRate(name string, uops int) (float64, error) {
+	prof, err := workload.ByName(name)
+	if err != nil {
+		return 0, err
+	}
+	g := workload.New(prof)
+	pred := predictor.NewBaselineHybrid()
+	const warm = 100_000
+	var measured, misp int
+	for i := 0; i < warm+uops; i++ {
+		u, _ := g.Next()
+		if i >= warm {
+			measured++
+		}
+		if !u.Kind.IsConditional() {
+			continue
+		}
+		pt := pred.Predict(u.PC)
+		pred.Update(u.PC, u.Taken)
+		if i >= warm && pt != u.Taken {
+			misp++
+		}
+	}
+	return 1000 * float64(misp) / float64(measured), nil
+}
+
+func attribute(name string, uops int) error {
+	prof, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	g := workload.New(prof)
+	kinds := g.BranchKinds()
+	pred := predictor.NewBaselineHybrid()
+	type agg struct{ n, miss int }
+	byClass := map[string]*agg{}
+	const warm = 100_000
+	for i := 0; i < warm+uops; i++ {
+		u, _ := g.Next()
+		if !u.Kind.IsConditional() {
+			continue
+		}
+		pt := pred.Predict(u.PC)
+		pred.Update(u.PC, u.Taken)
+		if i < warm {
+			continue
+		}
+		k := kinds[u.PC]
+		if j := strings.IndexByte(k, '('); j > 0 {
+			k = k[:j]
+		}
+		a := byClass[k]
+		if a == nil {
+			a = &agg{}
+			byClass[k] = a
+		}
+		a.n++
+		if pt != u.Taken {
+			a.miss++
+		}
+	}
+	var ks []string
+	for k := range byClass {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	fmt.Printf("benchmark %s: misprediction attribution by behavior class\n", name)
+	fmt.Printf("%-10s %10s %10s %10s %12s\n", "class", "dynamic", "share", "missrate", "contribution")
+	total, totalMiss := 0, 0
+	for _, a := range byClass {
+		total += a.n
+		totalMiss += a.miss
+	}
+	for _, k := range ks {
+		a := byClass[k]
+		fmt.Printf("%-10s %10d %9.1f%% %9.1f%% %11.1f%%\n",
+			k, a.n,
+			100*float64(a.n)/float64(total),
+			100*float64(a.miss)/float64(a.n),
+			100*float64(a.miss)/float64(totalMiss))
+	}
+	fmt.Printf("%-10s %10d %9s %9.1f%%\n", "TOTAL", total, "",
+		100*float64(totalMiss)/float64(total))
+	return nil
+}

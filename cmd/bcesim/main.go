@@ -1,0 +1,140 @@
+// Command bcesim runs one timing simulation and prints its metrics:
+// a benchmark on a machine with a chosen predictor, confidence
+// estimator and gating/reversal configuration.
+//
+// Examples:
+//
+//	bcesim -bench gzip
+//	bcesim -bench mcf -machine 20c8w -estimator cic -lambda 0 -pl 1
+//	bcesim -bench twolf -estimator cic -lambda -75 -reversal 50 -pl 2
+//	bcesim -bench gcc -estimator jrs -lambda 15 -pl 2
+//	bcesim -bench vpr -perfect
+//	bcesim -trace gzip.bcet -estimator cic -pl 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bce/internal/confidence"
+	"bce/internal/config"
+	"bce/internal/gating"
+	"bce/internal/pipeline"
+	"bce/internal/predictor"
+	"bce/internal/trace"
+	"bce/internal/workload"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "gzip", "benchmark name (gzip, vpr, gcc, mcf, crafty, link, eon, perlbmk, gap, vortex, bzip, twolf)")
+		traceIn  = flag.String("trace", "", "replay a recorded .bcet trace instead of a synthetic benchmark")
+		machine  = flag.String("machine", "40c4w", "machine model (40c4w, 20c4w, 20c8w)")
+		predName = flag.String("predictor", "bimodal-gshare", "branch predictor (bimodal-gshare, gshare-perceptron)")
+		estName  = flag.String("estimator", "none", "confidence estimator (none, cic, tnt, jrs, pattern)")
+		lambda   = flag.Int("lambda", 0, "estimator low-confidence threshold λ")
+		reversal = flag.Int("reversal", 0, "CIC reversal threshold (0 disables; enables branch reversal when set)")
+		pl       = flag.Int("pl", 0, "pipeline gating branch-counter threshold (0 disables)")
+		latency  = flag.Int("latency", 0, "estimator latency in cycles (§5.4.2)")
+		warmup   = flag.Uint64("warmup", 60_000, "warmup uops")
+		measure  = flag.Uint64("measure", 200_000, "measured uops")
+		perfect  = flag.Bool("perfect", false, "oracle branch prediction")
+	)
+	flag.Parse()
+
+	if err := run(*bench, *traceIn, *machine, *predName, *estName, *lambda, *reversal,
+		*pl, *latency, *warmup, *measure, *perfect); err != nil {
+		fmt.Fprintln(os.Stderr, "bcesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, traceIn, machine, predName, estName string, lambda, reversal, pl, latency int,
+	warmup, measure uint64, perfect bool) error {
+	m, err := config.ByName(machine)
+	if err != nil {
+		return err
+	}
+	opt := pipeline.Options{Machine: m, Perfect: perfect}
+
+	switch predName {
+	case "bimodal-gshare":
+		opt.Predictor = predictor.NewBaselineHybrid()
+	case "gshare-perceptron":
+		opt.Predictor = predictor.NewGsharePerceptronHybrid()
+	default:
+		return fmt.Errorf("unknown predictor %q", predName)
+	}
+
+	useReversal := false
+	switch estName {
+	case "none":
+	case "cic":
+		cfg := confidence.CICConfig{Lambda: lambda, Reversal: confidence.DisableReversal}
+		if reversal != 0 {
+			cfg.Reversal = reversal
+			useReversal = true
+		}
+		opt.Estimator = confidence.NewCICWith(cfg)
+	case "tnt":
+		opt.Estimator = confidence.NewTNT(lambda)
+	case "jrs":
+		opt.Estimator = confidence.NewEnhancedJRS(lambda)
+	case "pattern":
+		opt.Estimator = confidence.NewPattern(0, 0)
+	default:
+		return fmt.Errorf("unknown estimator %q", estName)
+	}
+	opt.Reversal = useReversal
+	opt.Gating = gating.Policy{Threshold: pl, Latency: latency}
+
+	var sim *pipeline.Sim
+	if traceIn != "" {
+		f, err := os.Open(traceIn)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		replay := workload.NewReplay(trace.NewReader(f))
+		sim = pipeline.NewFromSource(opt, replay, replay.WrongPath(1))
+		bench = traceIn
+	} else {
+		prof, err := workload.ByName(bench)
+		if err != nil {
+			return err
+		}
+		sim = pipeline.New(opt, workload.New(prof))
+	}
+	sim.Run(warmup)
+	r := sim.Run(measure)
+
+	fmt.Printf("bench=%s machine=%s predictor=%s estimator=%s\n", bench, machine, predName, estName)
+	fmt.Printf("  cycles             %12d\n", r.Cycles)
+	fmt.Printf("  retired uops       %12d   (IPC %.3f)\n", r.Retired, r.IPC())
+	fmt.Printf("  executed uops      %12d   (wrong-path %d)\n", r.Executed, r.WrongPathExecuted)
+	fmt.Printf("  fetched uops       %12d\n", r.Fetched)
+	fmt.Printf("  branches retired   %12d   (%.2f mispredicts/Kuop)\n", r.RetiredBranches, r.MispredictsPer1KUops())
+	if estName != "none" {
+		fmt.Printf("  confidence         PVN %.1f%%  Spec %.1f%%  Sens %.1f%%  PVP %.1f%%\n",
+			100*r.Confusion.PVN(), 100*r.Confusion.Spec(),
+			100*r.Confusion.Sens(), 100*r.Confusion.PVP())
+	}
+	if pl > 0 {
+		fmt.Printf("  gating             %d stalled cycles in %d episodes\n", r.GatedCycles, r.GateEvents)
+	}
+	if useReversal {
+		fmt.Printf("  reversals          %d (%d corrected a misprediction)\n", r.Reversals, r.ReversalsGood)
+	}
+	// Cache statistics.
+	h := sim.Hierarchy()
+	l1h, l1m := h.L1().Stats()
+	l2h, l2m := h.L2().Stats()
+	fmt.Printf("  L1D                %.1f%% hit (%d/%d)\n", 100*float64(l1h)/float64(l1h+l1m), l1h, l1h+l1m)
+	fmt.Printf("  L2                 %.1f%% hit (%d/%d)\n", 100*float64(l2h)/float64(l2h+l2m), l2h, l2h+l2m)
+	if pf := h.Prefetcher(); pf != nil {
+		iss, adv := pf.Stats()
+		fmt.Printf("  prefetcher         %d fills, %d stream advances\n", iss, adv)
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+// Command bcetables regenerates the tables and figures of the paper's
+// evaluation section (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	bcetables -exp table2          # one experiment
+//	bcetables -exp all             # everything (minutes)
+//	bcetables -exp fig4 -bench gcc # density figures accept -bench
+//	bcetables -quick               # reduced run lengths (smoke)
+//	bcetables -exp fig5 -csv       # density data as CSV
+//
+// Experiments: table2 table3 table4 table5 table6 fig4 fig5 fig6 fig7
+// fig8 fig9 latency all — plus the extension studies ablate-signal,
+// ablate-reversal, ablate-site, ablate-threshold, ablate-history and
+// variability (run with -exp extras for all of those).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bce/internal/config"
+	"bce/internal/core"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to regenerate (table2..table6, fig4..fig9, latency, all)")
+		bench    = flag.String("bench", "gcc", "benchmark for the density figures (fig4-fig7)")
+		quick    = flag.Bool("quick", false, "use reduced run lengths")
+		segments = flag.Int("segments", 1, "independent trace segments per benchmark (the paper uses 2)")
+		csv      = flag.Bool("csv", false, "emit density data as CSV (fig4-fig7 only)")
+	)
+	flag.Parse()
+
+	sz := core.DefaultSizes()
+	if *quick {
+		sz = core.QuickSizes()
+	}
+	sz.Segments = *segments
+	if err := run(*exp, *bench, *csv, sz); err != nil {
+		fmt.Fprintln(os.Stderr, "bcetables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, bench string, csv bool, sz core.Sizes) error {
+	density := func(scheme, figs string) error {
+		d, err := core.Density(bench, scheme, sz)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== %s (%s estimator output density, benchmark %s)\n", figs, scheme, bench)
+		if csv {
+			fmt.Print(d.CSV())
+		} else {
+			fmt.Print(d.String())
+		}
+		return nil
+	}
+	all := exp == "all"
+	ran := false
+	timed := func(name string, fn func() error) error {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("[%s regenerated in %.1fs]\n\n", name, time.Since(start).Seconds())
+		ran = true
+		return nil
+	}
+
+	if all || exp == "table2" {
+		if err := timed("table2", func() error {
+			t, err := core.Table2(sz)
+			if err != nil {
+				return err
+			}
+			fmt.Print(t)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || exp == "table3" {
+		if err := timed("table3", func() error {
+			t, err := core.Table3(sz)
+			if err != nil {
+				return err
+			}
+			fmt.Print(t)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || exp == "table4" {
+		if err := timed("table4", func() error {
+			t, err := core.Table4(sz)
+			if err != nil {
+				return err
+			}
+			fmt.Print(t)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || exp == "table5" {
+		if err := timed("table5", func() error {
+			t, err := core.Table5(sz)
+			if err != nil {
+				return err
+			}
+			fmt.Print(t)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || exp == "table6" {
+		if err := timed("table6", func() error {
+			t, err := core.Table6(sz)
+			if err != nil {
+				return err
+			}
+			fmt.Print(t)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || exp == "fig4" || exp == "fig5" {
+		if err := timed("fig4/5", func() error { return density("cic", "Figures 4-5") }); err != nil {
+			return err
+		}
+	}
+	if all || exp == "fig6" || exp == "fig7" {
+		if err := timed("fig6/7", func() error { return density("tnt", "Figures 6-7") }); err != nil {
+			return err
+		}
+	}
+	if all || exp == "fig8" {
+		if err := timed("fig8", func() error {
+			c, err := core.Combined(config.Baseline40x4(), sz)
+			if err != nil {
+				return err
+			}
+			fmt.Print(c)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || exp == "fig9" {
+		if err := timed("fig9", func() error {
+			c, err := core.Combined(config.Wide20x8(), sz)
+			if err != nil {
+				return err
+			}
+			fmt.Print(c)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || exp == "latency" {
+		if err := timed("latency", func() error {
+			l, err := core.Latency(sz)
+			if err != nil {
+				return err
+			}
+			fmt.Print(l)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	extras := exp == "extras"
+	if extras || exp == "ablate-signal" {
+		if err := timed("ablate-signal", func() error {
+			a, err := core.AblateTrainingSignal(sz)
+			if err != nil {
+				return err
+			}
+			fmt.Print(a)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if extras || exp == "ablate-reversal" {
+		if err := timed("ablate-reversal", func() error {
+			a, err := core.AblateReversalSource(sz)
+			if err != nil {
+				return err
+			}
+			fmt.Print(a)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if extras || exp == "ablate-site" {
+		if err := timed("ablate-site", func() error {
+			a, err := core.AblateTrainingSite(sz)
+			if err != nil {
+				return err
+			}
+			fmt.Print(a)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if extras || exp == "ablate-threshold" {
+		if err := timed("ablate-threshold", func() error {
+			a, err := core.AblateTrainThreshold(sz)
+			if err != nil {
+				return err
+			}
+			fmt.Print(a)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if extras || exp == "ablate-history" {
+		if err := timed("ablate-history", func() error {
+			a, err := core.AblateHistoryLength(sz)
+			if err != nil {
+				return err
+			}
+			fmt.Print(a)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if extras || exp == "ablate-jrs" {
+		if err := timed("ablate-jrs", func() error {
+			a, err := core.AblateJRSIndexing(sz)
+			if err != nil {
+				return err
+			}
+			fmt.Print(a)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if extras || exp == "variability" {
+		if err := timed("variability", func() error {
+			v, err := core.Variability(0, 1, sz)
+			if err != nil {
+				return err
+			}
+			fmt.Print(v)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want table2..table6, fig4..fig9, latency, all, extras, ablate-*, variability)", exp)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package bce_test
+
+import (
+	"fmt"
+
+	"bce"
+)
+
+// ExampleNewCIC shows the estimate/train protocol on a hand-driven
+// branch: a branch that is always mispredicted drives the perceptron
+// output positive, into the low-confidence bands.
+func ExampleNewCIC() {
+	est := bce.NewCIC(0)
+	pc := uint64(0x4000)
+	for i := 0; i < 40; i++ {
+		tok := est.Estimate(pc, true)
+		est.Train(pc, tok, true /* mispredicted */, true /* taken */)
+	}
+	tok := est.Estimate(pc, true)
+	fmt.Println(tok.Class().Low())
+	// Output: true
+}
+
+// ExampleNewEnhancedJRS shows the resetting-counter behavior: after
+// enough correct predictions the branch becomes high confidence, and a
+// single misprediction resets it.
+func ExampleNewEnhancedJRS() {
+	est := bce.NewEnhancedJRS(15)
+	pc := uint64(0x4000)
+	drive := func(mispredicted bool, n int) {
+		for i := 0; i < n; i++ {
+			tok := est.Estimate(pc, true)
+			est.Train(pc, tok, mispredicted, true)
+		}
+	}
+	drive(false, 40) // long correct streak
+	fmt.Println("after streak:", est.Estimate(pc, true).Class())
+	drive(true, 1) // one miss resets the counter
+	drive(false, 1)
+	fmt.Println("after miss:", est.Estimate(pc, true).Class())
+	// Output:
+	// after streak: high
+	// after miss: weak-low
+}
+
+// ExampleNewSimulation runs pipeline gating on the baseline machine
+// and reports the executed-uop saving.
+func ExampleNewSimulation() {
+	base := bce.NewSimulation(bce.SimConfig{Bench: "gzip"})
+	base.Run(30_000)
+	b := base.Run(100_000)
+
+	gated := bce.NewSimulation(bce.SimConfig{
+		Bench:     "gzip",
+		Estimator: bce.NewCIC(0),
+		Gating:    bce.PL(1),
+	})
+	gated.Run(30_000)
+	g := gated.Run(100_000)
+
+	fmt.Println("saved uops:", g.Executed < b.Executed)
+	fmt.Println("work retired:", g.Retired >= 100_000 && b.Retired >= 100_000)
+	// Output:
+	// saved uops: true
+	// work retired: true
+}
+
+// ExampleBenchmarks lists the synthetic SPECint 2000 workloads.
+func ExampleBenchmarks() {
+	names := bce.Benchmarks()
+	fmt.Println(len(names), names[0], names[len(names)-1])
+	// Output: 12 gzip twolf
+}
+
+// ExampleConfusion derives the paper's two metrics from raw counts.
+func ExampleConfusion() {
+	var c bce.Confusion
+	c.Add(true, true)   // mispredicted, flagged     (covered)
+	c.Add(true, false)  // mispredicted, not flagged (missed)
+	c.Add(false, true)  // correct, flagged          (false alarm)
+	c.Add(false, false) // correct, not flagged
+	fmt.Printf("PVN %.0f%% Spec %.0f%%\n", 100*c.PVN(), 100*c.Spec())
+	// Output: PVN 50% Spec 50%
+}

@@ -1,0 +1,63 @@
+// Gatingsweep explores the pipeline-gating design space the paper's
+// Table 4 spans: it sweeps the CIC estimator threshold λ and the
+// low-confidence branch counter threshold (PL) on one benchmark and
+// prints the (uop reduction, performance loss) frontier, so you can
+// see the paper's "spectrum of design options" directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bce"
+)
+
+func main() {
+	bench := flag.String("bench", "twolf", "benchmark to sweep")
+	flag.Parse()
+
+	if _, err := bce.BenchmarkProfile(*bench); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	const warm, meas = 50_000, 150_000
+	base := bce.NewSimulation(bce.SimConfig{Bench: *bench})
+	base.Run(warm)
+	baseRun := base.Run(meas)
+	fmt.Printf("benchmark %s, ungated baseline: IPC %.3f, %.1f mispredicts/Kuop\n\n",
+		*bench, baseRun.IPC(), baseRun.MispredictsPer1KUops())
+
+	fmt.Printf("%-14s %6s %14s %10s %12s\n", "config", "λ", "PL", "uop red.", "perf loss")
+	for _, lam := range []int{25, 0, -25, -50} {
+		for _, pl := range []int{1, 2} {
+			sim := bce.NewSimulation(bce.SimConfig{
+				Bench:     *bench,
+				Estimator: bce.NewCIC(lam),
+				Gating:    bce.PL(pl),
+			})
+			sim.Run(warm)
+			r := sim.Run(meas)
+			fmt.Printf("%-14s %6d %14d %9.1f%% %11.1f%%\n",
+				"perceptron", lam, pl,
+				r.UopReductionPercent(baseRun), r.PerfLossPercent(baseRun))
+		}
+	}
+	for _, lam := range []int{7, 15} {
+		for _, pl := range []int{1, 2, 3} {
+			sim := bce.NewSimulation(bce.SimConfig{
+				Bench:     *bench,
+				Estimator: bce.NewEnhancedJRS(lam),
+				Gating:    bce.PL(pl),
+			})
+			sim.Run(warm)
+			r := sim.Run(meas)
+			fmt.Printf("%-14s %6d %14d %9.1f%% %11.1f%%\n",
+				"enhanced-jrs", lam, pl,
+				r.UopReductionPercent(baseRun), r.PerfLossPercent(baseRun))
+		}
+	}
+	fmt.Println("\nHigher λ (perceptron) = more selective gating: less reduction, less loss.")
+	fmt.Println("JRS needs PL2-PL3 to keep its false low-confidence flags from stalling fetch.")
+}

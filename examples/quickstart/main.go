@@ -1,0 +1,62 @@
+// Quickstart: predict branches on one synthetic benchmark, estimate
+// confidence with the paper's perceptron estimator, and print the
+// accuracy/coverage metrics plus a gated timing run.
+package main
+
+import (
+	"fmt"
+
+	"bce"
+)
+
+func main() {
+	// 1. Functional view: walk gzip's branch stream with the baseline
+	//    predictor and the CIC confidence estimator, exactly like the
+	//    front end of a processor would.
+	gen := bce.NewGenerator("gzip")
+	pred := bce.NewBaselinePredictor()
+	est := bce.NewCIC(0) // λ=0: output >= 0 means "likely mispredicted"
+
+	var conf bce.Confusion
+	for i := 0; i < 400_000; i++ {
+		u, _ := gen.Next()
+		if !u.Kind.IsConditional() {
+			continue
+		}
+		predTaken := pred.Predict(u.PC)
+		tok := est.Estimate(u.PC, predTaken)
+		mispredicted := predTaken != u.Taken
+
+		pred.Update(u.PC, u.Taken)
+		est.Train(u.PC, tok, mispredicted, u.Taken)
+		if i > 100_000 { // past warmup
+			conf.Add(mispredicted, tok.Class().Low())
+		}
+	}
+	fmt.Println("confidence estimation on gzip:")
+	fmt.Printf("  accuracy (PVN) %.1f%%   coverage (Spec) %.1f%%\n",
+		100*conf.PVN(), 100*conf.Spec())
+	fmt.Printf("  mispredict rate %.2f%%\n\n", 100*conf.MispredictRate())
+
+	// 2. Timing view: the same estimator gating the fetch stage of the
+	//    paper's 40-cycle 4-wide baseline machine.
+	base := bce.NewSimulation(bce.SimConfig{Bench: "gzip"})
+	base.Run(50_000)
+	baseRun := base.Run(150_000)
+
+	gated := bce.NewSimulation(bce.SimConfig{
+		Bench:     "gzip",
+		Estimator: bce.NewCIC(0),
+		Gating:    bce.PL(1), // stall fetch behind 1 low-confidence branch
+	})
+	gated.Run(50_000)
+	gatedRun := gated.Run(150_000)
+
+	fmt.Println("pipeline gating on the 40c4w baseline:")
+	fmt.Printf("  ungated: IPC %.3f, %d uops executed (%d wrong-path)\n",
+		baseRun.IPC(), baseRun.Executed, baseRun.WrongPathExecuted)
+	fmt.Printf("  gated:   IPC %.3f, %d uops executed (%d wrong-path)\n",
+		gatedRun.IPC(), gatedRun.Executed, gatedRun.WrongPathExecuted)
+	fmt.Printf("  => %.1f%% fewer uops executed for %.1f%% performance loss\n",
+		gatedRun.UopReductionPercent(baseRun), gatedRun.PerfLossPercent(baseRun))
+}

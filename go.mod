@@ -1,0 +1,3 @@
+module bce
+
+go 1.22

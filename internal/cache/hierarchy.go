@@ -1,0 +1,212 @@
+package cache
+
+import (
+	"fmt"
+
+	"bce/internal/memory"
+)
+
+// Prefetcher is the stream-based hardware data prefetcher of the
+// baseline machine (Table 1: "Stream-based, 16 streams"). It watches
+// demand misses, learns per-stream line strides (ascending,
+// descending, or multi-line strides from >64-byte walks), and fills
+// ahead into the L2.
+type Prefetcher struct {
+	streams []stream
+	depth   int
+	maxStr  int64
+	issued  uint64
+	useful  uint64 // advanced-stream hits (stream reuse)
+	clock   uint64 // LRU allocation clock
+}
+
+type stream struct {
+	last    uint64 // last miss line
+	delta   int64  // learned line stride; 0 while training
+	lastUse uint64
+	valid   bool
+}
+
+// NewPrefetcher returns a prefetcher tracking `streams` concurrent
+// streams and prefetching `depth` strides ahead on each stream
+// advance. Strides up to ±8 lines are learned.
+func NewPrefetcher(streams, depth int) *Prefetcher {
+	if streams < 1 || depth < 1 {
+		panic(fmt.Sprintf("cache: prefetcher needs positive streams/depth, got %d/%d", streams, depth))
+	}
+	return &Prefetcher{streams: make([]stream, streams), depth: depth, maxStr: 8}
+}
+
+// Stats returns the number of prefetch fills issued and the number of
+// stream advances (misses that matched a live stream).
+func (p *Prefetcher) Stats() (issued, advances uint64) { return p.issued, p.useful }
+
+func (p *Prefetcher) ahead(s *stream) []uint64 {
+	out := make([]uint64, 0, p.depth)
+	l := int64(s.last)
+	for d := 1; d <= p.depth; d++ {
+		out = append(out, uint64(l+s.delta*int64(d)))
+	}
+	p.issued += uint64(len(out))
+	p.useful++
+	return out
+}
+
+// Miss notifies the prefetcher of a demand miss at line-granular
+// address `line` and returns the lines to prefetch (possibly nil).
+func (p *Prefetcher) Miss(line uint64) []uint64 {
+	p.clock++
+	// A trained stream advances when the miss lands on its next
+	// expected line.
+	for i := range p.streams {
+		s := &p.streams[i]
+		if s.valid && s.delta != 0 && line == uint64(int64(s.last)+s.delta) {
+			s.last = line
+			s.lastUse = p.clock
+			return p.ahead(s)
+		}
+	}
+	// A training stream learns its stride from the second nearby miss.
+	for i := range p.streams {
+		s := &p.streams[i]
+		if !s.valid || s.delta != 0 {
+			continue
+		}
+		d := int64(line) - int64(s.last)
+		if d != 0 && d >= -p.maxStr && d <= p.maxStr {
+			s.delta = d
+			s.last = line
+			s.lastUse = p.clock
+			return p.ahead(s)
+		}
+	}
+	// Allocate a fresh training stream over the LRU victim.
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range p.streams {
+		s := &p.streams[i]
+		if !s.valid {
+			victim = i
+			break
+		}
+		if s.lastUse < oldest {
+			oldest = s.lastUse
+			victim = i
+		}
+	}
+	p.streams[victim] = stream{last: line, lastUse: p.clock, valid: true}
+	return nil
+}
+
+// Latencies gives the access times of each level of the data
+// hierarchy, in cycles.
+type Latencies struct {
+	L1, L2, Memory int
+}
+
+// DefaultLatencies models the baseline machine: 3-cycle L1D, 16-cycle
+// L2, 300-cycle memory.
+func DefaultLatencies() Latencies { return Latencies{L1: 3, L2: 16, Memory: 300} }
+
+// Hierarchy is the load/store path: L1D backed by a unified L2 backed
+// by memory (with bus contention), with the stream prefetcher filling
+// L2 (and L1 for depth-1 lines).
+type Hierarchy struct {
+	l1, l2   *Cache
+	pf       *Prefetcher
+	bus      *memory.Bus
+	lat      Latencies
+	lineBits uint
+}
+
+// HierarchyConfig sizes the data-side hierarchy; zero-valued fields
+// take the baseline machine's parameters.
+type HierarchyConfig struct {
+	L1       Config
+	L2       Config
+	Lat      Latencies
+	Streams  int
+	PFDepth  int
+	Bus      memory.BusConfig
+	NoPrefch bool
+}
+
+// NewBaselineHierarchy returns the Table 1 memory subsystem: 32K 8-way
+// L1D, 1M 8-way L2, 64-byte lines, 16-stream prefetcher.
+func NewBaselineHierarchy() *Hierarchy {
+	return NewHierarchy(HierarchyConfig{})
+}
+
+// NewHierarchy builds a hierarchy from cfg, defaulting unset fields to
+// the baseline machine.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	if cfg.L1.SizeBytes == 0 {
+		cfg.L1 = Config{SizeBytes: 32 * 1024, Assoc: 8, LineBytes: 64}
+	}
+	if cfg.L2.SizeBytes == 0 {
+		cfg.L2 = Config{SizeBytes: 1024 * 1024, Assoc: 8, LineBytes: 64}
+	}
+	if cfg.Lat == (Latencies{}) {
+		cfg.Lat = DefaultLatencies()
+	}
+	if cfg.Streams == 0 {
+		cfg.Streams = 16
+	}
+	if cfg.PFDepth == 0 {
+		cfg.PFDepth = 2
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.L1.LineBytes {
+		lineBits++
+	}
+	h := &Hierarchy{
+		l1:       New(cfg.L1),
+		l2:       New(cfg.L2),
+		bus:      memory.NewBus(cfg.Bus),
+		lat:      cfg.Lat,
+		lineBits: lineBits,
+	}
+	if !cfg.NoPrefch {
+		h.pf = NewPrefetcher(cfg.Streams, cfg.PFDepth)
+	}
+	return h
+}
+
+// L1 exposes the first-level data cache for statistics.
+func (h *Hierarchy) L1() *Cache { return h.l1 }
+
+// L2 exposes the unified second-level cache for statistics.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// Prefetcher returns the stream prefetcher, or nil when disabled.
+func (h *Hierarchy) Prefetcher() *Prefetcher { return h.pf }
+
+// Access performs a demand access at the given cycle and returns the
+// load-to-use latency in cycles. Stores take the same path (the model
+// charges them for the fill; store buffering hides the latency at the
+// pipeline level).
+func (h *Hierarchy) Access(addr uint64, cycle uint64) int {
+	if h.l1.Access(addr) {
+		return h.lat.L1
+	}
+	if h.l2.Access(addr) {
+		// Streams advance on L2 hits too (prefetched-line use), which
+		// keeps a trained stream running ahead of the demand stream
+		// instead of stuttering miss-hit-hit-miss.
+		h.prefetch(addr)
+		return h.lat.L1 + h.lat.L2
+	}
+	h.prefetch(addr)
+	wait := h.bus.Occupy(cycle)
+	return h.lat.L1 + h.lat.L2 + h.lat.Memory + wait
+}
+
+func (h *Hierarchy) prefetch(addr uint64) {
+	if h.pf == nil {
+		return
+	}
+	for _, line := range h.pf.Miss(addr >> h.lineBits) {
+		a := line << h.lineBits
+		h.l2.Fill(a)
+	}
+}

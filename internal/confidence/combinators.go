@@ -1,0 +1,154 @@
+package confidence
+
+import "fmt"
+
+// This file provides estimator combinators used by the ablation
+// studies: band remappers (to force reversal behavior onto binary
+// estimators, demonstrating why only the multi-valued CIC output
+// supports reversal, §5.3/§5.5) and fusion of two estimators.
+
+// PromoteLow wraps an estimator and promotes every low-confidence
+// estimate to StrongLow. Wrapping a binary estimator (JRS, TNT) with
+// it and enabling reversal reproduces "reverse everything flagged",
+// the naive selective-branch-inversion policy the paper's
+// sub-classification improves on.
+type PromoteLow struct {
+	Inner Estimator
+}
+
+// Estimate implements Estimator.
+func (p PromoteLow) Estimate(pc uint64, predictedTaken bool) Token {
+	tok := p.Inner.Estimate(pc, predictedTaken)
+	if tok.Band == WeakLow {
+		tok.Band = StrongLow
+	}
+	return tok
+}
+
+// Train implements Estimator. The token band may have been promoted;
+// inner estimators only test Band.Low(), which promotion preserves.
+func (p PromoteLow) Train(pc uint64, tok Token, mispredicted, taken bool) {
+	p.Inner.Train(pc, tok, mispredicted, taken)
+}
+
+// Name implements Estimator.
+func (p PromoteLow) Name() string { return "promote-low(" + p.Inner.Name() + ")" }
+
+var _ Estimator = PromoteLow{}
+
+// DemoteStrong wraps an estimator and demotes StrongLow to WeakLow,
+// turning a gating+reversal configuration into gating-only without
+// retuning thresholds.
+type DemoteStrong struct {
+	Inner Estimator
+}
+
+// Estimate implements Estimator.
+func (d DemoteStrong) Estimate(pc uint64, predictedTaken bool) Token {
+	tok := d.Inner.Estimate(pc, predictedTaken)
+	if tok.Band == StrongLow {
+		tok.Band = WeakLow
+	}
+	return tok
+}
+
+// Train implements Estimator.
+func (d DemoteStrong) Train(pc uint64, tok Token, mispredicted, taken bool) {
+	d.Inner.Train(pc, tok, mispredicted, taken)
+}
+
+// Name implements Estimator.
+func (d DemoteStrong) Name() string { return "demote-strong(" + d.Inner.Name() + ")" }
+
+var _ Estimator = DemoteStrong{}
+
+// FuseMode selects how a Fused estimator combines its two members.
+type FuseMode uint8
+
+const (
+	// FuseBoth flags low confidence only when both members do:
+	// higher accuracy, lower coverage.
+	FuseBoth FuseMode = iota
+	// FuseEither flags low confidence when either member does:
+	// higher coverage, lower accuracy.
+	FuseEither
+)
+
+// String names the mode.
+func (m FuseMode) String() string {
+	if m == FuseEither {
+		return "either"
+	}
+	return "both"
+}
+
+// Fused combines two estimators. The band is the pairwise minimum
+// (FuseBoth) or maximum (FuseEither) of the member bands, ordering
+// High < WeakLow < StrongLow. Both members train on every branch;
+// their estimate-time tokens travel inside the fused Token (its Sub
+// field), exactly like hardware carrying both estimates down the
+// pipeline with the branch, so wrong-path estimates that are never
+// trained cannot desynchronize the members. Fusing CIC with JRS
+// explores the accuracy/coverage territory between Table 3's two
+// columns.
+type Fused struct {
+	A, B Estimator
+	Mode FuseMode
+}
+
+// NewFused returns a fusion of a and b.
+func NewFused(a, b Estimator, mode FuseMode) *Fused {
+	if a == nil || b == nil {
+		panic("confidence: Fused needs two estimators")
+	}
+	return &Fused{A: a, B: b, Mode: mode}
+}
+
+// Estimate implements Estimator.
+func (f *Fused) Estimate(pc uint64, predictedTaken bool) Token {
+	ta := f.A.Estimate(pc, predictedTaken)
+	tb := f.B.Estimate(pc, predictedTaken)
+	out := ta
+	if f.Mode == FuseBoth {
+		out.Band = minBand(ta.Band, tb.Band)
+	} else {
+		out.Band = maxBand(ta.Band, tb.Band)
+	}
+	out.Sub = []Token{ta, tb}
+	return out
+}
+
+// Train implements Estimator: both members train with their own
+// estimate-time tokens carried in tok.Sub.
+func (f *Fused) Train(pc uint64, tok Token, mispredicted, taken bool) {
+	if len(tok.Sub) == 2 {
+		f.A.Train(pc, tok.Sub[0], mispredicted, taken)
+		f.B.Train(pc, tok.Sub[1], mispredicted, taken)
+		return
+	}
+	// Token without member estimates (hand-built in a test); train
+	// both members with the fused token.
+	f.A.Train(pc, tok, mispredicted, taken)
+	f.B.Train(pc, tok, mispredicted, taken)
+}
+
+// Name implements Estimator.
+func (f *Fused) Name() string {
+	return fmt.Sprintf("fused-%s(%s,%s)", f.Mode, f.A.Name(), f.B.Name())
+}
+
+func minBand(a, b Class) Class {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxBand(a, b Class) Class {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var _ Estimator = (*Fused)(nil)

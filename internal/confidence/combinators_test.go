@@ -1,0 +1,160 @@
+package confidence
+
+import (
+	"strings"
+	"testing"
+
+	"bce/internal/metrics"
+)
+
+func TestPromoteLow(t *testing.T) {
+	p := PromoteLow{Inner: NewEnhancedJRS(15)}
+	tok := p.Estimate(0x4000, true) // cold JRS counter: low confidence
+	if tok.Band != StrongLow {
+		t.Fatalf("band = %v, want StrongLow", tok.Band)
+	}
+	p.Train(0x4000, tok, true, true)
+	if !strings.Contains(p.Name(), "promote-low") {
+		t.Error("name")
+	}
+	// High stays high.
+	hi := PromoteLow{Inner: AlwaysHigh{}}
+	if hi.Estimate(0x4000, true).Band != High {
+		t.Error("promoted a high-confidence estimate")
+	}
+}
+
+func TestDemoteStrong(t *testing.T) {
+	o := NewOracle()
+	o.ObserveNext(true)
+	d := DemoteStrong{Inner: o}
+	o.ObserveNext(true)
+	if tok := d.Estimate(0, true); tok.Band != WeakLow {
+		t.Fatalf("band = %v, want WeakLow", tok.Band)
+	}
+	o.ObserveNext(false)
+	if tok := d.Estimate(0, true); tok.Band != High {
+		t.Fatalf("band = %v, want High", tok.Band)
+	}
+	d.Train(0, Token{}, false, true)
+	if !strings.Contains(d.Name(), "demote-strong") {
+		t.Error("name")
+	}
+}
+
+func TestFusedBands(t *testing.T) {
+	mk := func(band Class) Estimator { return fixedBand{band} }
+	cases := []struct {
+		a, b Class
+		both Class
+		eith Class
+	}{
+		{High, High, High, High},
+		{High, WeakLow, High, WeakLow},
+		{WeakLow, StrongLow, WeakLow, StrongLow},
+		{StrongLow, StrongLow, StrongLow, StrongLow},
+		{High, StrongLow, High, StrongLow},
+	}
+	for _, tc := range cases {
+		fb := NewFused(mk(tc.a), mk(tc.b), FuseBoth)
+		if got := fb.Estimate(0, true).Band; got != tc.both {
+			t.Errorf("both(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.both)
+		}
+		fe := NewFused(mk(tc.a), mk(tc.b), FuseEither)
+		if got := fe.Estimate(0, true).Band; got != tc.eith {
+			t.Errorf("either(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.eith)
+		}
+	}
+}
+
+type fixedBand struct{ band Class }
+
+func (f fixedBand) Estimate(pc uint64, predictedTaken bool) Token {
+	return Token{Band: f.band, PredTaken: predictedTaken}
+}
+func (f fixedBand) Train(pc uint64, tok Token, mispredicted, taken bool) {}
+func (f fixedBand) Name() string                                         { return "fixed" }
+
+// Members must train with their own estimate-time tokens, so a JRS
+// member inside a fusion behaves identically to a standalone JRS.
+func TestFusedMembersTrainIndependently(t *testing.T) {
+	solo := NewEnhancedJRS(15)
+	inFusion := NewEnhancedJRS(15)
+	fused := NewFused(inFusion, NewCIC(0), FuseEither)
+	pc := uint64(0x4000)
+	for i := 0; i < 200; i++ {
+		taken := i%3 != 0
+		st := solo.Estimate(pc, true)
+		ft := fused.Estimate(pc, true)
+		misp := i%7 == 0
+		solo.Train(pc, st, misp, taken)
+		fused.Train(pc, ft, misp, taken)
+		if st.Band != ft.Sub[0].Band {
+			t.Fatalf("step %d: member diverged from solo (solo %v, member %v)",
+				i, st.Band, ft.Sub[0].Band)
+		}
+	}
+}
+
+// FuseBoth must have PVN >= both members' PVN-ish behavior; at minimum
+// its coverage cannot exceed either member's and FuseEither's coverage
+// cannot be below either member's. Verified on a synthetic stream.
+func TestFusedCoverageOrdering(t *testing.T) {
+	type stats struct{ conf metrics.Confusion }
+	runWith := func(mk func() Estimator) metrics.Confusion {
+		est := mk()
+		var c metrics.Confusion
+		for i := 0; i < 5000; i++ {
+			pc := uint64(0x4000 + (i%13)<<2)
+			misp := i%5 == 0
+			taken := i%2 == 0
+			tok := est.Estimate(pc, true)
+			est.Train(pc, tok, misp, taken)
+			if i > 1000 {
+				c.Add(misp, tok.Band.Low())
+			}
+		}
+		return c
+	}
+	jrs := runWith(func() Estimator { return NewEnhancedJRS(15) })
+	cic := runWith(func() Estimator { return NewCIC(0) })
+	both := runWith(func() Estimator { return NewFused(NewEnhancedJRS(15), NewCIC(0), FuseBoth) })
+	either := runWith(func() Estimator { return NewFused(NewEnhancedJRS(15), NewCIC(0), FuseEither) })
+	if both.Spec() > jrs.Spec()+1e-9 || both.Spec() > cic.Spec()+1e-9 {
+		t.Errorf("FuseBoth Spec %.3f exceeds a member (jrs %.3f cic %.3f)",
+			both.Spec(), jrs.Spec(), cic.Spec())
+	}
+	if either.Spec() < jrs.Spec()-1e-9 || either.Spec() < cic.Spec()-1e-9 {
+		t.Errorf("FuseEither Spec %.3f below a member (jrs %.3f cic %.3f)",
+			either.Spec(), jrs.Spec(), cic.Spec())
+	}
+	_ = stats{}
+}
+
+func TestFusedFallbackTrain(t *testing.T) {
+	f := NewFused(NewEnhancedJRS(15), NewCIC(0), FuseBoth)
+	// Hand-built token without Sub: must not panic.
+	f.Train(0x4000, Token{Band: WeakLow}, true, true)
+}
+
+func TestFusedPanicsOnNil(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFused(nil,nil) did not panic")
+		}
+	}()
+	NewFused(nil, nil, FuseBoth)
+}
+
+func TestFuseModeString(t *testing.T) {
+	if FuseBoth.String() != "both" || FuseEither.String() != "either" {
+		t.Error("mode names")
+	}
+}
+
+func TestFusedName(t *testing.T) {
+	f := NewFused(NewEnhancedJRS(15), NewCIC(0), FuseEither)
+	if !strings.Contains(f.Name(), "fused-either") {
+		t.Errorf("name = %q", f.Name())
+	}
+}

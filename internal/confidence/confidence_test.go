@@ -1,0 +1,430 @@
+package confidence
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bce/internal/predictor"
+)
+
+func TestClass(t *testing.T) {
+	if High.Low() || !WeakLow.Low() || !StrongLow.Low() {
+		t.Error("Class.Low wrong")
+	}
+	names := map[Class]string{High: "high", WeakLow: "weak-low", StrongLow: "strong-low", Class(9): "class(?)"}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+// step runs one estimate/train cycle for a branch whose prediction
+// correctness is given.
+func step(e Estimator, pc uint64, predTaken, taken bool) Token {
+	tok := e.Estimate(pc, predTaken)
+	e.Train(pc, tok, predTaken != taken, taken)
+	return tok
+}
+
+// pinnedJRS returns an enhanced JRS whose 1-bit history makes the
+// counter index stable after one all-taken step, so counter dynamics
+// can be asserted exactly.
+func pinnedJRS(lambda int) *JRS {
+	return NewJRS(JRSConfig{Lambda: lambda, HistoryLen: 1, Enhanced: true})
+}
+
+func TestJRSBasicDynamics(t *testing.T) {
+	j := pinnedJRS(15)
+	pc := uint64(0x4000)
+	// Fresh counters are 0: low confidence.
+	if tok := j.Estimate(pc, true); tok.Band != WeakLow {
+		t.Fatalf("fresh JRS band = %v", tok.Band)
+	}
+	step(j, pc, true, true) // stabilize the 1-bit history
+	// After 15 more correct predictions the stable counter reaches
+	// λ=15.
+	for i := 0; i < 15; i++ {
+		if tok := step(j, pc, true, true); tok.Band != WeakLow {
+			t.Fatalf("step %d: band = %v before threshold", i, tok.Band)
+		}
+	}
+	if tok := j.Estimate(pc, true); tok.Band != High {
+		t.Fatalf("after 15 correct: band = %v", tok.Band)
+	}
+	// One misprediction resets the counter to zero.
+	step(j, pc, true, false)
+	step(j, pc, true, true) // restabilize history
+	if tok := j.Estimate(pc, true); tok.Band != High {
+		// Counter was reset; 1 increment later it is far below λ.
+		for i := 0; i < 15; i++ {
+			step(j, pc, true, true)
+		}
+	}
+	if tok := j.Estimate(pc, true); tok.Band != High {
+		t.Fatal("did not recover high confidence")
+	}
+}
+
+func TestJRSResetOnMispredict(t *testing.T) {
+	j := pinnedJRS(3)
+	pc := uint64(0x4000)
+	for i := 0; i < 10; i++ {
+		step(j, pc, true, true)
+	}
+	if j.Estimate(pc, true).Band != High {
+		t.Fatal("not high before mispredict")
+	}
+	step(j, pc, true, false) // mispredict resets stable counter
+	step(j, pc, true, true)  // restabilize history (counter now 1)
+	if tok := j.Estimate(pc, true); tok.Band != WeakLow {
+		t.Fatalf("band = %v right after reset (counter %d)", tok.Band, tok.Output)
+	}
+}
+
+func TestJRSLambdaOrdering(t *testing.T) {
+	// Lower λ makes high confidence easier: a branch that has been
+	// correct 7 times (after history stabilization) is high-confidence
+	// for λ=7 but not λ=15.
+	run := func(lambda int) Class {
+		j := pinnedJRS(lambda)
+		pc := uint64(0x4000)
+		step(j, pc, true, true) // stabilize
+		for i := 0; i < 7; i++ {
+			step(j, pc, true, true)
+		}
+		return j.Estimate(pc, true).Band
+	}
+	if run(7) != High {
+		t.Error("λ=7 not high after 7 correct")
+	}
+	if run(15) != WeakLow {
+		t.Error("λ=15 high after only 7 correct")
+	}
+}
+
+func TestJRSEnhancedUsesPrediction(t *testing.T) {
+	j := pinnedJRS(3)
+	pc := uint64(0x4000)
+	for i := 0; i < 10; i++ {
+		step(j, pc, true, true)
+	}
+	// Same PC and history, opposite prediction, must hit a different
+	// (cold) counter under the enhanced indexing.
+	a := j.Estimate(pc, true)
+	b := j.Estimate(pc, false)
+	if a.Band != High {
+		t.Fatalf("trained index band = %v", a.Band)
+	}
+	if b.Band != WeakLow {
+		t.Fatalf("opposite-prediction index band = %v (enhanced index not separating)", b.Band)
+	}
+}
+
+func TestJRSConfigValidation(t *testing.T) {
+	for _, cfg := range []JRSConfig{
+		{CounterBits: 9},
+		{Lambda: 16},
+		{Lambda: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewJRS(%+v) did not panic", cfg)
+				}
+			}()
+			NewJRS(cfg)
+		}()
+	}
+	j := NewJRS(JRSConfig{})
+	if j.Entries() != 8192 || j.Lambda() != 0 {
+		t.Errorf("defaults: entries=%d λ=%d", j.Entries(), j.Lambda())
+	}
+	if j.SizeBytes() != 8192/2 {
+		t.Errorf("SizeBytes = %d, want 4096", j.SizeBytes())
+	}
+}
+
+func TestCICBands(t *testing.T) {
+	c := NewCICWith(CICConfig{Lambda: -25, Reversal: 50})
+	// Force specific outputs by training.
+	pc := uint64(0x4000)
+	tok := c.Estimate(pc, true)
+	if tok.Output != 0 || tok.Band != WeakLow {
+		t.Fatalf("fresh estimate: y=%d band=%v (λ=-25 ⇒ 0 is weak-low)", tok.Output, tok.Band)
+	}
+	// Train hard toward "mispredicted" with constant history: y grows
+	// positive past the reversal threshold.
+	for i := 0; i < 40; i++ {
+		tok = c.Estimate(pc, true)
+		c.Train(pc, tok, true, true)
+	}
+	if tok = c.Estimate(pc, true); tok.Band != StrongLow {
+		t.Fatalf("after misprediction training: y=%d band=%v", tok.Output, tok.Band)
+	}
+	// Train toward "correct": y sinks below λ.
+	for i := 0; i < 120; i++ {
+		tok = c.Estimate(pc, true)
+		c.Train(pc, tok, false, true)
+	}
+	if tok = c.Estimate(pc, true); tok.Band != High {
+		t.Fatalf("after correct training: y=%d band=%v", tok.Output, tok.Band)
+	}
+}
+
+func TestCICLearnsHistoryCorrelatedMispredictions(t *testing.T) {
+	// A branch that is mispredicted exactly when history bit 4 is set:
+	// the CIC estimator must learn to flag those instances.
+	c := NewCIC(0)
+	r := rand.New(rand.NewSource(11))
+	pc := uint64(0x4000)
+	var outcomes []bool
+	correct := 0
+	flagged := 0
+	total := 0
+	for i := 0; i < 6000; i++ {
+		taken := r.Intn(2) == 0
+		outcomes = append(outcomes, taken)
+		misp := len(outcomes) >= 5 && outcomes[len(outcomes)-5]
+		tok := c.Estimate(pc, true)
+		if i > 3000 {
+			total++
+			if tok.Band.Low() == misp {
+				correct++
+			}
+			if misp && tok.Band.Low() {
+				flagged++
+			}
+		}
+		c.Train(pc, tok, misp, taken)
+	}
+	if correct < total*8/10 {
+		t.Errorf("CIC classification accuracy %d/%d on linearly separable misprediction pattern", correct, total)
+	}
+}
+
+func TestCICTrainThresholdKeepsTraining(t *testing.T) {
+	// With T large, training continues even when classification is
+	// right, pushing |y| outward; with T=1 training stops once
+	// classification is stable outside |y|<=1.
+	big := NewCICWith(CICConfig{Lambda: 0, Reversal: DisableReversal, TrainThreshold: 100})
+	small := NewCICWith(CICConfig{Lambda: 0, Reversal: DisableReversal, TrainThreshold: 1})
+	pc := uint64(0x4000)
+	for i := 0; i < 50; i++ {
+		tb := big.Estimate(pc, true)
+		big.Train(pc, tb, false, true)
+		ts := small.Estimate(pc, true)
+		small.Train(pc, ts, false, true)
+	}
+	yb := big.Estimate(pc, true).Output
+	ys := small.Estimate(pc, true).Output
+	if !(yb < ys && ys < 0) {
+		t.Errorf("train threshold effect: yb=%d ys=%d (want yb < ys < 0)", yb, ys)
+	}
+}
+
+func TestCICGeometryAndSize(t *testing.T) {
+	c := NewCIC(0)
+	e, h, b := c.Geometry()
+	if e != 128 || h != 32 || b != 8 {
+		t.Fatalf("geometry = %d/%d/%d", e, h, b)
+	}
+	if c.SizeBytes() != 128*33 {
+		t.Errorf("SizeBytes = %d", c.SizeBytes())
+	}
+	if c.Lambda() != 0 || c.Reversal() != DisableReversal || c.TrainThreshold() != 75 {
+		t.Errorf("defaults: λ=%d rev=%d T=%d", c.Lambda(), c.Reversal(), c.TrainThreshold())
+	}
+}
+
+// Property: CIC training only ever moves weights by ±1 per step, so
+// consecutive outputs for a fixed history differ by at most
+// inputs+1.
+func TestCICOutputLipschitzQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		c := NewCICWith(CICConfig{HistoryLen: 16, Reversal: DisableReversal})
+		r := rand.New(rand.NewSource(seed))
+		pc := uint64(0x4000)
+		probe := r.Uint64()
+		prev := c.tbl.Lookup(pc).Output(probe)
+		for i := 0; i < 100; i++ {
+			tok := c.Estimate(pc, r.Intn(2) == 0)
+			c.Train(pc, tok, r.Intn(2) == 0, r.Intn(2) == 0)
+			cur := c.tbl.Lookup(pc).Output(probe)
+			if d := cur - prev; d > 17 || d < -17 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTNTBands(t *testing.T) {
+	p := NewTNT(20)
+	pc := uint64(0x4000)
+	if tok := p.Estimate(pc, true); tok.Band != WeakLow {
+		t.Fatalf("fresh TNT (y=0) band = %v, want weak-low", tok.Band)
+	}
+	// Strongly-biased branch drives |y| high: confidence rises.
+	for i := 0; i < 60; i++ {
+		step(p, pc, true, true)
+	}
+	tok := p.Estimate(pc, true)
+	if tok.Band != High {
+		t.Fatalf("after bias training: y=%d band=%v", tok.Output, tok.Band)
+	}
+	if tok.Output <= 20 {
+		t.Fatalf("y=%d not strongly positive", tok.Output)
+	}
+	if p.Lambda() != 20 {
+		t.Errorf("Lambda = %d", p.Lambda())
+	}
+}
+
+func TestTNTNeverStronglyLow(t *testing.T) {
+	p := NewTNT(1000) // everything low-confidence
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		pc := uint64(0x4000 + (r.Intn(8) << 2))
+		taken := r.Intn(2) == 0
+		tok := step(p, pc, true, taken)
+		if tok.Band == StrongLow {
+			t.Fatal("TNT produced StrongLow")
+		}
+	}
+}
+
+func TestSmith(t *testing.T) {
+	h := predictor.NewBaselineHybrid()
+	s := NewSmith(h)
+	pc := uint64(0x4000)
+	// Train the predictor until its counters are strong.
+	for i := 0; i < 30; i++ {
+		h.Predict(pc)
+		h.Update(pc, true)
+	}
+	if tok := s.Estimate(pc, true); tok.Band != High {
+		t.Fatalf("strong counter band = %v", tok.Band)
+	}
+	// A cold, different branch: counters at weakly-taken midpoint+1
+	// are not strong.
+	if tok := s.Estimate(0x9000, true); tok.Band != WeakLow {
+		t.Fatalf("cold counter band = %v", tok.Band)
+	}
+	s.Train(pc, Token{}, false, true) // no-op, must not panic
+	if s.Name() != "smith" {
+		t.Error("name")
+	}
+}
+
+func TestSmithNilSource(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSmith(nil) did not panic")
+		}
+	}()
+	NewSmith(nil)
+}
+
+func TestPattern(t *testing.T) {
+	p := NewPattern(0, 0) // defaults 1024 x 8
+	pc := uint64(0x4000)
+	// All-taken local history ⇒ high confidence.
+	for i := 0; i < 10; i++ {
+		step(p, pc, true, true)
+	}
+	if tok := p.Estimate(pc, true); tok.Band != High {
+		t.Fatalf("all-taken pattern band = %v", tok.Band)
+	}
+	// One not-taken in 8 ⇒ still "almost always taken" ⇒ high.
+	step(p, pc, true, false)
+	if tok := p.Estimate(pc, true); tok.Band != High {
+		t.Fatalf("7/8-taken pattern band = %v", tok.Band)
+	}
+	// Alternating pattern ⇒ low confidence.
+	for i := 0; i < 8; i++ {
+		step(p, pc, true, i%2 == 0)
+	}
+	if tok := p.Estimate(pc, true); tok.Band != WeakLow {
+		t.Fatalf("alternating pattern band = %v", tok.Band)
+	}
+}
+
+func TestPatternPanics(t *testing.T) {
+	for _, hlen := range []int{1, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPattern(0,%d) did not panic", hlen)
+				}
+			}()
+			NewPattern(0, hlen)
+		}()
+	}
+}
+
+func TestOracleEstimator(t *testing.T) {
+	o := NewOracle()
+	o.ObserveNext(true)
+	if tok := o.Estimate(0, true); tok.Band != StrongLow {
+		t.Error("oracle did not flag known misprediction")
+	}
+	o.ObserveNext(false)
+	if tok := o.Estimate(0, true); tok.Band != High {
+		t.Error("oracle flagged known correct prediction")
+	}
+	o.Train(0, Token{}, false, true)
+}
+
+func TestAlwaysHigh(t *testing.T) {
+	var a AlwaysHigh
+	if tok := a.Estimate(0, true); tok.Band != High {
+		t.Error("AlwaysHigh not high")
+	}
+	a.Train(0, Token{}, true, true)
+	if a.Name() == "" {
+		t.Error("name")
+	}
+}
+
+func TestNamesNonEmpty(t *testing.T) {
+	h := predictor.NewBaselineHybrid()
+	for _, e := range []Estimator{
+		NewEnhancedJRS(15),
+		NewJRS(JRSConfig{Enhanced: false, Lambda: 7}),
+		NewCIC(0),
+		NewCICWith(CICConfig{Lambda: -75, Reversal: 0}),
+		NewTNT(50),
+		NewSmith(h),
+		NewPattern(0, 0),
+		NewOracle(),
+		AlwaysHigh{},
+	} {
+		if e.Name() == "" {
+			t.Errorf("%T empty name", e)
+		}
+	}
+}
+
+func BenchmarkCICEstimateTrain(b *testing.B) {
+	c := NewCIC(0)
+	for i := 0; i < b.N; i++ {
+		pc := uint64(0x4000 + (i&127)<<2)
+		tok := c.Estimate(pc, true)
+		c.Train(pc, tok, i&7 == 0, i&3 != 0)
+	}
+}
+
+func BenchmarkJRSEstimateTrain(b *testing.B) {
+	j := NewEnhancedJRS(15)
+	for i := 0; i < b.N; i++ {
+		pc := uint64(0x4000 + (i&127)<<2)
+		tok := j.Estimate(pc, true)
+		j.Train(pc, tok, i&7 == 0, i&3 != 0)
+	}
+}

@@ -1,0 +1,162 @@
+package confidence
+
+import "fmt"
+
+// JRS is the resetting-counter confidence estimator of Jacobson,
+// Rotenberg and Smith, in Grunwald et al.'s *enhanced* form: a table of
+// miss-distance counters indexed by PC ⊕ global history with the
+// current prediction folded into the index. A counter at or above the
+// threshold λ means high confidence; counters are incremented on a
+// correct prediction and reset to zero on a misprediction.
+//
+// The paper's configuration (§4) is 8K entries × 4-bit counters = 4 KB,
+// matching the perceptron estimator's budget.
+type JRS struct {
+	ctrs     []uint8
+	max      uint8
+	lambda   uint8
+	ghr      uint64
+	hlen     int
+	mask     uint64
+	enhanced bool
+}
+
+// JRSConfig parameterizes a JRS estimator.
+type JRSConfig struct {
+	// Entries is the counter-table size (rounded up to a power of
+	// two). Default 8192.
+	Entries int
+	// CounterBits is the counter width. Default 4.
+	CounterBits int
+	// Lambda is the high-confidence threshold: counter >= Lambda means
+	// high confidence. The paper sweeps {3, 7, 11, 15}. Default 15.
+	Lambda int
+	// HistoryLen is the global-history length XORed into the index.
+	// Default min(13, log2(Entries)).
+	HistoryLen int
+	// Enhanced folds the current prediction into the index (Grunwald
+	// et al.'s enhanced JRS). Default true via NewEnhancedJRS.
+	Enhanced bool
+}
+
+// NewEnhancedJRS returns the paper's baseline estimator: enhanced JRS
+// with 8K 4-bit resetting counters and threshold lambda.
+func NewEnhancedJRS(lambda int) *JRS {
+	return NewJRS(JRSConfig{Lambda: lambda, Enhanced: true})
+}
+
+// NewJRS returns a JRS estimator with explicit configuration; zero
+// fields take defaults.
+func NewJRS(cfg JRSConfig) *JRS {
+	if cfg.Entries == 0 {
+		cfg.Entries = 8192
+	}
+	if cfg.CounterBits == 0 {
+		cfg.CounterBits = 4
+	}
+	if cfg.CounterBits < 1 || cfg.CounterBits > 8 {
+		panic(fmt.Sprintf("confidence: JRS counter bits %d outside [1,8]", cfg.CounterBits))
+	}
+	size := 1
+	for size < cfg.Entries {
+		size <<= 1
+	}
+	logSize := 0
+	for 1<<uint(logSize) < size {
+		logSize++
+	}
+	if cfg.HistoryLen == 0 {
+		cfg.HistoryLen = logSize
+		if cfg.HistoryLen > 13 {
+			cfg.HistoryLen = 13
+		}
+	}
+	max := uint8(1<<uint(cfg.CounterBits) - 1)
+	if cfg.Lambda < 0 || cfg.Lambda > int(max) {
+		panic(fmt.Sprintf("confidence: JRS lambda %d outside [0,%d]", cfg.Lambda, max))
+	}
+	return &JRS{
+		ctrs:     make([]uint8, size),
+		max:      max,
+		lambda:   uint8(cfg.Lambda),
+		hlen:     cfg.HistoryLen,
+		mask:     uint64(size - 1),
+		enhanced: cfg.Enhanced,
+	}
+}
+
+// Lambda returns the high-confidence threshold.
+func (j *JRS) Lambda() int { return int(j.lambda) }
+
+// Entries returns the counter-table size.
+func (j *JRS) Entries() int { return len(j.ctrs) }
+
+// SizeBytes returns the hardware storage budget of the counter table.
+func (j *JRS) SizeBytes() int {
+	bits := 1
+	for 1<<uint(bits) <= int(j.max) {
+		bits++
+	}
+	return (len(j.ctrs)*bits + 7) / 8
+}
+
+func (j *JRS) index(pc uint64, predictedTaken bool) uint64 {
+	h := j.ghr
+	if j.enhanced {
+		// Fold the prediction in as the newest history bit, per
+		// Grunwald et al.: predict first, then include the predicted
+		// direction in the table index.
+		h <<= 1
+		if predictedTaken {
+			h |= 1
+		}
+	}
+	return ((pc >> 2) ^ h) & j.mask
+}
+
+// Estimate implements Estimator. Counter >= λ ⇒ high confidence.
+func (j *JRS) Estimate(pc uint64, predictedTaken bool) Token {
+	c := j.ctrs[j.index(pc, predictedTaken)]
+	band := High
+	if c < j.lambda {
+		band = WeakLow
+	}
+	return Token{Output: int(c), Band: band, Hist: j.ghr, PredTaken: predictedTaken}
+}
+
+// Train implements Estimator: increment the counter saturating on a
+// correct prediction, reset to zero on a misprediction, then shift the
+// outcome into the history register. Training replays the index from
+// the token's history snapshot so that in-flight branches between
+// Estimate and Train do not skew the indexing.
+func (j *JRS) Train(pc uint64, tok Token, mispredicted, taken bool) {
+	h := tok.Hist
+	if j.enhanced {
+		h <<= 1
+		if tok.PredTaken {
+			h |= 1
+		}
+	}
+	i := ((pc >> 2) ^ h) & j.mask
+	if mispredicted {
+		j.ctrs[i] = 0
+	} else if j.ctrs[i] < j.max {
+		j.ctrs[i]++
+	}
+	j.ghr <<= 1
+	if taken {
+		j.ghr |= 1
+	}
+	j.ghr &= (1 << uint(j.hlen)) - 1
+}
+
+// Name implements Estimator.
+func (j *JRS) Name() string {
+	kind := "jrs"
+	if j.enhanced {
+		kind = "jrs-enhanced"
+	}
+	return fmt.Sprintf("%s(λ=%d)", kind, j.lambda)
+}
+
+var _ Estimator = (*JRS)(nil)

@@ -1,0 +1,118 @@
+package confidence
+
+import (
+	"fmt"
+	"math/bits"
+
+	"bce/internal/predictor"
+)
+
+// CounterSource exposes the branch predictor's own saturating counter
+// for a branch, which is what Smith's self-confidence estimator reads.
+// *predictor.Hybrid implements it via SelectedCounter.
+type CounterSource interface {
+	SelectedCounter(pc uint64) (predictor.SatCounter, bool)
+}
+
+// Smith is the self-confidence estimator of Smith (1981), evaluated by
+// Grunwald et al. (§2.3): a branch is high confidence when the
+// predictor's own saturating counter sits at an extreme (strongly
+// taken or strongly not-taken), low confidence otherwise. It adds no
+// storage of its own.
+type Smith struct {
+	src CounterSource
+}
+
+// NewSmith returns a Smith estimator reading counters from src.
+func NewSmith(src CounterSource) *Smith {
+	if src == nil {
+		panic("confidence: Smith needs a counter source")
+	}
+	return &Smith{src: src}
+}
+
+// Estimate implements Estimator.
+func (s *Smith) Estimate(pc uint64, predictedTaken bool) Token {
+	band := WeakLow
+	out := 0
+	if ctr, ok := s.src.SelectedCounter(pc); ok {
+		out = int(ctr.V)
+		if ctr.Strong() {
+			band = High
+		}
+	}
+	return Token{Output: out, Band: band, PredTaken: predictedTaken}
+}
+
+// Train implements Estimator. The counters belong to the predictor and
+// train with it, so there is nothing to do here.
+func (s *Smith) Train(pc uint64, tok Token, mispredicted, taken bool) {}
+
+// Name implements Estimator.
+func (s *Smith) Name() string { return "smith" }
+
+var _ Estimator = (*Smith)(nil)
+
+// Pattern is Tyson, Lick and Farrens's pattern-history confidence
+// estimator (§2.3): per-branch local history, with a fixed set of
+// "reliable" patterns classified high confidence — all taken, all
+// not-taken, and the almost-always variants (exactly one minority
+// outcome) — and everything else low confidence.
+type Pattern struct {
+	hist    []uint16
+	hlen    int
+	allOnes uint16
+}
+
+// NewPattern returns a pattern estimator with the given local-history
+// table size and history length (defaults 1024 and 8 when zero).
+func NewPattern(entries, hlen int) *Pattern {
+	if entries == 0 {
+		entries = 1024
+	}
+	if hlen == 0 {
+		hlen = 8
+	}
+	if hlen < 2 || hlen > 16 {
+		panic(fmt.Sprintf("confidence: pattern history length %d outside [2,16]", hlen))
+	}
+	size := 1
+	for size < entries {
+		size <<= 1
+	}
+	return &Pattern{
+		hist:    make([]uint16, size),
+		hlen:    hlen,
+		allOnes: uint16(1<<uint(hlen)) - 1,
+	}
+}
+
+func (p *Pattern) index(pc uint64) int { return int((pc >> 2) & uint64(len(p.hist)-1)) }
+
+// Estimate implements Estimator: high confidence only for the fixed
+// reliable patterns.
+func (p *Pattern) Estimate(pc uint64, predictedTaken bool) Token {
+	pat := p.hist[p.index(pc)]
+	ones := bits.OnesCount16(pat)
+	band := WeakLow
+	if ones == 0 || ones == 1 || ones == p.hlen || ones == p.hlen-1 {
+		band = High
+	}
+	return Token{Output: int(pat), Band: band, Hist: uint64(pat), PredTaken: predictedTaken}
+}
+
+// Train implements Estimator: shift the outcome into the branch's
+// local history.
+func (p *Pattern) Train(pc uint64, tok Token, mispredicted, taken bool) {
+	i := p.index(pc)
+	pat := p.hist[i] << 1
+	if taken {
+		pat |= 1
+	}
+	p.hist[i] = pat & p.allOnes
+}
+
+// Name implements Estimator.
+func (p *Pattern) Name() string { return fmt.Sprintf("pattern-%d/%d", len(p.hist), p.hlen) }
+
+var _ Estimator = (*Pattern)(nil)

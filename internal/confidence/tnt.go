@@ -1,0 +1,123 @@
+package confidence
+
+import (
+	"fmt"
+
+	"bce/internal/perceptron"
+)
+
+// PerceptronTNT is the confidence scheme Jimenez & Lin suggested and
+// the paper evaluates as a baseline (§5.3, labeled perceptron_tnt): a
+// perceptron *predictor* trained on taken/not-taken outcomes whose
+// output magnitude |y| is read as certainty. The closer |y| is to
+// zero, the lower the confidence:
+//
+//	|y| <= Lambda ⇒ low confidence
+//	|y| >  Lambda ⇒ high confidence
+//
+// It has the same default 4 KB geometry as PerceptronCIC so the two
+// training schemes are compared at equal budget.
+type PerceptronTNT struct {
+	tbl    *perceptron.Table
+	ghr    uint64
+	hlen   int
+	lambda int
+	theta  int
+}
+
+// TNTConfig parameterizes a PerceptronTNT.
+type TNTConfig struct {
+	// Entries, HistoryLen, WeightBits set the table geometry; defaults
+	// 128, 32, 8.
+	Entries    int
+	HistoryLen int
+	WeightBits int
+	// Lambda is the confidence threshold on |y|. Default 75.
+	Lambda int
+	// Theta is the predictor training threshold; default ⌊1.93·h+14⌋.
+	Theta int
+}
+
+// NewTNT returns a perceptron_tnt estimator with the default geometry
+// and the given |y| threshold.
+func NewTNT(lambda int) *PerceptronTNT {
+	return NewTNTWith(TNTConfig{Lambda: lambda})
+}
+
+// NewTNTWith returns an estimator with explicit configuration; zero
+// fields take defaults.
+func NewTNTWith(cfg TNTConfig) *PerceptronTNT {
+	if cfg.Entries == 0 {
+		cfg.Entries = 128
+	}
+	if cfg.HistoryLen == 0 {
+		cfg.HistoryLen = 32
+	}
+	if cfg.WeightBits == 0 {
+		cfg.WeightBits = 8
+	}
+	if cfg.Lambda == 0 {
+		cfg.Lambda = 75
+	}
+	if cfg.Theta == 0 {
+		cfg.Theta = int(1.93*float64(cfg.HistoryLen) + 14)
+	}
+	return &PerceptronTNT{
+		tbl:    perceptron.NewTable(cfg.Entries, cfg.HistoryLen, cfg.WeightBits),
+		hlen:   cfg.HistoryLen,
+		lambda: cfg.Lambda,
+		theta:  cfg.Theta,
+	}
+}
+
+// Lambda returns the |y| confidence threshold.
+func (p *PerceptronTNT) Lambda() int { return p.lambda }
+
+// Output returns the raw perceptron output for pc against the current
+// history (density Figures 6-7).
+func (p *PerceptronTNT) Output(pc uint64) int {
+	return p.tbl.Lookup(pc).Output(p.ghr)
+}
+
+// Estimate implements Estimator: low confidence iff |y| <= λ. TNT has
+// no meaningful strongly-low band — an output near zero carries no
+// information about *which* direction is wrong — so it only produces
+// High and WeakLow.
+func (p *PerceptronTNT) Estimate(pc uint64, predictedTaken bool) Token {
+	y := p.tbl.Lookup(pc).Output(p.ghr)
+	band := High
+	if abs(y) <= p.lambda {
+		band = WeakLow
+	}
+	return Token{Output: y, Band: band, Hist: p.ghr, PredTaken: predictedTaken}
+}
+
+// Train implements Estimator with the standard Jimenez/Lin predictor
+// update: train on the branch *direction* when the direction guess was
+// wrong or |y| <= θ.
+func (p *PerceptronTNT) Train(pc uint64, tok Token, mispredicted, taken bool) {
+	y := tok.Output
+	wrongDir := (y >= 0) != taken
+	if wrongDir || abs(y) <= p.theta {
+		t := -1
+		if taken {
+			t = 1
+		}
+		p.tbl.Lookup(pc).Train(tok.Hist, t)
+	}
+	p.ghr <<= 1
+	if taken {
+		p.ghr |= 1
+	}
+	if p.hlen < 64 {
+		p.ghr &= (1 << uint(p.hlen)) - 1
+	}
+}
+
+// Name implements Estimator.
+func (p *PerceptronTNT) Name() string {
+	return fmt.Sprintf("perceptron_tnt-P%dW%dH%d(λ=%d)",
+		p.tbl.Entries(), p.tbl.WeightBits(), p.tbl.HistoryLen(), p.lambda)
+}
+
+var _ Estimator = (*PerceptronTNT)(nil)

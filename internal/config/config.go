@@ -1,0 +1,132 @@
+// Package config defines the machine models the paper evaluates: the
+// baseline 4-wide 40-cycle deep pipeline (Table 1), and the 4-wide and
+// 8-wide 20-cycle variants used in Table 2 and §5.5.
+package config
+
+import "fmt"
+
+// Machine is the full timing-model parameter set. All fields must be
+// positive; Validate checks.
+type Machine struct {
+	// Name labels the configuration in reports ("40c4w", …).
+	Name string
+	// Depth is the nominal branch-misprediction pipeline length in
+	// cycles (the paper's "20-cycle" / "40-cycle" label).
+	Depth int
+	// FetchWidth, DispatchWidth, IssueWidth and RetireWidth are the
+	// per-cycle stage bandwidths (all 4 on the baseline machine).
+	FetchWidth, DispatchWidth, IssueWidth, RetireWidth int
+	// FrontendDepth is the fetch-to-dispatch latency in cycles.
+	FrontendDepth int
+	// BranchResolveExtra is the execute-pipeline depth a conditional
+	// branch traverses after issue before it can redirect the front
+	// end. FrontendDepth + queueing + BranchResolveExtra + the refill
+	// make up the nominal Depth-cycle misprediction penalty; keeping
+	// the front end short and the resolution deep is what lets
+	// wrong-path work dispatch and execute during the resolution
+	// shadow, as on real deep pipelines.
+	BranchResolveExtra int
+	// BranchPerCycle caps conditional-branch predictions per fetch
+	// cycle.
+	BranchPerCycle int
+	// ROB is the reorder-buffer capacity in uops.
+	ROB int
+	// LoadBufs and StoreBufs are the load/store buffer sizes.
+	LoadBufs, StoreBufs int
+	// IntSched, MemSched and FPSched are the scheduling-window sizes
+	// per class (Table 1: 48 int, 24 mem, 56 fp).
+	IntSched, MemSched, FPSched int
+	// IntUnits, MemUnits and FPUnits are execution-unit counts.
+	IntUnits, MemUnits, FPUnits int
+	// TraceCacheUops is the trace-cache capacity (Table 1: 12K uops);
+	// TraceCacheAssoc its associativity; TCMissPenalty the fetch
+	// bubble on a trace-cache miss.
+	TraceCacheUops  int
+	TraceCacheAssoc int
+	TCMissPenalty   int
+}
+
+// Baseline40x4 is the paper's baseline processor: 4-wide, aggressive
+// 40-cycle pipeline, Table 1 resources.
+func Baseline40x4() Machine {
+	return Machine{
+		Name:  "40c4w",
+		Depth: 40, FrontendDepth: 10, BranchResolveExtra: 36,
+		FetchWidth: 4, DispatchWidth: 4, IssueWidth: 6, RetireWidth: 4,
+		BranchPerCycle: 2,
+		ROB:            128, LoadBufs: 48, StoreBufs: 32,
+		IntSched: 48, MemSched: 24, FPSched: 56,
+		IntUnits: 3, MemUnits: 2, FPUnits: 1,
+		TraceCacheUops: 12 * 1024, TraceCacheAssoc: 8, TCMissPenalty: 3,
+	}
+}
+
+// Mid20x4 is the 4-wide 20-cycle machine of Table 2's first column.
+func Mid20x4() Machine {
+	m := Baseline40x4()
+	m.Name = "20c4w"
+	m.Depth = 20
+	m.FrontendDepth = 6
+	m.BranchResolveExtra = 10
+	return m
+}
+
+// Wide20x8 is the futuristic 8-wide 20-cycle machine of §5.5
+// (Figure 9), with resources scaled for the width.
+func Wide20x8() Machine {
+	return Machine{
+		Name:  "20c8w",
+		Depth: 20, FrontendDepth: 6, BranchResolveExtra: 10,
+		FetchWidth: 8, DispatchWidth: 8, IssueWidth: 12, RetireWidth: 8,
+		BranchPerCycle: 3,
+		ROB:            256, LoadBufs: 96, StoreBufs: 64,
+		IntSched: 96, MemSched: 48, FPSched: 112,
+		IntUnits: 6, MemUnits: 4, FPUnits: 2,
+		TraceCacheUops: 12 * 1024, TraceCacheAssoc: 8, TCMissPenalty: 3,
+	}
+}
+
+// ByName returns a machine model by its report label.
+func ByName(name string) (Machine, error) {
+	switch name {
+	case "40c4w":
+		return Baseline40x4(), nil
+	case "20c4w":
+		return Mid20x4(), nil
+	case "20c8w":
+		return Wide20x8(), nil
+	}
+	return Machine{}, fmt.Errorf("config: unknown machine %q (have 40c4w, 20c4w, 20c8w)", name)
+}
+
+// Validate reports the first invalid field, or nil.
+func (m Machine) Validate() error {
+	checks := []struct {
+		name string
+		v    int
+	}{
+		{"Depth", m.Depth}, {"FetchWidth", m.FetchWidth},
+		{"DispatchWidth", m.DispatchWidth}, {"IssueWidth", m.IssueWidth},
+		{"RetireWidth", m.RetireWidth}, {"FrontendDepth", m.FrontendDepth},
+		{"BranchPerCycle", m.BranchPerCycle}, {"ROB", m.ROB},
+		{"LoadBufs", m.LoadBufs}, {"StoreBufs", m.StoreBufs},
+		{"IntSched", m.IntSched}, {"MemSched", m.MemSched},
+		{"FPSched", m.FPSched}, {"IntUnits", m.IntUnits},
+		{"MemUnits", m.MemUnits}, {"FPUnits", m.FPUnits},
+		{"TraceCacheUops", m.TraceCacheUops},
+		{"TraceCacheAssoc", m.TraceCacheAssoc},
+		{"TCMissPenalty", m.TCMissPenalty},
+	}
+	for _, c := range checks {
+		if c.v < 1 {
+			return fmt.Errorf("config %q: %s = %d, must be >= 1", m.Name, c.name, c.v)
+		}
+	}
+	if m.BranchResolveExtra < 0 {
+		return fmt.Errorf("config %q: BranchResolveExtra = %d, must be >= 0", m.Name, m.BranchResolveExtra)
+	}
+	if m.FrontendDepth >= m.Depth {
+		return fmt.Errorf("config %q: FrontendDepth %d >= Depth %d", m.Name, m.FrontendDepth, m.Depth)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package config
+
+import "testing"
+
+func TestMachinesValid(t *testing.T) {
+	for _, m := range []Machine{Baseline40x4(), Mid20x4(), Wide20x8()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestBaselineMatchesTable1(t *testing.T) {
+	m := Baseline40x4()
+	if m.FetchWidth != 4 || m.RetireWidth != 4 {
+		t.Error("baseline is not 4-wide")
+	}
+	if m.ROB != 128 || m.LoadBufs != 48 || m.StoreBufs != 32 {
+		t.Error("baseline buffers do not match Table 1")
+	}
+	if m.IntSched != 48 || m.MemSched != 24 || m.FPSched != 56 {
+		t.Error("baseline schedulers do not match Table 1")
+	}
+	if m.IntUnits != 3 || m.MemUnits != 2 || m.FPUnits != 1 {
+		t.Error("baseline units do not match Table 1")
+	}
+	if m.TraceCacheUops != 12*1024 || m.TraceCacheAssoc != 8 {
+		t.Error("baseline trace cache does not match Table 1")
+	}
+	if m.Depth != 40 {
+		t.Error("baseline depth")
+	}
+}
+
+func TestVariants(t *testing.T) {
+	if Mid20x4().Depth != 20 || Mid20x4().FetchWidth != 4 {
+		t.Error("20c4w wrong shape")
+	}
+	w := Wide20x8()
+	if w.Depth != 20 || w.FetchWidth != 8 || w.ROB != 256 {
+		t.Error("20c8w wrong shape")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"40c4w", "20c4w", "20c8w"} {
+		m, err := ByName(name)
+		if err != nil || m.Name != name {
+			t.Errorf("ByName(%s): %v %v", name, m.Name, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName(bogus) did not error")
+	}
+}
+
+func TestValidateCatchesBadFields(t *testing.T) {
+	m := Baseline40x4()
+	m.ROB = 0
+	if m.Validate() == nil {
+		t.Error("zero ROB passed validation")
+	}
+	m = Baseline40x4()
+	m.FrontendDepth = m.Depth
+	if m.Validate() == nil {
+		t.Error("FrontendDepth >= Depth passed validation")
+	}
+}

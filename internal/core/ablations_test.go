@@ -1,0 +1,135 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblateTrainingSignal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	res, err := AblateTrainingSignal(QuickSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	cic := res.Rows[0]
+	// §5.3's claim: the CIC training signal beats every TNT threshold
+	// on accuracy.
+	for _, r := range res.Rows[1:4] {
+		if r.PVN >= cic.PVN {
+			t.Errorf("%s PVN %.1f >= cic %.1f; taken/not-taken training should lose", r.Label, r.PVN, cic.PVN)
+		}
+	}
+	// Fusion sanity: both-mode coverage <= either-mode coverage.
+	both, either := res.Rows[4], res.Rows[5]
+	if both.Spec > either.Spec {
+		t.Errorf("fused-both Spec %.1f > fused-either %.1f", both.Spec, either.Spec)
+	}
+	if !strings.Contains(res.String(), "Ablation") {
+		t.Error("render")
+	}
+}
+
+func TestAblateReversalSource(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	res, err := AblateReversalSource(QuickSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	cic := res.Rows[0]
+	jrsRev := res.Rows[1]
+	// Reversing everything JRS flags must be far worse for performance
+	// than reversing only the CIC strongly-low band: JRS flags are
+	// mostly correct predictions (PVN ~15%), so most reversals break
+	// correct predictions.
+	if jrsRev.P <= cic.P {
+		t.Errorf("naive JRS reversal P %.1f <= CIC-band reversal P %.1f; expected blowup",
+			jrsRev.P, cic.P)
+	}
+}
+
+func TestAblateTrainingSite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	res, err := AblateTrainingSite(QuickSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Both training sites must produce a working estimator (nonzero
+	// coverage); the exact ordering is what the study reports.
+	for _, r := range res.Rows {
+		if r.Spec <= 0 {
+			t.Errorf("%s: zero coverage", r.Label)
+		}
+	}
+}
+
+func TestAblateThresholdAndHistory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	thr, err := AblateTrainThreshold(QuickSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(thr.Rows) != 6 {
+		t.Fatalf("%d threshold rows", len(thr.Rows))
+	}
+	hist, err := AblateHistoryLength(QuickSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Rows) != 6 {
+		t.Fatalf("%d history rows", len(hist.Rows))
+	}
+	// Longer history must not collapse coverage: H=32 should cover at
+	// least as much as H=8 (the deciding context bits live at 16-31).
+	var h8, h32 AblationRow
+	for _, r := range hist.Rows {
+		if r.Label == "H=8" {
+			h8 = r
+		}
+		if r.Label == "H=32" {
+			h32 = r
+		}
+	}
+	if h32.Spec < h8.Spec {
+		t.Errorf("H=32 Spec %.1f < H=8 Spec %.1f; long history should see the context bits",
+			h32.Spec, h8.Spec)
+	}
+}
+
+func TestVariability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	rep, err := Variability(0, 1, QuickSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerBenchmark) != 12 {
+		t.Fatalf("%d benchmarks", len(rep.PerBenchmark))
+	}
+	if rep.USummary.N != 12 || rep.PSummary.N != 12 {
+		t.Error("summaries incomplete")
+	}
+	if !rep.UCI.Contains(rep.USummary.Mean) {
+		t.Errorf("U CI %v does not contain mean %.2f", rep.UCI, rep.USummary.Mean)
+	}
+	if rep.String() == "" {
+		t.Error("render")
+	}
+}

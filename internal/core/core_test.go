@@ -1,0 +1,261 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bce/internal/confidence"
+	"bce/internal/config"
+	"bce/internal/predictor"
+	"bce/internal/workload"
+)
+
+func TestRunFunctionalBasics(t *testing.T) {
+	r, err := RunFunctional(FunctionalConfig{
+		Bench: "gzip", Estimator: confidence.NewCIC(0),
+		WarmupUops: 20000, MeasureUops: 50000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Uops != 50000 {
+		t.Errorf("measured uops = %d", r.Uops)
+	}
+	if r.Branches == 0 || r.Confusion.Branches() != r.Branches {
+		t.Errorf("branches %d vs confusion %d", r.Branches, r.Confusion.Branches())
+	}
+	if r.MispredictsPer1KUops() <= 0 {
+		t.Error("no mispredicts measured")
+	}
+	if r.CorrectHist != nil {
+		t.Error("histograms without request")
+	}
+}
+
+func TestRunFunctionalUnknownBench(t *testing.T) {
+	if _, err := RunFunctional(FunctionalConfig{Bench: "nope"}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestRunFunctionalHistograms(t *testing.T) {
+	r, err := RunFunctional(FunctionalConfig{
+		Bench: "gcc", Estimator: confidence.NewCIC(0),
+		WarmupUops: 20000, MeasureUops: 60000,
+		HistRange: 300, HistBin: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CorrectHist == nil || r.WrongHist == nil {
+		t.Fatal("histograms missing")
+	}
+	if r.CorrectHist.Total() == 0 || r.WrongHist.Total() == 0 {
+		t.Error("empty histograms")
+	}
+	if r.CorrectHist.Total()+r.WrongHist.Total() != r.Branches {
+		t.Error("histogram totals do not cover all branches")
+	}
+}
+
+// Calibration invariant: every benchmark's mispredicts/1000 uops lands
+// within 2x of its Table 2 target and the extremes are ordered (mcf
+// worst, vortex best).
+func TestCalibrationWithinBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep skipped in -short")
+	}
+	rates := map[string]float64{}
+	for _, name := range workload.Names() {
+		r, err := RunFunctional(FunctionalConfig{Bench: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates[name] = r.MispredictsPer1KUops()
+		target := workload.Table2Target[name]
+		if rates[name] < target/2 || rates[name] > target*2 {
+			t.Errorf("%s: %.2f mispredicts/Kuop, target %.2f (outside 2x band)",
+				name, rates[name], target)
+		}
+	}
+	for name, rate := range rates {
+		if name != "mcf" && rate >= rates["mcf"] {
+			t.Errorf("%s (%.2f) >= mcf (%.2f); mcf must be worst", name, rate, rates["mcf"])
+		}
+	}
+}
+
+// The headline qualitative claim: the perceptron estimator is at
+// least twice as accurate (PVN) as enhanced JRS, while JRS has the
+// higher coverage (Spec).
+func TestPerceptronTwiceAsAccurateAsJRS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	sz := QuickSizes()
+	jrs, err := AverageConfusion(nil, func() confidence.Estimator {
+		return confidence.NewEnhancedJRS(15)
+	}, sz.FuncWarmup, sz.FuncMeasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cic, err := AverageConfusion(nil, func() confidence.Estimator {
+		return confidence.NewCIC(0)
+	}, sz.FuncWarmup, sz.FuncMeasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cic.PVN() < 2*jrs.PVN() {
+		t.Errorf("CIC PVN %.2f < 2x JRS PVN %.2f", cic.PVN(), jrs.PVN())
+	}
+	if jrs.Spec() < cic.Spec() {
+		t.Errorf("JRS Spec %.2f < CIC Spec %.2f; coverage relation inverted", jrs.Spec(), cic.Spec())
+	}
+}
+
+func TestAverageConfusionCustomPredictor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	c, err := AverageConfusion(
+		func() predictor.Predictor { return predictor.NewGsharePerceptronHybrid() },
+		func() confidence.Estimator { return confidence.NewCIC(0) },
+		10_000, 20_000,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Branches() == 0 {
+		t.Fatal("no branches")
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	res, err := Table3(QuickSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.JRS) != 4 || len(res.Perceptron) != 4 {
+		t.Fatalf("row counts: %d/%d", len(res.JRS), len(res.Perceptron))
+	}
+	// Monotone trends: raising JRS λ lowers PVN and raises Spec;
+	// lowering CIC λ lowers PVN and raises Spec.
+	for i := 1; i < 4; i++ {
+		if res.JRS[i].Spec < res.JRS[i-1].Spec-2 {
+			t.Errorf("JRS Spec not rising: %v", res.JRS)
+		}
+		if res.Perceptron[i].Spec < res.Perceptron[i-1].Spec-2 {
+			t.Errorf("CIC Spec not rising: %v", res.Perceptron)
+		}
+	}
+	if !strings.Contains(res.String(), "Table 3") {
+		t.Error("render")
+	}
+}
+
+func TestDensityQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	sz := QuickSizes()
+	cic, err := Density("gcc", "cic", sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cic.CB.Total() == 0 || cic.MB.Total() == 0 {
+		t.Fatal("empty densities")
+	}
+	// The defining CIC property (Figure 5): in the top region the
+	// MB/CB ratio is far higher than in the bottom region.
+	top, bottom := cic.Regions[0], cic.Regions[2]
+	topRatio := float64(top.MB) / float64(top.CB+1)
+	botRatio := float64(bottom.MB) / float64(bottom.CB+1)
+	if topRatio <= botRatio {
+		t.Errorf("CIC region ratios not separated: top %.3f vs bottom %.3f", topRatio, botRatio)
+	}
+	tnt, err := Density("gcc", "tnt", sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tnt.CB.Total() == 0 {
+		t.Fatal("empty tnt density")
+	}
+	if !strings.Contains(cic.CSV(), "output,cb,mb") {
+		t.Error("CSV header")
+	}
+	if cic.String() == "" || tnt.String() == "" {
+		t.Error("render")
+	}
+	if _, err := Density("gcc", "bogus", sz); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep skipped in -short")
+	}
+	res, err := Table2(QuickSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Deep and wide machines must waste more than the 20c4w baseline
+	// on average.
+	if res.AvgWaste40x4 <= res.AvgWaste20x4 {
+		t.Errorf("40c4w waste %.1f <= 20c4w %.1f", res.AvgWaste40x4, res.AvgWaste20x4)
+	}
+	if res.AvgWaste20x8 <= res.AvgWaste20x4 {
+		t.Errorf("20c8w waste %.1f <= 20c4w %.1f", res.AvgWaste20x8, res.AvgWaste20x4)
+	}
+	if !strings.Contains(res.String(), "Table 2") {
+		t.Error("render")
+	}
+}
+
+func TestLatencyQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep skipped in -short")
+	}
+	res, err := Latency(QuickSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 9-cycle estimator cannot save more than the 1-cycle one.
+	if res.Pipelined.U > res.Ideal.U+1 {
+		t.Errorf("pipelined U %.1f > ideal U %.1f", res.Pipelined.U, res.Ideal.U)
+	}
+	if res.String() == "" {
+		t.Error("render")
+	}
+}
+
+func TestCombinedQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep skipped in -short")
+	}
+	res, err := Combined(config.Baseline40x4(), QuickSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if res.AvgUopReduction <= 0 {
+		t.Errorf("combined gating+reversal reduced nothing: %.2f", res.AvgUopReduction)
+	}
+	if res.String() == "" {
+		t.Error("render")
+	}
+}
+
+func TestPredictorKindString(t *testing.T) {
+	if BimodalGshare.String() != "bimodal-gshare" || GsharePerceptron.String() != "gshare-perceptron" {
+		t.Error("PredictorKind names")
+	}
+}

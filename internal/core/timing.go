@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"bce/internal/confidence"
+	"bce/internal/config"
+	"bce/internal/gating"
+	"bce/internal/metrics"
+	"bce/internal/pipeline"
+	"bce/internal/predictor"
+	"bce/internal/workload"
+)
+
+// Sizes groups the run lengths shared by the timing experiments. The
+// paper runs 30M-instruction traces with 10M warmup (§4); the default
+// here is scaled down to keep full-suite regeneration in minutes while
+// staying well past estimator warmup. Override for higher fidelity.
+type Sizes struct {
+	// Warmup and Measure are uop counts for timing runs.
+	Warmup, Measure uint64
+	// FuncWarmup and FuncMeasure are uop counts for functional
+	// (confidence-only) runs, which are much cheaper.
+	FuncWarmup, FuncMeasure uint64
+	// Segments is the number of independent trace segments to run and
+	// merge per benchmark (the paper uses two, §4). Zero means one.
+	Segments int
+}
+
+func (s Sizes) segments() int {
+	if s.Segments < 1 {
+		return 1
+	}
+	return s.Segments
+}
+
+// DefaultSizes returns the standard experiment sizes.
+func DefaultSizes() Sizes {
+	return Sizes{
+		Warmup: 60_000, Measure: 200_000,
+		FuncWarmup: 100_000, FuncMeasure: 400_000,
+	}
+}
+
+// QuickSizes returns reduced sizes for tests and smoke runs.
+func QuickSizes() Sizes {
+	return Sizes{
+		Warmup: 10_000, Measure: 30_000,
+		FuncWarmup: 20_000, FuncMeasure: 60_000,
+	}
+}
+
+// PredictorKind selects the baseline branch predictor for an
+// experiment (§5.2 compares two).
+type PredictorKind int
+
+const (
+	// BimodalGshare is the Table 1 baseline predictor.
+	BimodalGshare PredictorKind = iota
+	// GsharePerceptron is the better baseline of §5.2.
+	GsharePerceptron
+)
+
+// String names the predictor kind.
+func (k PredictorKind) String() string {
+	if k == GsharePerceptron {
+		return "gshare-perceptron"
+	}
+	return "bimodal-gshare"
+}
+
+func (k PredictorKind) make() predictor.Predictor {
+	if k == GsharePerceptron {
+		return predictor.NewGsharePerceptronHybrid()
+	}
+	return predictor.NewBaselineHybrid()
+}
+
+// TimingSpec is one timing simulation: a benchmark on a machine with a
+// predictor, an optional estimator and the gating/reversal settings.
+type TimingSpec struct {
+	Bench     string
+	Machine   config.Machine
+	Predictor PredictorKind
+	// Estimator builds the confidence estimator (nil = none).
+	Estimator func() confidence.Estimator
+	Gating    gating.Policy
+	Reversal  bool
+	Perfect   bool
+}
+
+// runTiming executes one spec and returns the measured-span counters.
+func runTiming(spec TimingSpec, sz Sizes) (metrics.Run, error) {
+	return runTimingSpecTrain(spec, sz, false)
+}
+
+// runTimingSpecTrain is runTiming with control over the confidence
+// training site (retire vs speculative fetch-time, an ablation knob).
+// When sz requests multiple segments, each runs on a fresh machine
+// over an independent runtime-randomness stream of the same static
+// program, and the counters are merged (the paper's two-segments-per-
+// benchmark methodology, §4).
+func runTimingSpecTrain(spec TimingSpec, sz Sizes, speculativeTrain bool) (metrics.Run, error) {
+	prof, err := workload.ByName(spec.Bench)
+	if err != nil {
+		return metrics.Run{}, err
+	}
+	var merged metrics.Run
+	for seg := 0; seg < sz.segments(); seg++ {
+		p := prof
+		p.Segment = seg
+		opt := pipeline.Options{
+			Machine:  spec.Machine,
+			Perfect:  spec.Perfect,
+			Reversal: spec.Reversal,
+		}
+		if !spec.Perfect {
+			opt.Predictor = spec.Predictor.make()
+		}
+		if spec.Estimator != nil {
+			opt.Estimator = spec.Estimator()
+		}
+		opt.Gating = spec.Gating
+		opt.SpeculativeCETrain = speculativeTrain
+		sim := pipeline.New(opt, workload.New(p))
+		sim.Run(sz.Warmup)
+		merged.Merge(sim.Run(sz.Measure))
+	}
+	return merged, nil
+}
+
+// forEachBench runs fn for every benchmark concurrently (each
+// benchmark's simulations are independent and deterministic) and
+// returns the first error.
+func forEachBench(fn func(bench string) error) error {
+	names := workload.Names()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(names) {
+		workers = len(names)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	ch := make(chan string)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name := range ch {
+				if err := fn(name); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s: %w", name, err)
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, n := range names {
+		ch <- n
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}
+
+// GatingResult is one (U, P) measurement: the percentage reduction in
+// executed uops and the percentage performance loss versus the ungated
+// baseline, averaged across benchmarks as the paper reports.
+type GatingResult struct {
+	// Label identifies the configuration (e.g. "λ=0 PL1").
+	Label string
+	// U is the mean percentage reduction in executed uops.
+	U float64
+	// P is the mean percentage performance loss (negative = speedup).
+	P float64
+}
+
+// gatingSweep measures U and P for each estimator configuration
+// against per-benchmark ungated baselines. baselineOf must yield the
+// ungated spec for a benchmark; variants yields the gated specs.
+func gatingSweep(
+	sz Sizes,
+	baselineOf func(bench string) TimingSpec,
+	variants []struct {
+		Label string
+		Of    func(bench string) TimingSpec
+	},
+) ([]GatingResult, error) {
+	type acc struct {
+		u, p float64
+		n    int
+	}
+	accs := make([]acc, len(variants))
+	var mu sync.Mutex
+	err := forEachBench(func(bench string) error {
+		base, err := runTiming(baselineOf(bench), sz)
+		if err != nil {
+			return err
+		}
+		for i, v := range variants {
+			r, err := runTiming(v.Of(bench), sz)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			accs[i].u += r.UopReductionPercent(base)
+			accs[i].p += r.PerfLossPercent(base)
+			accs[i].n++
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GatingResult, len(variants))
+	for i, v := range variants {
+		out[i] = GatingResult{
+			Label: v.Label,
+			U:     accs[i].u / float64(accs[i].n),
+			P:     accs[i].p / float64(accs[i].n),
+		}
+	}
+	return out, nil
+}

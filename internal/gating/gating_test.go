@@ -1,0 +1,152 @@
+package gating
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDisabled(t *testing.T) {
+	c := NewController(Disabled())
+	if c.Enabled() {
+		t.Fatal("disabled policy enabled")
+	}
+	c.OnFetch(1, 0)
+	if c.Stalled(5) {
+		t.Fatal("disabled controller stalled")
+	}
+	if c.Count() != 0 {
+		t.Fatal("disabled controller counted")
+	}
+}
+
+func TestPL1ImmediateStall(t *testing.T) {
+	c := NewController(PL(1))
+	if c.Stalled(0) {
+		t.Fatal("stalled with no branches")
+	}
+	c.OnFetch(10, 0)
+	if !c.Stalled(0) {
+		t.Fatal("PL1 not stalled with one low-conf branch")
+	}
+	c.OnResolve(10)
+	if c.Stalled(1) {
+		t.Fatal("stalled after resolve")
+	}
+}
+
+func TestPL2NeedsTwo(t *testing.T) {
+	c := NewController(PL(2))
+	c.OnFetch(1, 0)
+	if c.Stalled(0) {
+		t.Fatal("PL2 stalled at count 1")
+	}
+	c.OnFetch(2, 0)
+	if !c.Stalled(0) {
+		t.Fatal("PL2 not stalled at count 2")
+	}
+	c.OnResolve(1)
+	if c.Stalled(1) {
+		t.Fatal("PL2 stalled at count 1 after resolve")
+	}
+}
+
+func TestLatencyDelaysArming(t *testing.T) {
+	c := NewController(Policy{Threshold: 1, Latency: 9})
+	c.OnFetch(1, 100)
+	if c.Stalled(100) || c.Stalled(108) {
+		t.Fatal("stalled before latency elapsed")
+	}
+	if !c.Stalled(109) {
+		t.Fatal("not stalled after latency elapsed")
+	}
+}
+
+func TestResolveBeforeArming(t *testing.T) {
+	// Branch resolves during the estimator latency window: it must
+	// never arm.
+	c := NewController(Policy{Threshold: 1, Latency: 9})
+	c.OnFetch(1, 100)
+	c.OnResolve(1)
+	if c.Stalled(200) {
+		t.Fatal("resolved-pending branch armed anyway")
+	}
+	if c.Count() != 0 {
+		t.Fatal("count nonzero")
+	}
+}
+
+func TestResolveUnknownSeqSafe(t *testing.T) {
+	c := NewController(PL(1))
+	c.OnResolve(999) // never fetched; must not go negative
+	c.OnFetch(1, 0)
+	if !c.Stalled(0) {
+		t.Fatal("count corrupted by unknown resolve")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := NewController(PL(1))
+	c.OnFetch(1, 0)
+	c.Stalled(0)
+	c.Stalled(1)
+	c.OnResolve(1)
+	c.Stalled(2)
+	c.OnFetch(2, 3)
+	c.Stalled(3)
+	cycles, episodes := c.Stats()
+	if cycles != 3 || episodes != 2 {
+		t.Fatalf("stats = %d cycles, %d episodes; want 3, 2", cycles, episodes)
+	}
+	c.ResetStats()
+	if cy, ep := c.Stats(); cy != 0 || ep != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+	// In-flight state survives ResetStats.
+	if !c.Stalled(4) {
+		t.Fatal("in-flight branch lost by ResetStats")
+	}
+}
+
+func TestPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative policy did not panic")
+		}
+	}()
+	NewController(Policy{Threshold: -1})
+}
+
+// Property: count never goes negative and equals fetch-arms minus
+// resolves of armed branches, for any interleaving.
+func TestCounterQuick(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := NewController(PL(2))
+		live := map[uint64]bool{}
+		var seq uint64
+		cycle := uint64(0)
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				seq++
+				live[seq] = true
+				c.OnFetch(seq, cycle)
+			case 1:
+				for s := range live {
+					delete(live, s)
+					c.OnResolve(s)
+					break
+				}
+			case 2:
+				cycle++
+				c.Stalled(cycle)
+			}
+			if c.Count() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

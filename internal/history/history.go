@@ -1,0 +1,175 @@
+// Package history implements the branch-history registers shared by the
+// predictors and confidence estimators: a global history register
+// (GHR), per-branch local history (as used by PAs-style predictors and
+// the Tyson pattern estimator), and a hashed path history.
+//
+// Bit convention: bit 0 is the most recent branch; 1 = taken. The
+// perceptron code views the same bits as a ±1 input vector where
+// taken = +1 and not-taken = -1 (paper §3).
+package history
+
+import "fmt"
+
+// MaxBits is the widest history any register in this package tracks.
+const MaxBits = 64
+
+// Global is a global branch history register of up to MaxBits bits.
+// The zero value is not ready for use; construct with NewGlobal.
+type Global struct {
+	bits uint64
+	n    int
+	mask uint64
+}
+
+// NewGlobal returns a GHR tracking n bits of history. It panics if
+// n is outside [1, MaxBits]; history length is a design-time constant,
+// so a bad value is a programming error, not an input error.
+func NewGlobal(n int) *Global {
+	if n < 1 || n > MaxBits {
+		panic(fmt.Sprintf("history: length %d outside [1,%d]", n, MaxBits))
+	}
+	mask := ^uint64(0)
+	if n < 64 {
+		mask = (1 << uint(n)) - 1
+	}
+	return &Global{n: n, mask: mask}
+}
+
+// Len returns the number of history bits tracked.
+func (g *Global) Len() int { return g.n }
+
+// Bits returns the raw history; bit 0 is the most recent outcome.
+func (g *Global) Bits() uint64 { return g.bits }
+
+// Push shifts a new outcome into the history (speculative or
+// committed — the caller chooses the update discipline).
+func (g *Global) Push(taken bool) {
+	g.bits <<= 1
+	if taken {
+		g.bits |= 1
+	}
+	g.bits &= g.mask
+}
+
+// Set overwrites the whole register, e.g. when restoring a checkpoint
+// after a squash.
+func (g *Global) Set(bits uint64) { g.bits = bits & g.mask }
+
+// Bit returns history bit i (0 = most recent) as a bool.
+func (g *Global) Bit(i int) bool { return g.bits>>uint(i)&1 == 1 }
+
+// Signed returns history bit i as ±1 for perceptron input: +1 if the
+// branch was taken, -1 otherwise.
+func (g *Global) Signed(i int) int { return signed(g.bits, i) }
+
+func signed(bits uint64, i int) int {
+	if bits>>uint(i)&1 == 1 {
+		return 1
+	}
+	return -1
+}
+
+// Fold XOR-folds the history down to n bits, for indexing tables whose
+// size is smaller than the history length.
+func (g *Global) Fold(n int) uint64 { return Fold(g.bits, g.n, n) }
+
+// Fold XOR-folds the low `have` bits of bits into `want` bits.
+func Fold(bits uint64, have, want int) uint64 {
+	if want <= 0 {
+		return 0
+	}
+	if want >= have {
+		return bits & maskOf(have)
+	}
+	var out uint64
+	for have > 0 {
+		out ^= bits & maskOf(want)
+		bits >>= uint(want)
+		have -= want
+	}
+	return out & maskOf(want)
+}
+
+func maskOf(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(n)) - 1
+}
+
+// Local is a table of per-branch local history registers, indexed by a
+// hash of the branch PC, as used by PAs predictors and the Tyson
+// pattern confidence estimator.
+type Local struct {
+	regs []uint16
+	n    int
+	mask uint16
+}
+
+// NewLocal returns a table of `entries` local registers, each holding n
+// bits (1..16). Entries is rounded up to a power of two.
+func NewLocal(entries, n int) *Local {
+	if n < 1 || n > 16 {
+		panic(fmt.Sprintf("history: local length %d outside [1,16]", n))
+	}
+	if entries < 1 {
+		panic("history: local table needs at least one entry")
+	}
+	size := 1
+	for size < entries {
+		size <<= 1
+	}
+	return &Local{regs: make([]uint16, size), n: n, mask: uint16(1<<uint(n)) - 1}
+}
+
+// Len returns the per-entry history length in bits.
+func (l *Local) Len() int { return l.n }
+
+// Entries returns the number of history registers in the table.
+func (l *Local) Entries() int { return len(l.regs) }
+
+func (l *Local) index(pc uint64) int {
+	return int((pc >> 2) & uint64(len(l.regs)-1))
+}
+
+// Get returns the local history register for pc.
+func (l *Local) Get(pc uint64) uint16 { return l.regs[l.index(pc)] }
+
+// Push shifts a new outcome into pc's local history.
+func (l *Local) Push(pc uint64, taken bool) {
+	i := l.index(pc)
+	r := l.regs[i] << 1
+	if taken {
+		r |= 1
+	}
+	l.regs[i] = r & l.mask
+}
+
+// Path is a hashed path-history register: it mixes target addresses of
+// recent branches rather than their directions. Some confidence work
+// indexes with path history; we provide it for completeness and for
+// the enhanced-JRS index variants.
+type Path struct {
+	hash uint64
+	n    int
+}
+
+// NewPath returns a path register retaining roughly n branches of path
+// information (n in [1, 32]).
+func NewPath(n int) *Path {
+	if n < 1 || n > 32 {
+		panic(fmt.Sprintf("history: path length %d outside [1,32]", n))
+	}
+	return &Path{n: n}
+}
+
+// Push mixes the target of a taken control transfer into the path hash.
+func (p *Path) Push(target uint64) {
+	p.hash = (p.hash<<2 | p.hash>>(64-2)) ^ (target >> 2)
+}
+
+// Bits returns the current path hash.
+func (p *Path) Bits() uint64 { return p.hash }
+
+// Set overwrites the path hash (checkpoint restore).
+func (p *Path) Set(h uint64) { p.hash = h }

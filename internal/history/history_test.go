@@ -1,0 +1,219 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGlobalPushAndBits(t *testing.T) {
+	g := NewGlobal(4)
+	seq := []bool{true, false, true, true}
+	for _, tk := range seq {
+		g.Push(tk)
+	}
+	// Pushed T,N,T,T => bits (most recent = bit 0): T T N T = 1101b.
+	if got := g.Bits(); got != 0b1011 {
+		t.Errorf("Bits() = %04b, want 1011", got)
+	}
+	if !g.Bit(0) || !g.Bit(1) || g.Bit(2) || !g.Bit(3) {
+		t.Errorf("Bit() disagrees with Bits(): %04b", g.Bits())
+	}
+	// Overflow drops the oldest bit.
+	g.Push(false)
+	if got := g.Bits(); got != 0b0110 {
+		t.Errorf("after overflow Bits() = %04b, want 0110", got)
+	}
+	if g.Len() != 4 {
+		t.Errorf("Len() = %d", g.Len())
+	}
+}
+
+func TestGlobalSigned(t *testing.T) {
+	g := NewGlobal(8)
+	g.Push(true)
+	g.Push(false)
+	if g.Signed(0) != -1 {
+		t.Errorf("Signed(0) = %d, want -1", g.Signed(0))
+	}
+	if g.Signed(1) != +1 {
+		t.Errorf("Signed(1) = %d, want +1", g.Signed(1))
+	}
+	if g.Signed(7) != -1 {
+		t.Errorf("Signed(7) (never pushed) = %d, want -1", g.Signed(7))
+	}
+}
+
+func TestGlobalSetMasks(t *testing.T) {
+	g := NewGlobal(8)
+	g.Set(0xFFFF)
+	if g.Bits() != 0xFF {
+		t.Errorf("Set did not mask: %x", g.Bits())
+	}
+}
+
+func TestGlobal64(t *testing.T) {
+	g := NewGlobal(64)
+	for i := 0; i < 64; i++ {
+		g.Push(true)
+	}
+	if g.Bits() != ^uint64(0) {
+		t.Errorf("64-bit GHR = %x", g.Bits())
+	}
+	g.Push(false)
+	allButLow := ^uint64(0) - 1
+	if g.Bits() != allButLow {
+		t.Errorf("64-bit GHR after N = %x", g.Bits())
+	}
+}
+
+func TestGlobalPanics(t *testing.T) {
+	for _, n := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGlobal(%d) did not panic", n)
+				}
+			}()
+			NewGlobal(n)
+		}()
+	}
+}
+
+func TestFold(t *testing.T) {
+	// Folding 16 bits to 8: low byte XOR high byte.
+	got := Fold(0xAB12, 16, 8)
+	if want := uint64(0xAB ^ 0x12); got != want {
+		t.Errorf("Fold(0xAB12,16,8) = %x, want %x", got, want)
+	}
+	// want >= have is the identity on the masked bits.
+	if got := Fold(0x3F, 6, 10); got != 0x3F {
+		t.Errorf("Fold identity = %x", got)
+	}
+	if got := Fold(0xFFFF, 16, 0); got != 0 {
+		t.Errorf("Fold to 0 bits = %x", got)
+	}
+}
+
+// Property: Fold output always fits in `want` bits and is deterministic.
+func TestFoldQuick(t *testing.T) {
+	f := func(bits uint64, haveU, wantU uint8) bool {
+		have := int(haveU%64) + 1
+		want := int(wantU % 65)
+		out := Fold(bits, have, want)
+		if want < 64 && out >= 1<<uint(want) {
+			return false
+		}
+		return out == Fold(bits, have, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pushing k outcomes into a GHR makes Bit(i) report the
+// (k-1-i)-th outcome for i < k.
+func TestGlobalPushQuick(t *testing.T) {
+	f := func(outcomes []bool) bool {
+		if len(outcomes) > 32 {
+			outcomes = outcomes[:32]
+		}
+		g := NewGlobal(32)
+		for _, o := range outcomes {
+			g.Push(o)
+		}
+		for i := 0; i < len(outcomes); i++ {
+			if g.Bit(i) != outcomes[len(outcomes)-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocal(t *testing.T) {
+	l := NewLocal(16, 4)
+	if l.Entries() != 16 || l.Len() != 4 {
+		t.Fatalf("Entries=%d Len=%d", l.Entries(), l.Len())
+	}
+	pcA, pcB := uint64(0x1000), uint64(0x1004) // different entries
+	l.Push(pcA, true)
+	l.Push(pcA, true)
+	l.Push(pcB, false)
+	l.Push(pcB, true)
+	if got := l.Get(pcA); got != 0b11 {
+		t.Errorf("Get(A) = %04b, want 0011", got)
+	}
+	if got := l.Get(pcB); got != 0b01 {
+		t.Errorf("Get(B) = %04b, want 0001", got)
+	}
+	// Saturate the 4-bit register.
+	for i := 0; i < 10; i++ {
+		l.Push(pcA, true)
+	}
+	if got := l.Get(pcA); got != 0b1111 {
+		t.Errorf("saturated Get(A) = %04b", got)
+	}
+}
+
+func TestLocalRoundsUpEntries(t *testing.T) {
+	l := NewLocal(100, 8)
+	if l.Entries() != 128 {
+		t.Errorf("Entries = %d, want 128", l.Entries())
+	}
+}
+
+func TestLocalPanics(t *testing.T) {
+	for _, tc := range []struct{ entries, n int }{{0, 4}, {16, 0}, {16, 17}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLocal(%d,%d) did not panic", tc.entries, tc.n)
+				}
+			}()
+			NewLocal(tc.entries, tc.n)
+		}()
+	}
+}
+
+func TestPath(t *testing.T) {
+	p := NewPath(16)
+	p.Push(0x4000)
+	h1 := p.Bits()
+	if h1 == 0 {
+		t.Error("path hash is zero after push")
+	}
+	p.Push(0x8000)
+	if p.Bits() == h1 {
+		t.Error("path hash unchanged by push")
+	}
+	p.Set(h1)
+	if p.Bits() != h1 {
+		t.Error("Set did not restore hash")
+	}
+	// Order matters.
+	a := NewPath(16)
+	a.Push(0x4000)
+	a.Push(0x8000)
+	b := NewPath(16)
+	b.Push(0x8000)
+	b.Push(0x4000)
+	if a.Bits() == b.Bits() {
+		t.Error("path hash is order-insensitive")
+	}
+}
+
+func TestPathPanics(t *testing.T) {
+	for _, n := range []int{0, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPath(%d) did not panic", n)
+				}
+			}()
+			NewPath(n)
+		}()
+	}
+}

@@ -1,0 +1,77 @@
+// Package memory models the off-chip side of the machine: a bandwidth-
+// limited memory bus with queueing delay. The paper's simulator "fully
+// models buses and bus contention" (§4); this is the corresponding
+// piece of our substrate — requests that arrive while the bus is busy
+// wait for it.
+package memory
+
+import "fmt"
+
+// BusConfig parameterizes the bus.
+type BusConfig struct {
+	// OccupancyCycles is how long one cache-line transfer holds the
+	// bus. Default 8 (64 bytes at 8 bytes/cycle).
+	OccupancyCycles int
+	// MaxQueue bounds the modeled backlog; beyond it, extra waiters
+	// still serialize but the model stops growing the queue (keeps
+	// pathological address streams from producing unbounded waits).
+	// Default 64 entries.
+	MaxQueue int
+}
+
+// Bus serializes line transfers. The zero value is unusable; call
+// NewBus.
+type Bus struct {
+	nextFree  uint64
+	occupancy uint64
+	maxDepth  uint64
+	transfers uint64
+	waitTotal uint64
+}
+
+// NewBus returns a bus; zero config fields take defaults.
+func NewBus(cfg BusConfig) *Bus {
+	if cfg.OccupancyCycles == 0 {
+		cfg.OccupancyCycles = 8
+	}
+	if cfg.OccupancyCycles < 1 {
+		panic(fmt.Sprintf("memory: bus occupancy %d < 1", cfg.OccupancyCycles))
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.MaxQueue < 1 {
+		panic(fmt.Sprintf("memory: bus queue %d < 1", cfg.MaxQueue))
+	}
+	return &Bus{
+		occupancy: uint64(cfg.OccupancyCycles),
+		maxDepth:  uint64(cfg.MaxQueue) * uint64(cfg.OccupancyCycles),
+	}
+}
+
+// Occupy schedules one line transfer issued at the given cycle and
+// returns the queueing delay in cycles (0 when the bus is idle).
+// Cycles must be non-decreasing across calls; a stale cycle is treated
+// as the current front of the queue.
+func (b *Bus) Occupy(cycle uint64) int {
+	start := cycle
+	if b.nextFree > start {
+		start = b.nextFree
+	}
+	// Clamp runaway backlog.
+	if start > cycle+b.maxDepth {
+		start = cycle + b.maxDepth
+	}
+	wait := start - cycle
+	b.nextFree = start + b.occupancy
+	b.transfers++
+	b.waitTotal += wait
+	return int(wait)
+}
+
+// Stats returns the number of transfers and the cumulative queueing
+// delay.
+func (b *Bus) Stats() (transfers, waitCycles uint64) { return b.transfers, b.waitTotal }
+
+// Reset clears bus state and statistics.
+func (b *Bus) Reset() { *b = Bus{occupancy: b.occupancy, maxDepth: b.maxDepth} }

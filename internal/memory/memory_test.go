@@ -1,0 +1,92 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBusIdleNoWait(t *testing.T) {
+	b := NewBus(BusConfig{})
+	if w := b.Occupy(100); w != 0 {
+		t.Errorf("idle bus wait = %d", w)
+	}
+	// Far-future request: still no wait.
+	if w := b.Occupy(10000); w != 0 {
+		t.Errorf("idle bus wait = %d", w)
+	}
+}
+
+func TestBusContention(t *testing.T) {
+	b := NewBus(BusConfig{OccupancyCycles: 8})
+	b.Occupy(0)
+	// Second transfer at cycle 0 waits for the first's occupancy.
+	if w := b.Occupy(0); w != 8 {
+		t.Errorf("back-to-back wait = %d, want 8", w)
+	}
+	if w := b.Occupy(0); w != 16 {
+		t.Errorf("third wait = %d, want 16", w)
+	}
+	// A transfer after the backlog drains waits nothing.
+	if w := b.Occupy(100); w != 0 {
+		t.Errorf("post-drain wait = %d", w)
+	}
+}
+
+func TestBusQueueClamp(t *testing.T) {
+	b := NewBus(BusConfig{OccupancyCycles: 8, MaxQueue: 4})
+	for i := 0; i < 100; i++ {
+		if w := b.Occupy(0); w > 4*8 {
+			t.Fatalf("wait %d exceeded clamp", w)
+		}
+	}
+}
+
+func TestBusStatsAndReset(t *testing.T) {
+	b := NewBus(BusConfig{OccupancyCycles: 4})
+	b.Occupy(0)
+	b.Occupy(0)
+	n, wait := b.Stats()
+	if n != 2 || wait != 4 {
+		t.Errorf("stats = %d/%d", n, wait)
+	}
+	b.Reset()
+	if n, wait = b.Stats(); n != 0 || wait != 0 {
+		t.Error("stats survived Reset")
+	}
+	if w := b.Occupy(0); w != 0 {
+		t.Error("backlog survived Reset")
+	}
+}
+
+func TestBusPanics(t *testing.T) {
+	for _, cfg := range []BusConfig{{OccupancyCycles: -1}, {MaxQueue: -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBus(%+v) did not panic", cfg)
+				}
+			}()
+			NewBus(cfg)
+		}()
+	}
+}
+
+// Property: waits are always non-negative and bounded by the clamp,
+// for any non-decreasing arrival sequence.
+func TestBusQuick(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		b := NewBus(BusConfig{OccupancyCycles: 8, MaxQueue: 16})
+		cycle := uint64(0)
+		for _, g := range gaps {
+			cycle += uint64(g)
+			w := b.Occupy(cycle)
+			if w < 0 || w > 16*8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package metrics implements the measurement machinery the paper
+// reports with: the confidence confusion matrix and its derived
+// statistics (Spec, PVN, sensitivity, PVP — §2.2, after Grunwald et
+// al.), output density functions for the perceptron estimators
+// (Figures 4-7), and the uop/cycle accounting used for the pipeline
+// gating results (Tables 2 and 4-6, Figures 8-9).
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Confusion tallies confidence estimates against prediction outcomes
+// for retired conditional branches. In Grunwald et al.'s terminology a
+// low-confidence estimate is a "negative test" for the prediction.
+type Confusion struct {
+	// CorrectHigh counts correctly predicted branches estimated high
+	// confidence (true positives of the "prediction is right" test).
+	CorrectHigh uint64
+	// CorrectLow counts correctly predicted branches estimated low
+	// confidence (the false alarms that cause needless gating).
+	CorrectLow uint64
+	// WrongHigh counts mispredicted branches estimated high confidence
+	// (missed coverage).
+	WrongHigh uint64
+	// WrongLow counts mispredicted branches estimated low confidence
+	// (the wins).
+	WrongLow uint64
+}
+
+// Add records one retired conditional branch.
+func (c *Confusion) Add(mispredicted, lowConfidence bool) {
+	switch {
+	case mispredicted && lowConfidence:
+		c.WrongLow++
+	case mispredicted:
+		c.WrongHigh++
+	case lowConfidence:
+		c.CorrectLow++
+	default:
+		c.CorrectHigh++
+	}
+}
+
+// Merge accumulates another confusion matrix into c.
+func (c *Confusion) Merge(o Confusion) {
+	c.CorrectHigh += o.CorrectHigh
+	c.CorrectLow += o.CorrectLow
+	c.WrongHigh += o.WrongHigh
+	c.WrongLow += o.WrongLow
+}
+
+// Branches returns the total branch count.
+func (c Confusion) Branches() uint64 {
+	return c.CorrectHigh + c.CorrectLow + c.WrongHigh + c.WrongLow
+}
+
+// Mispredicted returns the total mispredicted-branch count.
+func (c Confusion) Mispredicted() uint64 { return c.WrongHigh + c.WrongLow }
+
+// MispredictRate returns mispredicted / total branches.
+func (c Confusion) MispredictRate() float64 {
+	return ratio(c.Mispredicted(), c.Branches())
+}
+
+// PVN is the predictive value of a negative test: the probability a
+// low-confidence estimate is correct, WrongLow/(WrongLow+CorrectLow).
+// The paper calls this "accuracy".
+func (c Confusion) PVN() float64 {
+	return ratio(c.WrongLow, c.WrongLow+c.CorrectLow)
+}
+
+// Spec is specificity: the fraction of mispredicted branches flagged
+// low confidence, WrongLow/(WrongLow+WrongHigh). The paper calls this
+// "coverage".
+func (c Confusion) Spec() float64 {
+	return ratio(c.WrongLow, c.Mispredicted())
+}
+
+// Sens is sensitivity: the fraction of correctly predicted branches
+// flagged high confidence.
+func (c Confusion) Sens() float64 {
+	return ratio(c.CorrectHigh, c.CorrectHigh+c.CorrectLow)
+}
+
+// PVP is the predictive value of a positive (high-confidence) test.
+func (c Confusion) PVP() float64 {
+	return ratio(c.CorrectHigh, c.CorrectHigh+c.WrongHigh)
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// String renders the derived statistics compactly.
+func (c Confusion) String() string {
+	return fmt.Sprintf("branches=%d misp=%.2f%% PVN=%.1f%% Spec=%.1f%% Sens=%.1f%% PVP=%.1f%%",
+		c.Branches(), 100*c.MispredictRate(), 100*c.PVN(), 100*c.Spec(), 100*c.Sens(), 100*c.PVP())
+}
+
+// Histogram is a fixed-bin-width histogram over a signed integer
+// domain, used for the perceptron output density functions.
+type Histogram struct {
+	bins       []uint64
+	lo, hi     int // inclusive value range covered by bins
+	width      int
+	underflow  uint64
+	overflow   uint64
+	totalCount uint64
+}
+
+// NewHistogram covers [lo, hi] with bins of the given width. Values
+// outside the range land in underflow/overflow tallies.
+func NewHistogram(lo, hi, width int) *Histogram {
+	if width < 1 {
+		panic(fmt.Sprintf("metrics: histogram bin width %d < 1", width))
+	}
+	if hi < lo {
+		panic(fmt.Sprintf("metrics: histogram range [%d,%d] inverted", lo, hi))
+	}
+	n := (hi-lo)/width + 1
+	return &Histogram{bins: make([]uint64, n), lo: lo, hi: hi, width: width}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v int) {
+	h.totalCount++
+	switch {
+	case v < h.lo:
+		h.underflow++
+	case v > h.hi:
+		h.overflow++
+	default:
+		h.bins[(v-h.lo)/h.width]++
+	}
+}
+
+// Merge accumulates another histogram with identical geometry; it
+// panics on a geometry mismatch (merging across experiments is a
+// programming error).
+func (h *Histogram) Merge(o *Histogram) {
+	if o.lo != h.lo || o.hi != h.hi || o.width != h.width {
+		panic(fmt.Sprintf("metrics: merging histograms [%d,%d]/%d and [%d,%d]/%d",
+			h.lo, h.hi, h.width, o.lo, o.hi, o.width))
+	}
+	for i := range h.bins {
+		h.bins[i] += o.bins[i]
+	}
+	h.underflow += o.underflow
+	h.overflow += o.overflow
+	h.totalCount += o.totalCount
+}
+
+// Total returns the number of observations including out-of-range.
+func (h *Histogram) Total() uint64 { return h.totalCount }
+
+// Bins returns the bin counts; bin i covers [BinLo(i), BinLo(i)+width).
+func (h *Histogram) Bins() []uint64 { return h.bins }
+
+// BinLo returns the inclusive lower edge of bin i.
+func (h *Histogram) BinLo(i int) int { return h.lo + i*h.width }
+
+// OutOfRange returns the underflow and overflow tallies.
+func (h *Histogram) OutOfRange() (under, over uint64) { return h.underflow, h.overflow }
+
+// Count returns observations that fell inside [lo, hi], split at the
+// given value: below (v < split) and at-or-above.
+func (h *Histogram) Count(split int) (below, atOrAbove uint64) {
+	for i, n := range h.bins {
+		if h.BinLo(i)+h.width <= split {
+			below += n
+		} else if h.BinLo(i) >= split {
+			atOrAbove += n
+		} else {
+			// Split falls inside this bin; apportion the whole bin to
+			// the side holding the bin's lower edge (bins are narrow
+			// in practice).
+			below += n
+		}
+	}
+	return below, atOrAbove
+}
+
+// CSV renders "bin_lo,count" lines, the regeneration format for the
+// density figures.
+func (h *Histogram) CSV() string {
+	var b strings.Builder
+	for i, n := range h.bins {
+		fmt.Fprintf(&b, "%d,%d\n", h.BinLo(i), n)
+	}
+	return b.String()
+}
+
+// ASCII renders a quick side-scrolling plot: one row per bin, bar
+// length proportional to count, for terminal inspection of the
+// density functions.
+func (h *Histogram) ASCII(maxWidth int) string {
+	if maxWidth < 1 {
+		maxWidth = 60
+	}
+	var peak uint64
+	for _, n := range h.bins {
+		if n > peak {
+			peak = n
+		}
+	}
+	if peak == 0 {
+		return "(empty histogram)\n"
+	}
+	var b strings.Builder
+	for i, n := range h.bins {
+		bar := int(n * uint64(maxWidth) / peak)
+		fmt.Fprintf(&b, "%6d |%s %d\n", h.BinLo(i), strings.Repeat("#", bar), n)
+	}
+	return b.String()
+}

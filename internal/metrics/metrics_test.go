@@ -1,0 +1,254 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestConfusionDerived(t *testing.T) {
+	var c Confusion
+	// 10 mispredicted-low, 5 mispredicted-high, 10 correct-low, 75
+	// correct-high.
+	for i := 0; i < 10; i++ {
+		c.Add(true, true)
+	}
+	for i := 0; i < 5; i++ {
+		c.Add(true, false)
+	}
+	for i := 0; i < 10; i++ {
+		c.Add(false, true)
+	}
+	for i := 0; i < 75; i++ {
+		c.Add(false, false)
+	}
+	if c.Branches() != 100 || c.Mispredicted() != 15 {
+		t.Fatalf("counts: %+v", c)
+	}
+	if !almost(c.PVN(), 0.5) {
+		t.Errorf("PVN = %v, want 0.5", c.PVN())
+	}
+	if !almost(c.Spec(), 10.0/15) {
+		t.Errorf("Spec = %v", c.Spec())
+	}
+	if !almost(c.Sens(), 75.0/85) {
+		t.Errorf("Sens = %v", c.Sens())
+	}
+	if !almost(c.PVP(), 75.0/80) {
+		t.Errorf("PVP = %v", c.PVP())
+	}
+	if !almost(c.MispredictRate(), 0.15) {
+		t.Errorf("MispredictRate = %v", c.MispredictRate())
+	}
+	if !strings.Contains(c.String(), "PVN=50.0%") {
+		t.Errorf("String() = %q", c.String())
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	var c Confusion
+	for _, v := range []float64{c.PVN(), c.Spec(), c.Sens(), c.PVP(), c.MispredictRate()} {
+		if v != 0 {
+			t.Error("empty confusion produced NaN-adjacent value")
+		}
+	}
+}
+
+func TestConfusionMerge(t *testing.T) {
+	a := Confusion{CorrectHigh: 1, CorrectLow: 2, WrongHigh: 3, WrongLow: 4}
+	b := Confusion{CorrectHigh: 10, CorrectLow: 20, WrongHigh: 30, WrongLow: 40}
+	a.Merge(b)
+	if a.CorrectHigh != 11 || a.CorrectLow != 22 || a.WrongHigh != 33 || a.WrongLow != 44 {
+		t.Fatalf("merged = %+v", a)
+	}
+}
+
+// Property: the four cells always sum to the number of Adds, and every
+// derived ratio stays in [0,1].
+func TestConfusionQuick(t *testing.T) {
+	f := func(events []bool, low []bool) bool {
+		var c Confusion
+		n := len(events)
+		if len(low) < n {
+			n = len(low)
+		}
+		for i := 0; i < n; i++ {
+			c.Add(events[i], low[i])
+		}
+		if c.Branches() != uint64(n) {
+			return false
+		}
+		for _, v := range []float64{c.PVN(), c.Spec(), c.Sens(), c.PVP()} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(-10, 10, 5)
+	// Bins: [-10,-5) [-5,0) [0,5) [5,10] — the last bin covers hi.
+	for _, v := range []int{-10, -6, -5, 0, 4, 5, 10} {
+		h.Add(v)
+	}
+	h.Add(-11) // underflow
+	h.Add(11)  // overflow
+	bins := h.Bins()
+	if len(bins) != 5 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	if bins[0] != 2 || bins[1] != 1 || bins[2] != 2 || bins[3] != 1 || bins[4] != 1 {
+		t.Errorf("bin counts = %v", bins)
+	}
+	u, o := h.OutOfRange()
+	if u != 1 || o != 1 {
+		t.Errorf("out of range = %d/%d", u, o)
+	}
+	if h.Total() != 9 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.BinLo(2) != 0 {
+		t.Errorf("BinLo(2) = %d", h.BinLo(2))
+	}
+	below, above := h.Count(0)
+	if below != 3 || above != 4 {
+		t.Errorf("Count(0) = %d,%d", below, above)
+	}
+	if !strings.Contains(h.CSV(), "-10,2") {
+		t.Errorf("CSV: %q", h.CSV())
+	}
+	if !strings.Contains(h.ASCII(40), "#") {
+		t.Error("ASCII plot has no bars")
+	}
+}
+
+func TestHistogramEmptyASCII(t *testing.T) {
+	h := NewHistogram(0, 10, 1)
+	if !strings.Contains(h.ASCII(0), "empty") {
+		t.Error("empty histogram ASCII")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, tc := range []struct{ lo, hi, w int }{{0, 10, 0}, {10, 0, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%d,%d,%d) did not panic", tc.lo, tc.hi, tc.w)
+				}
+			}()
+			NewHistogram(tc.lo, tc.hi, tc.w)
+		}()
+	}
+}
+
+// Property: total in-range counts equal Total minus out-of-range.
+func TestHistogramQuick(t *testing.T) {
+	f := func(vals []int16) bool {
+		h := NewHistogram(-100, 100, 7)
+		for _, v := range vals {
+			h.Add(int(v))
+		}
+		var inRange uint64
+		for _, n := range h.Bins() {
+			inRange += n
+		}
+		u, o := h.OutOfRange()
+		return inRange+u+o == h.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDerived(t *testing.T) {
+	base := Run{Cycles: 1000, Retired: 2000, Executed: 3000}
+	gated := Run{Cycles: 1100, Retired: 2000, Executed: 2400}
+	if !almost(base.IPC(), 2.0) {
+		t.Errorf("IPC = %v", base.IPC())
+	}
+	if u := gated.UopReductionPercent(base); !almost(u, 20) {
+		t.Errorf("U = %v, want 20", u)
+	}
+	p := gated.PerfLossPercent(base)
+	want := 100 * (1 - (2000.0/1100)/(2000.0/1000))
+	if !almost(p, want) {
+		t.Errorf("P = %v, want %v", p, want)
+	}
+	if s := gated.SpeedupPercent(base); !almost(s, -p) {
+		t.Errorf("Speedup = %v", s)
+	}
+	r := Run{Retired: 100000, Mispredicts: 520}
+	if !almost(r.MispredictsPer1KUops(), 5.2) {
+		t.Errorf("misp/Kuop = %v", r.MispredictsPer1KUops())
+	}
+	w := Run{Executed: 1500}
+	if !almost(w.WastePercent(1000), 50) {
+		t.Errorf("WastePercent = %v", w.WastePercent(1000))
+	}
+}
+
+func TestRunZeroSafety(t *testing.T) {
+	var r, base Run
+	for _, v := range []float64{
+		r.IPC(), r.MispredictsPer1KUops(), r.WastePercent(0),
+		r.UopReductionPercent(base), r.PerfLossPercent(base),
+	} {
+		if v != 0 || math.IsNaN(v) {
+			t.Error("zero-run metric not 0")
+		}
+	}
+}
+
+func TestRunMerge(t *testing.T) {
+	a := Run{Cycles: 10, Retired: 20, Executed: 30, Fetched: 40,
+		WrongPathExecuted: 5, RetiredBranches: 6, Mispredicts: 7,
+		Reversals: 1, ReversalsGood: 1, GatedCycles: 2, GateEvents: 1}
+	b := a
+	a.Merge(b)
+	if a.Cycles != 20 || a.Retired != 40 || a.Mispredicts != 14 || a.GateEvents != 2 {
+		t.Fatalf("merge: %+v", a)
+	}
+	if a.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(-10, 10, 5)
+	b := NewHistogram(-10, 10, 5)
+	a.Add(0)
+	a.Add(-20)
+	b.Add(0)
+	b.Add(7)
+	b.Add(20)
+	a.Merge(b)
+	if a.Total() != 5 {
+		t.Fatalf("Total = %d", a.Total())
+	}
+	u, o := a.OutOfRange()
+	if u != 1 || o != 1 {
+		t.Fatalf("out of range %d/%d", u, o)
+	}
+	below, above := a.Count(5)
+	if below != 2 || above != 1 {
+		t.Fatalf("Count = %d/%d", below, above)
+	}
+}
+
+func TestHistogramMergePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("geometry mismatch did not panic")
+		}
+	}()
+	NewHistogram(-10, 10, 5).Merge(NewHistogram(-10, 10, 2))
+}

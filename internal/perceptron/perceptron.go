@@ -1,0 +1,160 @@
+// Package perceptron implements the single-layer perceptron used by
+// both the confidence estimator (the paper's contribution, §3) and the
+// Jimenez/Lin perceptron branch predictor (used as a baseline predictor
+// in §5.2 and as the perceptron_tnt confidence baseline in §5.3).
+//
+// A perceptron is a vector of small signed saturating-integer weights
+// w[0..n]; w[0] is the bias weight with an implicit always-1 input.
+// The inputs x[1..n] are the global branch history bits mapped to ±1
+// (taken = +1). The output is the dot product
+//
+//	y = w[0] + Σ w[i]·x[i]
+//
+// Because inputs are ±1 no multiplier is needed: each weight is added
+// or subtracted (paper §5.4.2).
+package perceptron
+
+import "fmt"
+
+// Weight is the storage type for perceptron weights. int16 comfortably
+// holds any configured width up to 15 bits plus sign.
+type Weight = int16
+
+// Perceptron is one weight vector. Construct with New; the zero value
+// has no weights and is unusable.
+type Perceptron struct {
+	// w[0] is the bias weight; w[1..n] pair with history bits 0..n-1.
+	w        []Weight
+	max, min Weight
+}
+
+// New returns a perceptron with n history inputs (n+1 weights, all
+// zero) and `bits`-bit saturating weights (2..15). With bits = 8 the
+// weights saturate at [-128, 127], the paper's default.
+func New(n, bits int) *Perceptron {
+	if n < 1 {
+		panic(fmt.Sprintf("perceptron: need at least 1 input, got %d", n))
+	}
+	if bits < 2 || bits > 15 {
+		panic(fmt.Sprintf("perceptron: weight bits %d outside [2,15]", bits))
+	}
+	max := Weight(1<<(bits-1) - 1)
+	return &Perceptron{w: make([]Weight, n+1), max: max, min: -max - 1}
+}
+
+// Inputs returns the number of history inputs n.
+func (p *Perceptron) Inputs() int { return len(p.w) - 1 }
+
+// WeightRange returns the saturation bounds [min, max].
+func (p *Perceptron) WeightRange() (min, max Weight) { return p.min, p.max }
+
+// Weights exposes the raw weight vector (w[0] is the bias). The slice
+// aliases the perceptron's storage; callers must not modify it.
+func (p *Perceptron) Weights() []Weight { return p.w }
+
+// Output computes the dot product of the weights with the ±1 inputs
+// derived from hist: history bit i (0 = most recent branch, 1 = taken)
+// contributes +w[i+1] when set and -w[i+1] when clear. The bias w[0]
+// always contributes positively.
+func (p *Perceptron) Output(hist uint64) int {
+	y := int(p.w[0])
+	for i := 1; i < len(p.w); i++ {
+		if hist>>(uint(i)-1)&1 == 1 {
+			y += int(p.w[i])
+		} else {
+			y -= int(p.w[i])
+		}
+	}
+	return y
+}
+
+// Train adjusts the weights toward target t (±1) for the given history:
+// w[i] += t·x[i] with saturation, where x[0] = 1 and x[i] = ±1 from
+// hist. The caller decides *whether* to train (the threshold tests
+// differ between the predictor and the confidence estimator).
+func (p *Perceptron) Train(hist uint64, t int) {
+	if t != 1 && t != -1 {
+		panic(fmt.Sprintf("perceptron: train target %d not ±1", t))
+	}
+	p.w[0] = p.sat(int(p.w[0]) + t)
+	for i := 1; i < len(p.w); i++ {
+		d := t
+		if hist>>(uint(i)-1)&1 == 0 {
+			d = -t
+		}
+		p.w[i] = p.sat(int(p.w[i]) + d)
+	}
+}
+
+func (p *Perceptron) sat(v int) Weight {
+	if v > int(p.max) {
+		return p.max
+	}
+	if v < int(p.min) {
+		return p.min
+	}
+	return Weight(v)
+}
+
+// Reset zeroes all weights.
+func (p *Perceptron) Reset() {
+	for i := range p.w {
+		p.w[i] = 0
+	}
+}
+
+// Table is an array of perceptrons indexed by branch address, "just
+// like in a regular branch predictor" (paper §3, Figure 3).
+type Table struct {
+	ps   []Perceptron
+	bits int
+	hlen int
+}
+
+// NewTable returns a table of `entries` perceptrons (rounded up to a
+// power of two), each with hlen history inputs and bits-bit weights.
+// The paper's default estimator is 128 entries × 32 history × 8 bits
+// = 4 KB + bias weights.
+func NewTable(entries, hlen, bits int) *Table {
+	if entries < 1 {
+		panic("perceptron: table needs at least one entry")
+	}
+	size := 1
+	for size < entries {
+		size <<= 1
+	}
+	t := &Table{ps: make([]Perceptron, size), bits: bits, hlen: hlen}
+	for i := range t.ps {
+		t.ps[i] = *New(hlen, bits)
+	}
+	return t
+}
+
+// Entries returns the number of perceptrons.
+func (t *Table) Entries() int { return len(t.ps) }
+
+// HistoryLen returns the history inputs per perceptron.
+func (t *Table) HistoryLen() int { return t.hlen }
+
+// WeightBits returns the configured weight width.
+func (t *Table) WeightBits() int { return t.bits }
+
+// SizeBytes returns the storage the table would occupy in hardware:
+// entries × (hlen+1) weights × bits, rounded up to whole bytes. Used to
+// build the equal-budget comparisons of Table 6.
+func (t *Table) SizeBytes() int {
+	totalBits := len(t.ps) * (t.hlen + 1) * t.bits
+	return (totalBits + 7) / 8
+}
+
+// Lookup returns the perceptron for a branch address.
+func (t *Table) Lookup(pc uint64) *Perceptron {
+	return &t.ps[(pc>>2)&uint64(len(t.ps)-1)]
+}
+
+// Reset zeroes every perceptron in the table.
+func (t *Table) Reset() {
+	for i := range t.ps {
+		t.ps[i].Reset()
+	}
+}

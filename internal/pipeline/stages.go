@@ -1,0 +1,388 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"bce/internal/confidence"
+	"bce/internal/trace"
+)
+
+// ring is a fixed-capacity FIFO of pool indices.
+type ring struct {
+	buf  []int32
+	head int
+	n    int
+}
+
+func newRing(capacity int) ring {
+	return ring{buf: make([]int32, capacity)}
+}
+
+func (r *ring) len() int   { return r.n }
+func (r *ring) full() bool { return r.n == len(r.buf) }
+
+func (r *ring) push(v int32) {
+	if r.full() {
+		panic("pipeline: ring overflow")
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+func (r *ring) at(i int) int32 { return r.buf[(r.head+i)%len(r.buf)] }
+
+func (r *ring) pop() int32 {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}
+
+// truncate keeps the first keep entries, dropping the tail.
+func (r *ring) truncate(keep int) { r.n = keep }
+
+func (r *ring) clear() { r.n = 0 }
+
+// retire drains completed uops in program order, training the
+// confidence estimator and accumulating branch statistics.
+func (s *Sim) retire() {
+	m := s.opt.Machine
+	for retired := 0; retired < m.RetireWidth && s.rob.len() > 0; retired++ {
+		idx := s.rob.at(0)
+		e := &s.pool[idx]
+		if e.state != sDone {
+			return
+		}
+		if e.wrongPath {
+			panic(fmt.Sprintf("pipeline: wrong-path uop %d reached retirement", e.seq))
+		}
+		s.rob.pop()
+		switch e.u.Kind {
+		case trace.Load:
+			s.loadsUsed--
+		case trace.Store:
+			s.storesUsed--
+		}
+		if e.isBranch {
+			if !s.opt.SpeculativeCETrain {
+				s.est.Train(e.u.PC, e.tok, e.mispredOrig, e.actualTaken)
+			}
+			s.run.RetiredBranches++
+			s.run.Confusion.Add(e.mispredOrig, e.tok.Band.Low())
+			if e.mispredFinal {
+				s.run.Mispredicts++
+			}
+			if e.reversed {
+				s.run.Reversals++
+				if e.mispredOrig && !e.mispredFinal {
+					s.run.ReversalsGood++
+				}
+			}
+		}
+		s.run.Retired++
+		s.lastRetireAt = s.cycle
+		s.release(idx)
+	}
+}
+
+// complete marks issued uops whose latency elapsed as done, resolves
+// branches for the gating counter and triggers misprediction recovery.
+func (s *Sim) complete() {
+	divergeDone := false
+	for i := 0; i < s.rob.len(); i++ {
+		e := &s.pool[s.rob.at(i)]
+		if e.state != sIssued || e.doneAt > s.cycle {
+			continue
+		}
+		e.state = sDone
+		if e.isBranch {
+			if e.gated {
+				s.gate.OnResolve(e.seq)
+			}
+			if e.diverge {
+				divergeDone = true
+			}
+		}
+	}
+	if divergeDone {
+		s.recover()
+	}
+}
+
+// recover squashes everything younger than the resolved diverging
+// branch, restores the rename checkpoint and redirects fetch to the
+// correct path.
+func (s *Sim) recover() {
+	// The ROB tail younger than divergeSeq is all wrong-path.
+	keep := s.rob.len()
+	for keep > 0 {
+		e := &s.pool[s.rob.at(keep-1)]
+		if e.seq <= s.divergeSeq {
+			break
+		}
+		s.squashEntry(e, s.rob.at(keep-1))
+		keep--
+	}
+	s.rob.truncate(keep)
+	// Everything still in the fetch queue is younger too.
+	for i := 0; i < s.fetchQ.len(); i++ {
+		idx := s.fetchQ.at(i)
+		s.squashEntry(&s.pool[idx], idx)
+	}
+	s.fetchQ.clear()
+	if s.peekedValid && s.peekedWrong {
+		s.peekedValid = false
+	}
+	s.rename = s.ckpt
+	s.wrong.Stop()
+	if s.stallUntil < s.cycle+1 {
+		s.stallUntil = s.cycle + 1 // redirect bubble
+	}
+}
+
+// squashEntry releases an entry's resources and returns it to the
+// pool. The caller removes it from whatever queue held it.
+func (s *Sim) squashEntry(e *inflight, idx int32) {
+	if e.state == sDispatched {
+		s.windowUsed[e.class]--
+	}
+	if e.state != sFetched {
+		switch e.u.Kind {
+		case trace.Load:
+			s.loadsUsed--
+		case trace.Store:
+			s.storesUsed--
+		}
+	}
+	if e.gated {
+		s.gate.OnResolve(e.seq)
+	}
+	s.release(idx)
+}
+
+// ready reports whether an entry's operands are available: a producer
+// slot is outstanding only while the referenced pool entry still holds
+// the same seq and has not completed.
+func (s *Sim) ready(e *inflight) bool {
+	if e.src1Idx >= 0 {
+		p := &s.pool[e.src1Idx]
+		if p.seq == e.src1Seq && p.state != sDone {
+			return false
+		}
+		e.src1Idx = -1
+	}
+	if e.src2Idx >= 0 {
+		p := &s.pool[e.src2Idx]
+		if p.seq == e.src2Seq && p.state != sDone {
+			return false
+		}
+		e.src2Idx = -1
+	}
+	return true
+}
+
+// issue selects ready uops oldest-first, subject to the global issue
+// width and per-class execution-unit limits.
+func (s *Sim) issue() {
+	m := s.opt.Machine
+	issued := 0
+	var unitUsed [3]int
+	for i := 0; i < s.rob.len() && issued < m.IssueWidth; i++ {
+		e := &s.pool[s.rob.at(i)]
+		if e.state != sDispatched {
+			continue
+		}
+		cl := e.class
+		if unitUsed[cl] >= s.unitCap[cl] {
+			continue
+		}
+		if !s.ready(e) {
+			continue
+		}
+		e.state = sIssued
+		e.doneAt = s.cycle + s.latency(e.u)
+		s.windowUsed[cl]--
+		unitUsed[cl]++
+		issued++
+	}
+}
+
+// dispatch renames and inserts fetched uops into the ROB and
+// scheduling windows, in order, as resources allow.
+func (s *Sim) dispatch() {
+	m := s.opt.Machine
+	for n := 0; n < m.DispatchWidth && s.fetchQ.len() > 0; n++ {
+		idx := s.fetchQ.at(0)
+		e := &s.pool[idx]
+		if e.dispatchAt > s.cycle || s.rob.full() {
+			return
+		}
+		cl := e.class
+		if s.windowUsed[cl] >= s.windowCap[cl] {
+			return
+		}
+		switch e.u.Kind {
+		case trace.Load:
+			if s.loadsUsed >= m.LoadBufs {
+				return
+			}
+		case trace.Store:
+			if s.storesUsed >= m.StoreBufs {
+				return
+			}
+		}
+		s.fetchQ.pop()
+		s.rob.push(idx)
+		s.windowUsed[cl]++
+		switch e.u.Kind {
+		case trace.Load:
+			s.loadsUsed++
+		case trace.Store:
+			s.storesUsed++
+		}
+		s.run.Executed++
+		if e.wrongPath {
+			s.run.WrongPathExecuted++
+		}
+		s.renameSources(e)
+		if e.u.Dst != trace.NoReg {
+			s.rename[e.u.Dst] = renameEntry{idx: idx, seq: e.seq}
+		}
+		if e.diverge {
+			s.ckpt = s.rename
+		}
+		e.state = sDispatched
+	}
+}
+
+func (s *Sim) renameSources(e *inflight) {
+	e.src1Idx, e.src2Idx = -1, -1
+	if r := e.u.Src1; r != trace.NoReg {
+		if re := s.rename[r]; re.idx >= 0 {
+			if p := &s.pool[re.idx]; p.seq == re.seq && p.state != sDone {
+				e.src1Idx, e.src1Seq = re.idx, re.seq
+			}
+		}
+	}
+	if r := e.u.Src2; r != trace.NoReg {
+		if re := s.rename[r]; re.idx >= 0 {
+			if p := &s.pool[re.idx]; p.seq == re.seq && p.state != sDone {
+				e.src2Idx, e.src2Seq = re.idx, re.seq
+			}
+		}
+	}
+}
+
+// fetch pulls uops from the active path (correct or wrong), predicting
+// and confidence-estimating conditional branches, honoring trace-cache
+// misses, pipeline gating and redirect bubbles.
+func (s *Sim) fetch() {
+	if s.cycle < s.stallUntil {
+		return
+	}
+	if s.gate.Stalled(s.cycle) {
+		return
+	}
+	m := s.opt.Machine
+	brBudget := m.BranchPerCycle
+	for budget := m.FetchWidth; budget > 0; budget-- {
+		if s.fetchQ.full() {
+			return
+		}
+		if !s.peekedValid {
+			if s.wrong.Active() {
+				u, ok := s.wrong.Next()
+				if !ok {
+					panic("pipeline: active wrong path yielded nothing")
+				}
+				s.peeked, s.peekedWrong = u, true
+			} else {
+				u, ok := s.gen.Next()
+				if !ok {
+					panic("pipeline: workload stream ended")
+				}
+				s.peeked, s.peekedWrong = u, false
+			}
+			s.peekedValid = true
+		}
+		u := s.peeked
+		// Trace-cache probe at line granularity.
+		if !s.tc.Access(u.PC &^ 63) {
+			s.stallUntil = s.cycle + uint64(m.TCMissPenalty)
+			return
+		}
+		if u.Kind.IsConditional() {
+			if brBudget == 0 {
+				return
+			}
+			brBudget--
+		}
+		idx := s.alloc()
+		if idx < 0 {
+			return
+		}
+		s.seq++
+		e := &s.pool[idx]
+		e.u = u
+		e.seq = s.seq
+		e.class = classOf(u.Kind)
+		e.wrongPath = s.peekedWrong
+		e.dispatchAt = s.cycle + uint64(m.FrontendDepth)
+		e.state = sFetched
+		if u.Kind.IsConditional() {
+			s.fetchBranch(e)
+		}
+		s.fetchQ.push(idx)
+		s.peekedValid = false
+		s.run.Fetched++
+		// A diverging branch switches the fetch source; the rest of
+		// this cycle's slots fill from the wrong path.
+	}
+}
+
+// fetchBranch runs prediction, confidence estimation, reversal and
+// gating for one fetched conditional branch.
+func (s *Sim) fetchBranch(e *inflight) {
+	e.isBranch = true
+	e.actualTaken = e.u.Taken
+	switch {
+	case s.opt.Perfect:
+		e.predTaken = e.actualTaken
+	case e.wrongPath:
+		// Predicted (it consumes prediction/estimation bandwidth and
+		// can arm the gating counter) but never trained.
+		e.predTaken = s.pred.Predict(e.u.PC)
+	default:
+		e.predTaken = s.pred.Predict(e.u.PC)
+		s.pred.Update(e.u.PC, e.actualTaken)
+	}
+	if or, ok := s.est.(confidence.TraceOracle); ok {
+		or.ObserveNext(e.predTaken != e.actualTaken)
+	}
+	e.tok = s.est.Estimate(e.u.PC, e.predTaken)
+	e.finalTaken = e.predTaken
+	if s.opt.Reversal && e.tok.Band == confidence.StrongLow {
+		e.finalTaken = !e.predTaken
+		e.reversed = true
+	}
+	e.mispredOrig = e.predTaken != e.actualTaken
+	e.mispredFinal = e.finalTaken != e.actualTaken
+	gateIt := e.tok.Band == confidence.WeakLow ||
+		(e.tok.Band == confidence.StrongLow && !s.opt.Reversal)
+	if gateIt && s.gate.Enabled() {
+		s.gate.OnFetch(e.seq, s.cycle)
+		e.gated = true
+	}
+	if s.opt.SpeculativeCETrain && !e.wrongPath && !s.opt.Perfect {
+		s.est.Train(e.u.PC, e.tok, e.mispredOrig, e.actualTaken)
+	}
+	if e.mispredFinal && !e.wrongPath && !s.opt.Perfect {
+		e.diverge = true
+		s.divergeSeq = e.seq
+		target := e.u.PC + 4
+		if e.finalTaken {
+			target = e.u.Target
+		}
+		s.wrong.Restart(target)
+	}
+}

@@ -1,0 +1,177 @@
+package predictor
+
+import "fmt"
+
+// Hybrid combines two component predictors with a meta (chooser) table,
+// McFarling-style. The baseline machine's "Combined: 16K bimodal, 64K
+// gshare, 64K Meta" predictor (Table 1) is NewBaselineHybrid.
+type Hybrid struct {
+	a, b Predictor // meta selects: low half of chooser -> a, high -> b
+	meta []SatCounter
+	ghr  uint64
+	hlen int
+	mask uint64
+	name string
+
+	lastA, lastB bool // component predictions from the last Predict
+	lastValid    bool
+}
+
+// NewHybrid combines predictors a and b with a metaEntries-entry
+// chooser indexed gshare-style (PC ⊕ GHR).
+func NewHybrid(name string, a, b Predictor, metaEntries int) *Hybrid {
+	size := pow2(metaEntries)
+	hlen := 0
+	for 1<<uint(hlen+1) <= size && hlen < 16 {
+		hlen++
+	}
+	h := &Hybrid{
+		a: a, b: b,
+		meta: make([]SatCounter, size),
+		hlen: hlen,
+		mask: uint64(size - 1),
+		name: name,
+	}
+	for i := range h.meta {
+		h.meta[i] = NewSatCounter(2)
+	}
+	return h
+}
+
+// NewBaselineHybrid returns the paper's baseline branch predictor:
+// 16K-entry bimodal + 64K-entry gshare with a 64K-entry meta chooser.
+func NewBaselineHybrid() *Hybrid {
+	return NewHybrid("bimodal-gshare", NewBimodal(16*1024), NewGshare(64*1024), 64*1024)
+}
+
+// NewGsharePerceptronHybrid returns the better baseline predictor of
+// §5.2: gshare combined with a Jimenez/Lin perceptron predictor
+// (trained on taken/not-taken) under a meta chooser.
+func NewGsharePerceptronHybrid() *Hybrid {
+	return NewHybrid("gshare-perceptron",
+		NewGshare(64*1024),
+		NewPerceptron(512, 32, 8),
+		64*1024)
+}
+
+// metaIndex indexes the chooser by PC alone. A history-hashed chooser
+// spreads each branch's selection state over thousands of entries that
+// each train too rarely to leave the initialization bias; per-branch
+// indexing concentrates the training (McFarling's chooser is likewise
+// PC-indexed).
+func (h *Hybrid) metaIndex(pc uint64) int {
+	return int((pc >> 2) & h.mask)
+}
+
+// Predict implements Predictor: the chooser selects between the two
+// component predictions.
+func (h *Hybrid) Predict(pc uint64) bool {
+	h.lastA = h.a.Predict(pc)
+	h.lastB = h.b.Predict(pc)
+	h.lastValid = true
+	if h.meta[h.metaIndex(pc)].Taken() {
+		return h.lastB
+	}
+	return h.lastA
+}
+
+// Update implements Predictor. Both components train on every branch;
+// the chooser trains toward the component that was correct when they
+// disagreed. Update must follow the matching Predict in program order
+// (the usual trace-driven discipline); if it does not, component
+// predictions are recomputed.
+func (h *Hybrid) Update(pc uint64, taken bool) {
+	pa, pb := h.lastA, h.lastB
+	if !h.lastValid {
+		pa, pb = h.a.Predict(pc), h.b.Predict(pc)
+	}
+	h.lastValid = false
+	if pa != pb {
+		h.meta[h.metaIndex(pc)].Train(pb == taken)
+	}
+	h.a.Update(pc, taken)
+	h.b.Update(pc, taken)
+	h.ghr <<= 1
+	if taken {
+		h.ghr |= 1
+	}
+	h.ghr &= (1 << uint(h.hlen)) - 1
+}
+
+// Name implements Predictor.
+func (h *Hybrid) Name() string { return h.name }
+
+// SelectedCounter returns the 2-bit counter backing the component the
+// chooser selects for pc, when that component is counter-based; ok is
+// false otherwise. This is what Smith's self-confidence estimator
+// inspects (§2.3).
+func (h *Hybrid) SelectedCounter(pc uint64) (ctr SatCounter, ok bool) {
+	var sel Predictor = h.a
+	if h.meta[h.metaIndex(pc)].Taken() {
+		sel = h.b
+	}
+	switch p := sel.(type) {
+	case *Bimodal:
+		return *p.Counter(pc), true
+	case *Gshare:
+		return *p.Counter(pc), true
+	default:
+		return SatCounter{}, false
+	}
+}
+
+// Components returns the two component predictors (a, b).
+func (h *Hybrid) Components() (Predictor, Predictor) { return h.a, h.b }
+
+var _ Predictor = (*Hybrid)(nil)
+
+// Oracle is a perfect predictor used to measure speculation waste
+// (Table 2 compares real-predictor runs against mispredict-free runs).
+// The trace-driven simulator tells it each branch's outcome before
+// asking for a prediction.
+type Oracle struct {
+	next map[uint64]bool
+}
+
+// NewOracle returns a perfect predictor.
+func NewOracle() *Oracle { return &Oracle{next: make(map[uint64]bool)} }
+
+// Observe records the resolved direction the next Predict(pc) must
+// return.
+func (o *Oracle) Observe(pc uint64, taken bool) { o.next[pc] = taken }
+
+// Predict implements Predictor; it returns the last Observed outcome.
+func (o *Oracle) Predict(pc uint64) bool { return o.next[pc] }
+
+// Update implements Predictor (no state to train).
+func (o *Oracle) Update(pc uint64, taken bool) {}
+
+// Name implements Predictor.
+func (o *Oracle) Name() string { return "oracle" }
+
+var _ Predictor = (*Oracle)(nil)
+
+// Static always predicts one direction; a degenerate baseline useful in
+// tests and sanity experiments.
+type Static struct{ Taken bool }
+
+// Predict implements Predictor.
+func (s Static) Predict(pc uint64) bool { return s.Taken }
+
+// Update implements Predictor.
+func (s Static) Update(pc uint64, taken bool) {}
+
+// Name implements Predictor.
+func (s Static) Name() string {
+	if s.Taken {
+		return "always-taken"
+	}
+	return "always-not-taken"
+}
+
+var _ Predictor = Static{}
+
+// String returns a short description for error messages.
+func (h *Hybrid) String() string {
+	return fmt.Sprintf("hybrid(%s: %s + %s, meta %d)", h.name, h.a.Name(), h.b.Name(), len(h.meta))
+}

@@ -1,0 +1,96 @@
+package predictor
+
+import (
+	"fmt"
+
+	"bce/internal/perceptron"
+)
+
+// Perceptron is the Jimenez/Lin perceptron branch predictor: an array
+// of perceptrons indexed by PC, trained on taken/not-taken outcomes.
+// It serves as a component of the gshare-perceptron hybrid baseline
+// (§5.2), and its output magnitude |y| is what the perceptron_tnt
+// confidence baseline thresholds (§5.3).
+type Perceptron struct {
+	tbl   *perceptron.Table
+	ghr   uint64
+	hlen  int
+	theta int
+
+	lastY     int
+	lastValid bool
+}
+
+// NewPerceptron returns a perceptron predictor with the given table
+// geometry. The training threshold follows Jimenez & Lin's empirical
+// formula θ = ⌊1.93·h + 14⌋.
+func NewPerceptron(entries, hlen, weightBits int) *Perceptron {
+	return &Perceptron{
+		tbl:   perceptron.NewTable(entries, hlen, weightBits),
+		hlen:  hlen,
+		theta: int(1.93*float64(hlen) + 14),
+	}
+}
+
+// Theta returns the training threshold.
+func (p *Perceptron) Theta() int { return p.theta }
+
+// History returns the current global history register value.
+func (p *Perceptron) History() uint64 { return p.ghr }
+
+// Output computes the raw perceptron output y for pc against the
+// current history. Positive y predicts taken.
+func (p *Perceptron) Output(pc uint64) int {
+	return p.tbl.Lookup(pc).Output(p.ghr)
+}
+
+// Predict implements Predictor.
+func (p *Perceptron) Predict(pc uint64) bool {
+	p.lastY = p.Output(pc)
+	p.lastValid = true
+	return p.lastY >= 0
+}
+
+// LastOutput returns the y computed by the most recent Predict; valid
+// only between a Predict and its matching Update.
+func (p *Perceptron) LastOutput() (y int, ok bool) { return p.lastY, p.lastValid }
+
+// Update implements Predictor: train when the prediction was wrong or
+// the output magnitude was below θ, then shift the outcome into the
+// history register.
+func (p *Perceptron) Update(pc uint64, taken bool) {
+	y := p.lastY
+	if !p.lastValid {
+		y = p.Output(pc)
+	}
+	p.lastValid = false
+	mispredicted := (y >= 0) != taken
+	if mispredicted || abs(y) <= p.theta {
+		t := -1
+		if taken {
+			t = 1
+		}
+		p.tbl.Lookup(pc).Train(p.ghr, t)
+	}
+	p.ghr <<= 1
+	if taken {
+		p.ghr |= 1
+	}
+	if p.hlen < 64 {
+		p.ghr &= (1 << uint(p.hlen)) - 1
+	}
+}
+
+// Name implements Predictor.
+func (p *Perceptron) Name() string {
+	return fmt.Sprintf("perceptron-%dx%dx%d", p.tbl.Entries(), p.tbl.HistoryLen(), p.tbl.WeightBits())
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+var _ Predictor = (*Perceptron)(nil)

@@ -1,0 +1,219 @@
+// Package predictor implements the dynamic branch predictors the paper
+// uses: the baseline bimodal/gshare/meta hybrid (Table 1), the
+// Jimenez/Lin perceptron predictor, and the gshare-perceptron hybrid of
+// §5.2, plus the simple components they are built from.
+//
+// All predictors follow the same discipline: Predict is called in
+// program order at fetch for each conditional branch, and Update is
+// called in program order with the resolved direction. Global history
+// is maintained inside each predictor and updated with the *actual*
+// outcome on Update, which models a front end whose speculative history
+// is repaired on mispredictions.
+package predictor
+
+import "fmt"
+
+// Predictor is a dynamic conditional-branch direction predictor.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the resolved direction.
+	Update(pc uint64, taken bool)
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// SatCounter is an n-bit saturating counter. The zero value is a
+// counter at 0 with Max 0; construct via NewSatCounter or embed the
+// value range manually.
+type SatCounter struct {
+	V   uint8
+	Max uint8
+}
+
+// NewSatCounter returns a counter with the given bit width, initialized
+// to the weakly-taken midpoint.
+func NewSatCounter(bits int) SatCounter {
+	max := uint8(1<<uint(bits) - 1)
+	return SatCounter{V: max/2 + 1, Max: max}
+}
+
+// Inc increments with saturation.
+func (c *SatCounter) Inc() {
+	if c.V < c.Max {
+		c.V++
+	}
+}
+
+// Dec decrements with saturation.
+func (c *SatCounter) Dec() {
+	if c.V > 0 {
+		c.V--
+	}
+}
+
+// Taken reports the predicted direction (counter in upper half).
+func (c *SatCounter) Taken() bool { return c.V > c.Max/2 }
+
+// Strong reports whether the counter is at either extreme; Smith's
+// self-confidence estimator classifies extreme counters as high
+// confidence (§2.3).
+func (c *SatCounter) Strong() bool { return c.V == 0 || c.V == c.Max }
+
+// Train moves the counter toward the outcome.
+func (c *SatCounter) Train(taken bool) {
+	if taken {
+		c.Inc()
+	} else {
+		c.Dec()
+	}
+}
+
+func pow2(entries int) int {
+	if entries < 1 {
+		panic(fmt.Sprintf("predictor: table entries %d < 1", entries))
+	}
+	size := 1
+	for size < entries {
+		size <<= 1
+	}
+	return size
+}
+
+// Bimodal is a PC-indexed table of 2-bit counters.
+type Bimodal struct {
+	ctrs []SatCounter
+}
+
+// NewBimodal returns a bimodal predictor with the given number of
+// 2-bit counters (rounded up to a power of two).
+func NewBimodal(entries int) *Bimodal {
+	b := &Bimodal{ctrs: make([]SatCounter, pow2(entries))}
+	for i := range b.ctrs {
+		b.ctrs[i] = NewSatCounter(2)
+	}
+	return b
+}
+
+func (b *Bimodal) index(pc uint64) int { return int((pc >> 2) & uint64(len(b.ctrs)-1)) }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.ctrs[b.index(pc)].Taken() }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint64, taken bool) { b.ctrs[b.index(pc)].Train(taken) }
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return fmt.Sprintf("bimodal-%dK", len(b.ctrs)/1024) }
+
+// Counter exposes the counter selected for pc, for Smith-style
+// self-confidence estimation.
+func (b *Bimodal) Counter(pc uint64) *SatCounter { return &b.ctrs[b.index(pc)] }
+
+// Gshare XORs the PC with global history to index a table of 2-bit
+// counters (McFarling).
+type Gshare struct {
+	ctrs []SatCounter
+	ghr  uint64
+	hlen int
+	mask uint64
+}
+
+// NewGshare returns a gshare predictor with the given number of 2-bit
+// counters; history length defaults to log2(entries) capped at 16.
+func NewGshare(entries int) *Gshare {
+	size := pow2(entries)
+	hlen := 0
+	for 1<<uint(hlen+1) <= size && hlen < 16 {
+		hlen++
+	}
+	g := &Gshare{ctrs: make([]SatCounter, size), hlen: hlen, mask: uint64(size - 1)}
+	for i := range g.ctrs {
+		g.ctrs[i] = NewSatCounter(2)
+	}
+	return g
+}
+
+// HistoryLen returns the global history length used in the index.
+func (g *Gshare) HistoryLen() int { return g.hlen }
+
+func (g *Gshare) index(pc uint64) int {
+	return int(((pc >> 2) ^ g.ghr) & g.mask)
+}
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(pc uint64) bool { return g.ctrs[g.index(pc)].Taken() }
+
+// Update implements Predictor.
+func (g *Gshare) Update(pc uint64, taken bool) {
+	g.ctrs[g.index(pc)].Train(taken)
+	g.pushHistory(taken)
+}
+
+func (g *Gshare) pushHistory(taken bool) {
+	g.ghr <<= 1
+	if taken {
+		g.ghr |= 1
+	}
+	g.ghr &= (1 << uint(g.hlen)) - 1
+}
+
+// Counter exposes the currently selected counter (Smith estimator).
+func (g *Gshare) Counter(pc uint64) *SatCounter { return &g.ctrs[g.index(pc)] }
+
+// Name implements Predictor.
+func (g *Gshare) Name() string { return fmt.Sprintf("gshare-%dK", len(g.ctrs)/1024) }
+
+// Local is a PAs-style two-level predictor: a table of per-branch local
+// histories selects a pattern counter. Used by the Tyson pattern
+// confidence baseline and available as a predictor component.
+type Local struct {
+	hist []uint16
+	ctrs []SatCounter
+	hlen int
+}
+
+// NewLocal returns a local predictor with histEntries local history
+// registers of hlen bits and a 2^hlen-entry pattern table.
+func NewLocal(histEntries, hlen int) *Local {
+	if hlen < 1 || hlen > 14 {
+		panic(fmt.Sprintf("predictor: local history length %d outside [1,14]", hlen))
+	}
+	l := &Local{
+		hist: make([]uint16, pow2(histEntries)),
+		ctrs: make([]SatCounter, 1<<uint(hlen)),
+		hlen: hlen,
+	}
+	for i := range l.ctrs {
+		l.ctrs[i] = NewSatCounter(2)
+	}
+	return l
+}
+
+func (l *Local) hindex(pc uint64) int { return int((pc >> 2) & uint64(len(l.hist)-1)) }
+
+// Pattern returns pc's current local-history pattern.
+func (l *Local) Pattern(pc uint64) uint16 { return l.hist[l.hindex(pc)] }
+
+// HistoryLen returns the local history length.
+func (l *Local) HistoryLen() int { return l.hlen }
+
+// Predict implements Predictor.
+func (l *Local) Predict(pc uint64) bool {
+	return l.ctrs[l.Pattern(pc)].Taken()
+}
+
+// Update implements Predictor.
+func (l *Local) Update(pc uint64, taken bool) {
+	hi := l.hindex(pc)
+	pat := l.hist[hi]
+	l.ctrs[pat].Train(taken)
+	pat <<= 1
+	if taken {
+		pat |= 1
+	}
+	l.hist[hi] = pat & uint16(1<<uint(l.hlen)-1)
+}
+
+// Name implements Predictor.
+func (l *Local) Name() string { return fmt.Sprintf("local-%d/%d", len(l.hist), l.hlen) }

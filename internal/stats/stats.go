@@ -1,0 +1,123 @@
+// Package stats provides the small statistical toolkit the experiment
+// reports use: summary statistics and deterministic bootstrap
+// confidence intervals over per-benchmark results, so tables can
+// report variability alongside means.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+}
+
+// Summarize computes descriptive statistics. An empty sample returns
+// the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - s.Mean
+		s.Std += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(s.Std / float64(len(xs)-1))
+	} else {
+		s.Std = 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// String renders "mean ± std [min, max]".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.2f ± %.2f [%.2f, %.2f]", s.Mean, s.Std, s.Min, s.Max)
+}
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// String renders "[lo, hi]".
+func (iv Interval) String() string { return fmt.Sprintf("[%.2f, %.2f]", iv.Lo, iv.Hi) }
+
+// BootstrapMeanCI returns a percentile bootstrap confidence interval
+// for the mean at the given level (e.g. 0.95), using `rounds`
+// resamples from a deterministic seed. Level must be in (0, 1);
+// rounds >= 1. An empty sample returns the zero interval.
+func BootstrapMeanCI(xs []float64, level float64, rounds int, seed int64) Interval {
+	if level <= 0 || level >= 1 {
+		panic(fmt.Sprintf("stats: bootstrap level %v outside (0,1)", level))
+	}
+	if rounds < 1 {
+		panic(fmt.Sprintf("stats: bootstrap rounds %d < 1", rounds))
+	}
+	if len(xs) == 0 {
+		return Interval{}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, rounds)
+	for r := range means {
+		var sum float64
+		for i := 0; i < len(xs); i++ {
+			sum += xs[rng.Intn(len(xs))]
+		}
+		means[r] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	lo := int(alpha * float64(rounds))
+	hi := int((1 - alpha) * float64(rounds))
+	if hi >= rounds {
+		hi = rounds - 1
+	}
+	return Interval{Lo: means[lo], Hi: means[hi]}
+}
+
+// GeoMean returns the geometric mean of positive values; zero or
+// negative entries are an error in the caller's pipeline, reported by
+// returning NaN so it cannot be mistaken for a real speedup.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}

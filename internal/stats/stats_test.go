@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || !almost(s.Mean, 3) || !almost(s.Median, 3) {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almost(s.Min, 1) || !almost(s.Max, 5) {
+		t.Fatalf("range = [%v, %v]", s.Min, s.Max)
+	}
+	if !almost(s.Std, math.Sqrt(2.5)) {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if s.String() == "" {
+		t.Error("render")
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if !almost(s.Median, 2.5) {
+		t.Fatalf("median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Error("empty")
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || !almost(s.Mean, 7) || !almost(s.Std, 0) || !almost(s.Median, 7) {
+		t.Fatalf("singleton = %+v", s)
+	}
+}
+
+// Property: mean lies within [min, max]; std >= 0; median within range.
+func TestSummarizeQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Mean >= s.Min-1e-6 && s.Mean <= s.Max+1e-6 &&
+			s.Std >= 0 && s.Median >= s.Min && s.Median <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootstrapMeanCI(t *testing.T) {
+	xs := []float64{10, 11, 9, 10.5, 9.5, 10, 10.2, 9.8}
+	iv := BootstrapMeanCI(xs, 0.95, 2000, 1)
+	if !iv.Contains(10) {
+		t.Errorf("CI %v does not contain the true mean", iv)
+	}
+	if iv.Lo > iv.Hi {
+		t.Errorf("inverted interval %v", iv)
+	}
+	if iv.Hi-iv.Lo > 2 {
+		t.Errorf("CI %v implausibly wide", iv)
+	}
+	if iv.String() == "" {
+		t.Error("render")
+	}
+	// Deterministic for a fixed seed.
+	iv2 := BootstrapMeanCI(xs, 0.95, 2000, 1)
+	if iv != iv2 {
+		t.Error("bootstrap not deterministic")
+	}
+}
+
+func TestBootstrapEmptyAndPanics(t *testing.T) {
+	if iv := BootstrapMeanCI(nil, 0.95, 100, 1); iv != (Interval{}) {
+		t.Error("empty sample")
+	}
+	for _, tc := range []struct {
+		level  float64
+		rounds int
+	}{{0, 100}, {1, 100}, {0.95, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for level=%v rounds=%d", tc.level, tc.rounds)
+				}
+			}()
+			BootstrapMeanCI([]float64{1}, tc.level, tc.rounds, 1)
+		}()
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Error("geomean(1,4)")
+	}
+	if !almost(GeoMean([]float64{3, 3, 3}), 3) {
+		t.Error("geomean const")
+	}
+	if !math.IsNaN(GeoMean(nil)) || !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("invalid inputs must yield NaN")
+	}
+}

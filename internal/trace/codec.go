@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format:
+//
+//	header:  magic "BCET" | version u16 | flags u16
+//	record:  kind u8 | flags u8 | pc varint-delta | then per-kind fields
+//
+// PCs are delta-encoded against the previous record's PC (zig-zag
+// varint), which makes sequential code nearly free to store. Branch
+// targets are delta-encoded against the branch's own PC.
+
+const (
+	magic         = "BCET"
+	formatVersion = 1
+)
+
+const (
+	recTaken   = 1 << 0 // branch direction
+	recHasAddr = 1 << 1 // memory address present
+	recHasRegs = 1 << 2 // register operands present
+)
+
+// ErrBadMagic is returned when a reader is pointed at a non-trace file.
+var ErrBadMagic = errors.New("trace: bad magic (not a BCET trace)")
+
+// ErrBadVersion is returned for traces written by an unknown format
+// version.
+var ErrBadVersion = errors.New("trace: unsupported format version")
+
+// Writer encodes uops to a compact binary stream.
+type Writer struct {
+	w      *bufio.Writer
+	lastPC uint64
+	n      uint64
+	buf    []byte
+	hdrOK  bool
+}
+
+// NewWriter returns a Writer emitting to w. The header is written on
+// the first record (or on Flush for an empty trace).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 64)}
+}
+
+func (tw *Writer) header() error {
+	if tw.hdrOK {
+		return nil
+	}
+	tw.hdrOK = true
+	if _, err := tw.w.WriteString(magic); err != nil {
+		return err
+	}
+	var h [4]byte
+	binary.LittleEndian.PutUint16(h[0:2], formatVersion)
+	binary.LittleEndian.PutUint16(h[2:4], 0)
+	_, err := tw.w.Write(h[:])
+	return err
+}
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// WriteUop appends one uop to the stream.
+func (tw *Writer) WriteUop(u Uop) error {
+	if !u.Kind.Valid() {
+		return fmt.Errorf("trace: invalid kind %d", uint8(u.Kind))
+	}
+	if err := tw.header(); err != nil {
+		return err
+	}
+	var flags uint8
+	if u.Taken {
+		flags |= recTaken
+	}
+	if u.Kind.IsMem() {
+		flags |= recHasAddr
+	}
+	if u.Dst != NoReg || u.Src1 != NoReg || u.Src2 != NoReg {
+		flags |= recHasRegs
+	}
+	b := tw.buf[:0]
+	b = append(b, byte(u.Kind), flags)
+	b = binary.AppendUvarint(b, zigzag(int64(u.PC)-int64(tw.lastPC)))
+	tw.lastPC = u.PC
+	if u.Kind.IsBranch() {
+		b = binary.AppendUvarint(b, zigzag(int64(u.Target)-int64(u.PC)))
+	}
+	if flags&recHasAddr != 0 {
+		b = binary.AppendUvarint(b, u.Addr)
+	}
+	if flags&recHasRegs != 0 {
+		b = append(b, u.Dst, u.Src1, u.Src2)
+	}
+	tw.buf = b[:0]
+	tw.n++
+	_, err := tw.w.Write(b)
+	return err
+}
+
+// Count reports the number of uops written so far.
+func (tw *Writer) Count() uint64 { return tw.n }
+
+// Flush writes any buffered data (and the header, for an empty trace).
+func (tw *Writer) Flush() error {
+	if err := tw.header(); err != nil {
+		return err
+	}
+	return tw.w.Flush()
+}
+
+// Reader decodes a binary trace stream. It implements Source.
+type Reader struct {
+	r      *bufio.Reader
+	lastPC uint64
+	err    error
+	hdrOK  bool
+}
+
+// NewReader returns a Reader over r. The header is validated lazily on
+// the first read.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (tr *Reader) checkHeader() error {
+	if tr.hdrOK {
+		return nil
+	}
+	tr.hdrOK = true
+	var h [8]byte
+	if _, err := io.ReadFull(tr.r, h[:]); err != nil {
+		if err == io.EOF {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	if string(h[0:4]) != magic {
+		return ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint16(h[4:6]); v != formatVersion {
+		return fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	return nil
+}
+
+// ReadUop decodes the next uop. It returns io.EOF at a clean end of
+// stream.
+func (tr *Reader) ReadUop() (Uop, error) {
+	if tr.err != nil {
+		return Uop{}, tr.err
+	}
+	if err := tr.checkHeader(); err != nil {
+		tr.err = err
+		return Uop{}, err
+	}
+	kb, err := tr.r.ReadByte()
+	if err != nil {
+		tr.err = err
+		return Uop{}, err
+	}
+	var u Uop
+	u.Kind = Kind(kb)
+	if !u.Kind.Valid() {
+		tr.err = fmt.Errorf("trace: corrupt record: kind %d", kb)
+		return Uop{}, tr.err
+	}
+	flags, err := tr.r.ReadByte()
+	if err != nil {
+		tr.err = eof2unexpected(err)
+		return Uop{}, tr.err
+	}
+	u.Taken = flags&recTaken != 0
+	d, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		tr.err = eof2unexpected(err)
+		return Uop{}, tr.err
+	}
+	u.PC = uint64(int64(tr.lastPC) + unzigzag(d))
+	tr.lastPC = u.PC
+	if u.Kind.IsBranch() {
+		td, err := binary.ReadUvarint(tr.r)
+		if err != nil {
+			tr.err = eof2unexpected(err)
+			return Uop{}, tr.err
+		}
+		u.Target = uint64(int64(u.PC) + unzigzag(td))
+	}
+	u.Dst, u.Src1, u.Src2 = NoReg, NoReg, NoReg
+	if flags&recHasAddr != 0 {
+		if u.Addr, err = binary.ReadUvarint(tr.r); err != nil {
+			tr.err = eof2unexpected(err)
+			return Uop{}, tr.err
+		}
+	}
+	if flags&recHasRegs != 0 {
+		var regs [3]byte
+		if _, err := io.ReadFull(tr.r, regs[:]); err != nil {
+			tr.err = eof2unexpected(err)
+			return Uop{}, tr.err
+		}
+		u.Dst, u.Src1, u.Src2 = regs[0], regs[1], regs[2]
+	}
+	return u, nil
+}
+
+func eof2unexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Next implements Source. A decode error terminates the stream; check
+// Err afterwards.
+func (tr *Reader) Next() (Uop, bool) {
+	u, err := tr.ReadUop()
+	if err != nil {
+		return Uop{}, false
+	}
+	return u, true
+}
+
+// Err returns the terminal error, if any, excluding a clean io.EOF.
+func (tr *Reader) Err() error {
+	if tr.err == io.EOF {
+		return nil
+	}
+	return tr.err
+}

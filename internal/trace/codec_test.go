@@ -1,0 +1,268 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomUop(r *rand.Rand) Uop {
+	k := Kind(r.Intn(int(numKinds)))
+	u := Uop{
+		PC:   r.Uint64() >> 16,
+		Kind: k,
+		Dst:  NoReg, Src1: NoReg, Src2: NoReg,
+	}
+	if k.IsBranch() {
+		u.Target = r.Uint64() >> 16
+		u.Taken = r.Intn(2) == 0 || !k.IsConditional()
+		if !k.IsConditional() {
+			u.Taken = true
+		}
+	}
+	if k.IsMem() {
+		u.Addr = r.Uint64() >> 8
+	}
+	if r.Intn(2) == 0 {
+		u.Dst = uint8(r.Intn(NumRegs))
+		u.Src1 = uint8(r.Intn(NumRegs))
+		u.Src2 = uint8(r.Intn(NumRegs))
+	}
+	return u
+}
+
+func roundTrip(t *testing.T, uops []Uop) []Uop {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, u := range uops {
+		if err := w.WriteUop(u); err != nil {
+			t.Fatalf("WriteUop: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if w.Count() != uint64(len(uops)) {
+		t.Fatalf("Count = %d, want %d", w.Count(), len(uops))
+	}
+	r := NewReader(&buf)
+	var got []Uop
+	for {
+		u, err := r.ReadUop()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("ReadUop: %v", err)
+		}
+		got = append(got, u)
+	}
+	if r.Err() != nil {
+		t.Fatalf("Err() = %v", r.Err())
+	}
+	return got
+}
+
+func TestCodecRoundTripFixed(t *testing.T) {
+	uops := []Uop{
+		{PC: 0x400000, Kind: ALU, Dst: 1, Src1: 2, Src2: 3},
+		{PC: 0x400004, Kind: Load, Addr: 0xdeadbeef, Dst: 4, Src1: 1, Src2: NoReg},
+		{PC: 0x400008, Kind: CondBranch, Taken: true, Target: 0x400100, Dst: NoReg, Src1: 4, Src2: NoReg},
+		{PC: 0x400100, Kind: Store, Addr: 0x10, Dst: NoReg, Src1: 4, Src2: 1},
+		{PC: 0x400104, Kind: Ret, Taken: true, Target: 0x400010, Dst: NoReg, Src1: NoReg, Src2: NoReg},
+		{PC: 0x400010, Kind: Nop, Dst: NoReg, Src1: NoReg, Src2: NoReg},
+	}
+	got := roundTrip(t, uops)
+	if len(got) != len(uops) {
+		t.Fatalf("decoded %d uops, want %d", len(got), len(uops))
+	}
+	for i := range uops {
+		if got[i] != uops[i] {
+			t.Errorf("uop %d: got %+v, want %+v", i, got[i], uops[i])
+		}
+	}
+}
+
+func TestCodecRoundTripEmpty(t *testing.T) {
+	if got := roundTrip(t, nil); len(got) != 0 {
+		t.Fatalf("decoded %d uops from empty trace", len(got))
+	}
+}
+
+// Property: encode/decode is the identity on arbitrary uop sequences.
+func TestCodecRoundTripQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		uops := make([]Uop, int(n)%200)
+		for i := range uops {
+			uops[i] = randomUop(r)
+		}
+		got := roundTrip(t, uops)
+		if len(got) != len(uops) {
+			return false
+		}
+		for i := range uops {
+			if got[i] != uops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("NOPE0000 garbage")))
+	_, err := r.ReadUop()
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+	// Subsequent reads keep failing.
+	if _, err := r.ReadUop(); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("second err = %v, want ErrBadMagic", err)
+	}
+	if r.Err() == nil {
+		t.Fatal("Err() = nil after bad magic")
+	}
+}
+
+func TestReaderBadVersion(t *testing.T) {
+	buf := []byte("BCET\xFF\x00\x00\x00")
+	r := NewReader(bytes.NewReader(buf))
+	if _, err := r.ReadUop(); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 10; i++ {
+		if err := w.WriteUop(Uop{PC: uint64(i) * 4, Kind: Load, Addr: 0x1000,
+			Dst: NoReg, Src1: NoReg, Src2: NoReg}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	r := NewReader(bytes.NewReader(full[:len(full)-3]))
+	n := 0
+	for {
+		if _, err := r.ReadUop(); err != nil {
+			break
+		}
+		n++
+	}
+	if r.Err() == nil {
+		t.Fatal("truncated trace produced clean EOF")
+	}
+	if n >= 10 {
+		t.Fatalf("decoded %d uops from truncated trace", n)
+	}
+}
+
+func TestReaderTruncatedHeader(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("BC")))
+	if _, err := r.ReadUop(); err == nil {
+		t.Fatal("expected error for truncated header")
+	}
+}
+
+func TestWriterRejectsInvalidKind(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.WriteUop(Uop{Kind: Kind(99)}); err == nil {
+		t.Fatal("expected error for invalid kind")
+	}
+}
+
+func TestNextStopsOnError(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("garbage!")))
+	if _, ok := r.Next(); ok {
+		t.Fatal("Next returned ok on garbage")
+	}
+}
+
+func BenchmarkCodecWrite(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	uops := make([]Uop, 4096)
+	for i := range uops {
+		uops[i] = randomUop(r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	w := NewWriter(io.Discard)
+	for i := 0; i < b.N; i++ {
+		_ = w.WriteUop(uops[i&4095])
+	}
+}
+
+// Robustness: arbitrary byte streams must never panic the reader —
+// they either decode or produce an error.
+func TestReaderArbitraryBytesNoPanic(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(512)
+		buf := make([]byte, n)
+		r.Read(buf)
+		// Half the trials get a valid header so the record decoder is
+		// actually exercised.
+		if trial%2 == 0 && n >= 8 {
+			copy(buf, "BCET")
+			buf[4], buf[5] = 1, 0
+			buf[6], buf[7] = 0, 0
+		}
+		tr := NewReader(bytes.NewReader(buf))
+		for i := 0; i < 1000; i++ {
+			if _, err := tr.ReadUop(); err != nil {
+				break
+			}
+		}
+	}
+}
+
+// Round-trip stability under interleaved writers: two traces written
+// independently decode independently (no shared state).
+func TestWritersIndependent(t *testing.T) {
+	var bufA, bufB bytes.Buffer
+	wa, wb := NewWriter(&bufA), NewWriter(&bufB)
+	r := rand.New(rand.NewSource(3))
+	var uopsA, uopsB []Uop
+	for i := 0; i < 500; i++ {
+		ua, ub := randomUop(r), randomUop(r)
+		uopsA = append(uopsA, ua)
+		uopsB = append(uopsB, ub)
+		if err := wa.WriteUop(ua); err != nil {
+			t.Fatal(err)
+		}
+		if err := wb.WriteUop(ub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wa.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for name, pair := range map[string]struct {
+		buf  *bytes.Buffer
+		want []Uop
+	}{"A": {&bufA, uopsA}, "B": {&bufB, uopsB}} {
+		tr := NewReader(bytes.NewReader(pair.buf.Bytes()))
+		for i, want := range pair.want {
+			got, err := tr.ReadUop()
+			if err != nil || got != want {
+				t.Fatalf("trace %s uop %d: got %+v err %v", name, i, got, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MemProfile models a benchmark's data-address behavior as a mixture
+// of three archetypes: sequential streaming (gzip/bzip compression
+// buffers), strided array walks (vpr, twolf grids), and pointer
+// chasing over a working set (mcf's network simplex, perlbmk's
+// hashes). The mixture fractions plus the working-set size control
+// the cache hit rates and hence the memory-bound character of the
+// benchmark.
+type MemProfile struct {
+	// SeqFrac, StrideFrac and ChaseFrac are mixture weights
+	// (normalized; all zero means all-sequential).
+	SeqFrac, StrideFrac, ChaseFrac float64
+	// StrideBytes is the stride of the strided walker (default 256).
+	StrideBytes int
+	// WorkingSetBytes bounds the pointer-chase region (default 1 MB).
+	WorkingSetBytes int
+	// Streams is the number of concurrent sequential streams
+	// (default 4).
+	Streams int
+}
+
+// memGen produces effective addresses for a workload's loads and
+// stores.
+type memGen struct {
+	prof    MemProfile
+	seqCur  []uint64
+	strCur  uint64
+	wsMask  uint64
+	wsBase  uint64
+	pSeq    float64
+	pStride float64
+}
+
+func newMemGen(prof MemProfile, salt uint64) *memGen {
+	if prof.StrideBytes == 0 {
+		prof.StrideBytes = 256
+	}
+	if prof.WorkingSetBytes == 0 {
+		prof.WorkingSetBytes = 1 << 20
+	}
+	if prof.Streams == 0 {
+		prof.Streams = 4
+	}
+	if prof.StrideBytes < 1 || prof.WorkingSetBytes < 64 || prof.Streams < 1 {
+		panic(fmt.Sprintf("workload: bad memory profile %+v", prof))
+	}
+	total := prof.SeqFrac + prof.StrideFrac + prof.ChaseFrac
+	if total == 0 {
+		prof.SeqFrac, total = 1, 1
+	}
+	ws := uint64(1)
+	for ws < uint64(prof.WorkingSetBytes) {
+		ws <<= 1
+	}
+	// The salt offsets the sequential and strided cursors so that two
+	// generators over the same profile (the main trace and the
+	// wrong-path synthesizer) do not walk identical addresses — wrong
+	// path work should not act as a perfect prefetcher for the
+	// correct path. The pointer-chase region is shared deliberately:
+	// warming a common working set is a real wrong-path side effect.
+	g := &memGen{
+		prof:    prof,
+		seqCur:  make([]uint64, prof.Streams),
+		wsMask:  ws - 1,
+		wsBase:  0x2000_0000,
+		strCur:  0x4000_0000 + salt*0x0080_0000,
+		pSeq:    prof.SeqFrac / total,
+		pStride: prof.StrideFrac / total,
+	}
+	for i := range g.seqCur {
+		g.seqCur[i] = 0x1000_0000 + uint64(i)*0x0100_0000 + salt*0x0080_0000
+	}
+	return g
+}
+
+// next returns the next data address.
+func (g *memGen) next(rng *rand.Rand) uint64 {
+	r := rng.Float64()
+	switch {
+	case r < g.pSeq:
+		i := rng.Intn(len(g.seqCur))
+		g.seqCur[i] += 8
+		return g.seqCur[i]
+	case r < g.pSeq+g.pStride:
+		g.strCur += uint64(g.prof.StrideBytes)
+		return g.strCur
+	default:
+		return g.wsBase + (rng.Uint64()&g.wsMask)&^7
+	}
+}

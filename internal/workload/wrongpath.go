@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"math/rand"
+
+	"bce/internal/trace"
+)
+
+// WrongPath synthesizes the instruction stream fetched past a
+// mispredicted branch. A real execution-driven simulator executes
+// actual wrong-path code; a trace only records the correct path, so we
+// walk the *same* static CFG from the mispredicted target with
+// randomized branch outcomes (DESIGN.md substitution 3). The uops are
+// real static code — same PCs, kinds and register structure — so
+// wrong-path branches index the same predictor and estimator tables a
+// real front end would touch; only their outcomes are synthetic, which
+// is irrelevant because wrong-path uops are squashed, never retired or
+// trained.
+type WrongPath struct {
+	g    *Generator
+	rng  *rand.Rand
+	mem  *memGen
+	cur  int
+	pos  int
+	live bool
+}
+
+// NewWrongPath returns a wrong-path synthesizer over g's CFG. It
+// never mutates g.
+func NewWrongPath(g *Generator) *WrongPath {
+	return &WrongPath{
+		g:   g,
+		rng: rand.New(rand.NewSource((g.prof.Seed ^ 0x5DEECE66D) + int64(g.prof.Segment)*0x2545F491)),
+		mem: newMemGen(g.prof.Mem, 1),
+	}
+}
+
+// Restart points the wrong path at the given fetch target. Targets
+// that are block starts (the usual case: a branch target or a
+// fall-through PC) resume at that block; anything else hashes onto
+// some block.
+func (w *WrongPath) Restart(targetPC uint64) {
+	if i, ok := w.g.pcIdx[targetPC]; ok {
+		w.cur = i
+	} else {
+		w.cur = int(targetPC>>2) % len(w.g.blocks)
+	}
+	w.pos = 0
+	w.live = true
+}
+
+// Stop deactivates the wrong path (on recovery).
+func (w *WrongPath) Stop() { w.live = false }
+
+// Active reports whether a wrong path is being generated.
+func (w *WrongPath) Active() bool { return w.live }
+
+// Next implements trace.Source while active; ok is false when no
+// wrong path is live.
+func (w *WrongPath) Next() (trace.Uop, bool) {
+	if !w.live {
+		return trace.Uop{}, false
+	}
+	b := &w.g.blocks[w.cur]
+	if w.pos < len(b.body) {
+		u := b.body[w.pos]
+		w.pos++
+		if u.Kind.IsMem() {
+			u.Addr = w.mem.next(w.rng)
+		}
+		return u, true
+	}
+	u := b.term
+	w.pos = 0
+	switch u.Kind {
+	case trace.CondBranch:
+		// Wrong-path branch outcomes are unknowable from the trace;
+		// randomize. They are never retired, so this only affects
+		// which wrong-path blocks are walked.
+		u.Taken = w.rng.Intn(2) == 0
+		if u.Taken {
+			w.cur = b.takenTo
+		} else {
+			w.cur = b.fallTo
+		}
+	default:
+		w.cur = b.takenTo
+	}
+	return u, true
+}
+
+var _ trace.Source = (*WrongPath)(nil)

@@ -1,10 +1,12 @@
-// Command bcesim runs one timing simulation and prints its metrics:
-// a benchmark on a machine with a chosen predictor, confidence
-// estimator and gating/reversal configuration.
+// Command bcesim runs timing simulations and prints their metrics:
+// one or more benchmarks on a machine with a chosen predictor,
+// confidence estimator and gating/reversal configuration.
 //
 // Examples:
 //
 //	bcesim -bench gzip
+//	bcesim -bench all                                  # every benchmark, in parallel
+//	bcesim -bench gzip,mcf,twolf -workers 2 -progress
 //	bcesim -bench mcf -machine 20c8w -estimator cic -lambda 0 -pl 1
 //	bcesim -bench twolf -estimator cic -lambda -75 -reversal 50 -pl 2
 //	bcesim -bench gcc -estimator jrs -lambda 15 -pl 2
@@ -13,22 +15,26 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"bce/internal/confidence"
 	"bce/internal/config"
 	"bce/internal/gating"
 	"bce/internal/pipeline"
 	"bce/internal/predictor"
+	"bce/internal/runner"
 	"bce/internal/trace"
 	"bce/internal/workload"
 )
 
 func main() {
 	var (
-		bench    = flag.String("bench", "gzip", "benchmark name (gzip, vpr, gcc, mcf, crafty, link, eon, perlbmk, gap, vortex, bzip, twolf)")
+		bench    = flag.String("bench", "gzip", "benchmark name, comma-separated list, or \"all\" (gzip, vpr, gcc, mcf, crafty, link, eon, perlbmk, gap, vortex, bzip, twolf)")
 		traceIn  = flag.String("trace", "", "replay a recorded .bcet trace instead of a synthetic benchmark")
 		machine  = flag.String("machine", "40c4w", "machine model (40c4w, 20c4w, 20c8w)")
 		predName = flag.String("predictor", "bimodal-gshare", "branch predictor (bimodal-gshare, gshare-perceptron)")
@@ -40,101 +46,200 @@ func main() {
 		warmup   = flag.Uint64("warmup", 60_000, "warmup uops")
 		measure  = flag.Uint64("measure", 200_000, "measured uops")
 		perfect  = flag.Bool("perfect", false, "oracle branch prediction")
+		workers  = flag.Int("workers", 0, "parallel simulations for multi-benchmark runs (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "report multi-benchmark progress and ETA on stderr")
 	)
 	flag.Parse()
 
-	if err := run(*bench, *traceIn, *machine, *predName, *estName, *lambda, *reversal,
-		*pl, *latency, *warmup, *measure, *perfect); err != nil {
+	cfg := simConfig{
+		machine: *machine, predName: *predName, estName: *estName,
+		lambda: *lambda, reversal: *reversal, pl: *pl, latency: *latency,
+		warmup: *warmup, measure: *measure, perfect: *perfect,
+	}
+	if err := run(*bench, *traceIn, cfg, *workers, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "bcesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, traceIn, machine, predName, estName string, lambda, reversal, pl, latency int,
-	warmup, measure uint64, perfect bool) error {
-	m, err := config.ByName(machine)
+// timeUnit is the rounding granularity for progress timestamps.
+const timeUnit = time.Second
+
+// simConfig is the shared simulation configuration; stateful
+// components (predictor, estimator) are built fresh per simulation.
+type simConfig struct {
+	machine, predName, estName string
+	lambda, reversal, pl       int
+	latency                    int
+	warmup, measure            uint64
+	perfect                    bool
+}
+
+func run(bench, traceIn string, cfg simConfig, workers int, progress bool) error {
+	if traceIn != "" {
+		report, err := simTrace(traceIn, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report)
+		return nil
+	}
+	benches, err := parseBenches(bench)
 	if err != nil {
 		return err
 	}
-	opt := pipeline.Options{Machine: m, Perfect: perfect}
+	if len(benches) == 1 {
+		report, err := simBench(benches[0], cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report)
+		return nil
+	}
+	// Multi-benchmark fan-out on the shared runner pool. Each job is a
+	// self-contained simulation (workload seeds derive from the
+	// benchmark profile), so results are identical under any -workers.
+	opts := runner.Options{Workers: workers}
+	if progress {
+		opts.Progress = func(p runner.Progress) {
+			fmt.Fprintf(os.Stderr, "bcesim: %d/%d done, elapsed %s, eta %s\n",
+				p.Done, p.Total, p.Elapsed.Round(timeUnit), p.ETA.Round(timeUnit))
+		}
+	}
+	reports, err := runner.Map(context.Background(), runner.New(opts), benches,
+		func(_ context.Context, _ int, b string) (string, error) {
+			return simBench(b, cfg)
+		})
+	if err != nil {
+		return err
+	}
+	for _, r := range reports {
+		fmt.Print(r)
+	}
+	return nil
+}
 
-	switch predName {
+func parseBenches(bench string) ([]string, error) {
+	if bench == "all" {
+		return workload.Names(), nil
+	}
+	var out []string
+	for _, b := range strings.Split(bench, ",") {
+		b = strings.TrimSpace(b)
+		if b == "" {
+			continue
+		}
+		if _, err := workload.ByName(b); err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmarks in %q", bench)
+	}
+	return out, nil
+}
+
+// makeOptions builds pipeline options with fresh stateful components.
+func makeOptions(cfg simConfig) (pipeline.Options, bool, error) {
+	m, err := config.ByName(cfg.machine)
+	if err != nil {
+		return pipeline.Options{}, false, err
+	}
+	opt := pipeline.Options{Machine: m, Perfect: cfg.perfect}
+
+	switch cfg.predName {
 	case "bimodal-gshare":
 		opt.Predictor = predictor.NewBaselineHybrid()
 	case "gshare-perceptron":
 		opt.Predictor = predictor.NewGsharePerceptronHybrid()
 	default:
-		return fmt.Errorf("unknown predictor %q", predName)
+		return pipeline.Options{}, false, fmt.Errorf("unknown predictor %q", cfg.predName)
 	}
 
 	useReversal := false
-	switch estName {
+	switch cfg.estName {
 	case "none":
 	case "cic":
-		cfg := confidence.CICConfig{Lambda: lambda, Reversal: confidence.DisableReversal}
-		if reversal != 0 {
-			cfg.Reversal = reversal
+		c := confidence.CICConfig{Lambda: cfg.lambda, Reversal: confidence.DisableReversal}
+		if cfg.reversal != 0 {
+			c.Reversal = cfg.reversal
 			useReversal = true
 		}
-		opt.Estimator = confidence.NewCICWith(cfg)
+		opt.Estimator = confidence.NewCICWith(c)
 	case "tnt":
-		opt.Estimator = confidence.NewTNT(lambda)
+		opt.Estimator = confidence.NewTNT(cfg.lambda)
 	case "jrs":
-		opt.Estimator = confidence.NewEnhancedJRS(lambda)
+		opt.Estimator = confidence.NewEnhancedJRS(cfg.lambda)
 	case "pattern":
 		opt.Estimator = confidence.NewPattern(0, 0)
 	default:
-		return fmt.Errorf("unknown estimator %q", estName)
+		return pipeline.Options{}, false, fmt.Errorf("unknown estimator %q", cfg.estName)
 	}
 	opt.Reversal = useReversal
-	opt.Gating = gating.Policy{Threshold: pl, Latency: latency}
+	opt.Gating = gating.Policy{Threshold: cfg.pl, Latency: cfg.latency}
+	return opt, useReversal, nil
+}
 
-	var sim *pipeline.Sim
-	if traceIn != "" {
-		f, err := os.Open(traceIn)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		replay := workload.NewReplay(trace.NewReader(f))
-		sim = pipeline.NewFromSource(opt, replay, replay.WrongPath(1))
-		bench = traceIn
-	} else {
-		prof, err := workload.ByName(bench)
-		if err != nil {
-			return err
-		}
-		sim = pipeline.New(opt, workload.New(prof))
+func simBench(bench string, cfg simConfig) (string, error) {
+	opt, useReversal, err := makeOptions(cfg)
+	if err != nil {
+		return "", err
 	}
-	sim.Run(warmup)
-	r := sim.Run(measure)
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		return "", err
+	}
+	sim := pipeline.New(opt, workload.New(prof))
+	return report(sim, bench, cfg, useReversal), nil
+}
 
-	fmt.Printf("bench=%s machine=%s predictor=%s estimator=%s\n", bench, machine, predName, estName)
-	fmt.Printf("  cycles             %12d\n", r.Cycles)
-	fmt.Printf("  retired uops       %12d   (IPC %.3f)\n", r.Retired, r.IPC())
-	fmt.Printf("  executed uops      %12d   (wrong-path %d)\n", r.Executed, r.WrongPathExecuted)
-	fmt.Printf("  fetched uops       %12d\n", r.Fetched)
-	fmt.Printf("  branches retired   %12d   (%.2f mispredicts/Kuop)\n", r.RetiredBranches, r.MispredictsPer1KUops())
-	if estName != "none" {
-		fmt.Printf("  confidence         PVN %.1f%%  Spec %.1f%%  Sens %.1f%%  PVP %.1f%%\n",
+func simTrace(traceIn string, cfg simConfig) (string, error) {
+	opt, useReversal, err := makeOptions(cfg)
+	if err != nil {
+		return "", err
+	}
+	f, err := os.Open(traceIn)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	replay := workload.NewReplay(trace.NewReader(f))
+	sim := pipeline.NewFromSource(opt, replay, replay.WrongPath(1))
+	return report(sim, traceIn, cfg, useReversal), nil
+}
+
+func report(sim *pipeline.Sim, bench string, cfg simConfig, useReversal bool) string {
+	sim.Run(cfg.warmup)
+	r := sim.Run(cfg.measure)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "bench=%s machine=%s predictor=%s estimator=%s\n", bench, cfg.machine, cfg.predName, cfg.estName)
+	fmt.Fprintf(&b, "  cycles             %12d\n", r.Cycles)
+	fmt.Fprintf(&b, "  retired uops       %12d   (IPC %.3f)\n", r.Retired, r.IPC())
+	fmt.Fprintf(&b, "  executed uops      %12d   (wrong-path %d)\n", r.Executed, r.WrongPathExecuted)
+	fmt.Fprintf(&b, "  fetched uops       %12d\n", r.Fetched)
+	fmt.Fprintf(&b, "  branches retired   %12d   (%.2f mispredicts/Kuop)\n", r.RetiredBranches, r.MispredictsPer1KUops())
+	if cfg.estName != "none" {
+		fmt.Fprintf(&b, "  confidence         PVN %.1f%%  Spec %.1f%%  Sens %.1f%%  PVP %.1f%%\n",
 			100*r.Confusion.PVN(), 100*r.Confusion.Spec(),
 			100*r.Confusion.Sens(), 100*r.Confusion.PVP())
 	}
-	if pl > 0 {
-		fmt.Printf("  gating             %d stalled cycles in %d episodes\n", r.GatedCycles, r.GateEvents)
+	if cfg.pl > 0 {
+		fmt.Fprintf(&b, "  gating             %d stalled cycles in %d episodes\n", r.GatedCycles, r.GateEvents)
 	}
 	if useReversal {
-		fmt.Printf("  reversals          %d (%d corrected a misprediction)\n", r.Reversals, r.ReversalsGood)
+		fmt.Fprintf(&b, "  reversals          %d (%d corrected a misprediction)\n", r.Reversals, r.ReversalsGood)
 	}
 	// Cache statistics.
 	h := sim.Hierarchy()
 	l1h, l1m := h.L1().Stats()
 	l2h, l2m := h.L2().Stats()
-	fmt.Printf("  L1D                %.1f%% hit (%d/%d)\n", 100*float64(l1h)/float64(l1h+l1m), l1h, l1h+l1m)
-	fmt.Printf("  L2                 %.1f%% hit (%d/%d)\n", 100*float64(l2h)/float64(l2h+l2m), l2h, l2h+l2m)
+	fmt.Fprintf(&b, "  L1D                %.1f%% hit (%d/%d)\n", 100*float64(l1h)/float64(l1h+l1m), l1h, l1h+l1m)
+	fmt.Fprintf(&b, "  L2                 %.1f%% hit (%d/%d)\n", 100*float64(l2h)/float64(l2h+l2m), l2h, l2h+l2m)
 	if pf := h.Prefetcher(); pf != nil {
 		iss, adv := pf.Stats()
-		fmt.Printf("  prefetcher         %d fills, %d stream advances\n", iss, adv)
+		fmt.Fprintf(&b, "  prefetcher         %d fills, %d stream advances\n", iss, adv)
 	}
-	return nil
+	return b.String()
 }

@@ -23,6 +23,7 @@ import (
 
 	"bce/internal/config"
 	"bce/internal/core"
+	"bce/internal/runner"
 )
 
 func main() {
@@ -32,8 +33,25 @@ func main() {
 		quick    = flag.Bool("quick", false, "use reduced run lengths")
 		segments = flag.Int("segments", 1, "independent trace segments per benchmark (the paper uses 2)")
 		csv      = flag.Bool("csv", false, "emit density data as CSV (fig4-fig7 only)")
+		workers  = flag.Int("workers", 0, "parallel simulations per sweep (0 = GOMAXPROCS); results are identical under any setting")
+		progress = flag.Bool("progress", false, "report per-sweep progress and ETA on stderr")
+		cacheDir = flag.String("cache", "", "directory for the on-disk timing-result cache (empty = in-memory only)")
 	)
 	flag.Parse()
+
+	core.SetParallelism(*workers)
+	if *progress {
+		core.SetProgress(func(p runner.Progress) {
+			fmt.Fprintf(os.Stderr, "bcetables: %d/%d jobs, elapsed %s, eta %s\n",
+				p.Done, p.Total, p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
+		})
+	}
+	if *cacheDir != "" {
+		if err := core.SetResultCacheDir(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "bcetables:", err)
+			os.Exit(1)
+		}
+	}
 
 	sz := core.DefaultSizes()
 	if *quick {
@@ -43,6 +61,11 @@ func main() {
 	if err := run(*exp, *bench, *csv, sz); err != nil {
 		fmt.Fprintln(os.Stderr, "bcetables:", err)
 		os.Exit(1)
+	}
+	if *progress {
+		hits, misses := core.ResultCacheStats()
+		fmt.Fprintf(os.Stderr, "bcetables: result cache: %d hits, %d misses (%d simulations avoided)\n",
+			hits, misses, hits)
 	}
 }
 

@@ -153,13 +153,21 @@ func (c *PerceptronCIC) Train(pc uint64, tok Token, mispredicted, taken bool) {
 	}
 }
 
-// Name implements Estimator.
+// Name implements Estimator. The name encodes every configuration
+// knob that changes behaviour — geometry, λ, the reversal threshold
+// and a non-default training threshold T — because result caches key
+// simulations by estimator name; two differently-behaving estimators
+// must never share one.
 func (c *PerceptronCIC) Name() string {
 	e, h, b := c.Geometry()
-	if c.reversal >= DisableReversal {
-		return fmt.Sprintf("perceptron_cic-P%dW%dH%d(λ=%d)", e, b, h, c.lambda)
+	var opts string
+	if c.reversal < DisableReversal {
+		opts += fmt.Sprintf(",rev=%d", c.reversal)
 	}
-	return fmt.Sprintf("perceptron_cic-P%dW%dH%d(λ=%d,rev=%d)", e, b, h, c.lambda, c.reversal)
+	if c.trainT != 75 {
+		opts += fmt.Sprintf(",T=%d", c.trainT)
+	}
+	return fmt.Sprintf("perceptron_cic-P%dW%dH%d(λ=%d%s)", e, b, h, c.lambda, opts)
 }
 
 func abs(v int) int {

@@ -1,0 +1,150 @@
+package confidence
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests: every estimator must keep its band assignment
+// consistent with its declared thresholds and raw output, no matter
+// what branch stream it has seen.
+
+// driveRandom feeds an estimator a deterministic pseudo-random branch
+// stream, checking the invariant after every estimate.
+func driveRandom(t *testing.T, est Estimator, steps int, seed int64, check func(tok Token) string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < steps; i++ {
+		pc := uint64(rng.Intn(512)) * 4
+		predTaken := rng.Intn(2) == 0
+		tok := est.Estimate(pc, predTaken)
+		if msg := check(tok); msg != "" {
+			t.Fatalf("%s: step %d: %s (token %+v)", est.Name(), i, msg, tok)
+		}
+		misp := rng.Intn(4) == 0
+		taken := predTaken != misp
+		est.Train(pc, tok, misp, taken)
+	}
+}
+
+// TestCICBandMatchesThresholdsProperty checks that the CIC band is a
+// pure function of the raw output and the two thresholds: StrongLow
+// iff y >= reversal, WeakLow iff lambda <= y < reversal, High iff
+// y < lambda — for arbitrary (λ, reversal) pairs and branch streams.
+func TestCICBandMatchesThresholdsProperty(t *testing.T) {
+	prop := func(lambdaRaw, revRaw int8, seed int64) bool {
+		lambda := int(lambdaRaw)
+		rev := int(revRaw)
+		if rev <= lambda {
+			rev = lambda + 1 // reversal threshold must sit above λ
+		}
+		est := NewCICWith(CICConfig{Lambda: lambda, Reversal: rev})
+		ok := true
+		driveRandom(t, est, 400, seed, func(tok Token) string {
+			want := High
+			switch {
+			case tok.Output >= rev:
+				want = StrongLow
+			case tok.Output >= lambda:
+				want = WeakLow
+			}
+			if tok.Band != want {
+				ok = false
+				return "band mismatch"
+			}
+			return ""
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{
+		MaxCount: 50,
+		Rand:     rand.New(rand.NewSource(11)),
+	}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCICOutputWithinGeometryBound checks the raw output never exceeds
+// the theoretical maximum (hlen+1 weights at full saturation).
+func TestCICOutputWithinGeometryBound(t *testing.T) {
+	est := NewCIC(0)
+	_, hlen, bits := est.Geometry()
+	bound := (hlen + 1) * (1 << (bits - 1)) // (n+1)·|min|
+	driveRandom(t, est, 3000, 17, func(tok Token) string {
+		if tok.Output > bound || tok.Output < -bound {
+			return "output outside geometry bound"
+		}
+		return ""
+	})
+}
+
+// TestCICReversalDisabledNeverStrongLow checks NewCIC (reversal
+// disabled) can never emit the StrongLow band: DisableReversal must be
+// unreachable by any perceptron output.
+func TestCICReversalDisabledNeverStrongLow(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		est := NewCIC(0)
+		driveRandom(t, est, 1000, seed, func(tok Token) string {
+			if tok.Band == StrongLow {
+				return "StrongLow with reversal disabled"
+			}
+			return ""
+		})
+	}
+}
+
+// TestBinaryEstimatorsOnlyTwoBands checks the documented protocol
+// contract: binary estimators (JRS, Smith, pattern) only ever produce
+// High and WeakLow — StrongLow is reserved for multi-valued outputs.
+func TestBinaryEstimatorsOnlyTwoBands(t *testing.T) {
+	ests := []Estimator{
+		NewEnhancedJRS(15),
+		NewJRS(JRSConfig{Lambda: 7, Enhanced: false}),
+		NewPattern(0, 0),
+	}
+	for _, est := range ests {
+		for seed := int64(0); seed < 3; seed++ {
+			driveRandom(t, est, 1000, seed, func(tok Token) string {
+				if tok.Band != High && tok.Band != WeakLow {
+					return "binary estimator emitted " + tok.Band.String()
+				}
+				return ""
+			})
+		}
+	}
+}
+
+// TestTNTBandMatchesThresholdProperty checks perceptron_tnt classifies
+// low-confidence exactly when |y| <= λ (an agreeing-history magnitude
+// test, unlike the CIC's signed test).
+func TestTNTBandMatchesThresholdProperty(t *testing.T) {
+	prop := func(lambdaRaw uint8, seed int64) bool {
+		lambda := int(lambdaRaw)
+		est := NewTNT(lambda)
+		ok := true
+		driveRandom(t, est, 400, seed, func(tok Token) string {
+			y := tok.Output
+			if y < 0 {
+				y = -y
+			}
+			low := y <= lambda
+			if low != tok.Band.Low() {
+				ok = false
+				return "band disagrees with |y| vs λ"
+			}
+			if tok.Band == StrongLow {
+				ok = false
+				return "tnt emitted StrongLow"
+			}
+			return ""
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{
+		MaxCount: 50,
+		Rand:     rand.New(rand.NewSource(13)),
+	}); err != nil {
+		t.Error(err)
+	}
+}

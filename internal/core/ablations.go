@@ -3,11 +3,11 @@ package core
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"bce/internal/confidence"
 	"bce/internal/config"
 	"bce/internal/gating"
+	"bce/internal/runner"
 	"bce/internal/stats"
 	"bce/internal/workload"
 )
@@ -134,7 +134,7 @@ func AblateReversalSource(sz Sizes) (*AblationResult, error) {
 			},
 		},
 	}
-	rows, err := runVariants(sz, func(bench string) TimingSpec {
+	rows, err := gatingSweep(sz, func(bench string) TimingSpec {
 		return TimingSpec{Bench: bench, Machine: config.Baseline40x4()}
 	}, variants)
 	if err != nil {
@@ -155,12 +155,11 @@ func AblateTrainingSite(sz Sizes) (*AblationResult, error) {
 		u, p, pvn, spec float64
 		n               int
 	}
-	var retireAcc, fetchAcc acc
-	var mu sync.Mutex
-	err := forEachBench(func(bench string) error {
+	perBench, err := mapBench(func(bench string) ([2]acc, error) {
+		var out [2]acc
 		base, err := runTiming(TimingSpec{Bench: bench, Machine: config.Baseline40x4()}, sz)
 		if err != nil {
-			return err
+			return out, err
 		}
 		for i, spec := range []bool{false, true} {
 			s := TimingSpec{
@@ -170,24 +169,30 @@ func AblateTrainingSite(sz Sizes) (*AblationResult, error) {
 			}
 			r, err := runTimingSpecTrain(s, sz, spec)
 			if err != nil {
-				return err
+				return out, err
 			}
-			mu.Lock()
-			a := &retireAcc
-			if i == 1 {
-				a = &fetchAcc
+			out[i] = acc{
+				u:    r.UopReductionPercent(base),
+				p:    r.PerfLossPercent(base),
+				pvn:  100 * r.Confusion.PVN(),
+				spec: 100 * r.Confusion.Spec(),
+				n:    1,
 			}
-			a.u += r.UopReductionPercent(base)
-			a.p += r.PerfLossPercent(base)
-			a.pvn += 100 * r.Confusion.PVN()
-			a.spec += 100 * r.Confusion.Spec()
-			a.n++
-			mu.Unlock()
 		}
-		return nil
+		return out, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	var retireAcc, fetchAcc acc
+	for _, pair := range perBench {
+		for i, a := range []*acc{&retireAcc, &fetchAcc} {
+			a.u += pair[i].u
+			a.p += pair[i].p
+			a.pvn += pair[i].pvn
+			a.spec += pair[i].spec
+			a.n += pair[i].n
+		}
 	}
 	mk := func(label string, a acc) AblationRow {
 		n := float64(a.n)
@@ -262,11 +267,10 @@ func Variability(lambda, pl int, sz Sizes) (*VariabilityReport, error) {
 		Label:        fmt.Sprintf("cic λ=%d PL%d, 40c4w", lambda, pl),
 		PerBenchmark: make(map[string][2]float64),
 	}
-	var mu sync.Mutex
-	err := forEachBench(func(bench string) error {
+	perBench, err := mapBench(func(bench string) ([2]float64, error) {
 		base, err := runTiming(TimingSpec{Bench: bench, Machine: config.Baseline40x4()}, sz)
 		if err != nil {
-			return err
+			return [2]float64{}, err
 		}
 		r, err := runTiming(TimingSpec{
 			Bench: bench, Machine: config.Baseline40x4(),
@@ -274,26 +278,26 @@ func Variability(lambda, pl int, sz Sizes) (*VariabilityReport, error) {
 			Gating:    gating.PL(pl),
 		}, sz)
 		if err != nil {
-			return err
+			return [2]float64{}, err
 		}
-		mu.Lock()
-		rep.PerBenchmark[bench] = [2]float64{r.UopReductionPercent(base), r.PerfLossPercent(base)}
-		mu.Unlock()
-		return nil
+		return [2]float64{r.UopReductionPercent(base), r.PerfLossPercent(base)}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	var us, ps []float64
-	for _, name := range workload.Names() {
-		v := rep.PerBenchmark[name]
-		us = append(us, v[0])
-		ps = append(ps, v[1])
+	for i, name := range workload.Names() {
+		rep.PerBenchmark[name] = perBench[i]
+		us = append(us, perBench[i][0])
+		ps = append(ps, perBench[i][1])
 	}
 	rep.USummary = stats.Summarize(us)
 	rep.PSummary = stats.Summarize(ps)
-	rep.UCI = stats.BootstrapMeanCI(us, 0.95, 2000, 1)
-	rep.PCI = stats.BootstrapMeanCI(ps, 0.95, 2000, 2)
+	// The bootstrap resampling seeds derive from the report label, so
+	// the CIs are stable across runs and worker counts but decorrelated
+	// between the U and P resamples.
+	rep.UCI = stats.BootstrapMeanCI(us, 0.95, 2000, runner.Seed("variability", rep.Label, "u"))
+	rep.PCI = stats.BootstrapMeanCI(ps, 0.95, 2000, runner.Seed("variability", rep.Label, "p"))
 	return rep, nil
 }
 

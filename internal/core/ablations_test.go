@@ -35,6 +35,7 @@ func TestAblateTrainingSignal(t *testing.T) {
 }
 
 func TestAblateReversalSource(t *testing.T) {
+	skipHeavyUnderRace(t)
 	if testing.Short() {
 		t.Skip("skipped in -short")
 	}
@@ -58,6 +59,7 @@ func TestAblateReversalSource(t *testing.T) {
 }
 
 func TestAblateTrainingSite(t *testing.T) {
+	skipHeavyUnderRace(t)
 	if testing.Short() {
 		t.Skip("skipped in -short")
 	}
@@ -113,6 +115,7 @@ func TestAblateThresholdAndHistory(t *testing.T) {
 }
 
 func TestVariability(t *testing.T) {
+	skipHeavyUnderRace(t)
 	if testing.Short() {
 		t.Skip("skipped in -short")
 	}

@@ -195,6 +195,7 @@ func TestDensityQuick(t *testing.T) {
 }
 
 func TestTable2Quick(t *testing.T) {
+	skipHeavyUnderRace(t)
 	if testing.Short() {
 		t.Skip("timing sweep skipped in -short")
 	}
@@ -219,6 +220,7 @@ func TestTable2Quick(t *testing.T) {
 }
 
 func TestLatencyQuick(t *testing.T) {
+	skipHeavyUnderRace(t)
 	if testing.Short() {
 		t.Skip("timing sweep skipped in -short")
 	}

@@ -1,0 +1,120 @@
+package core
+
+// exec.go wires the experiment engine onto the shared runner
+// subsystem (internal/runner): one bounded worker pool drives every
+// benchmark fan-out, and one content-addressed result cache serves
+// identical timing runs — most importantly the ungated baseline that
+// every gating table, figure and ablation measures against — once per
+// suite instead of once per caller.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"bce/internal/metrics"
+	"bce/internal/runner"
+	"bce/internal/workload"
+)
+
+// Execution settings. These are process-wide knobs meant to be set
+// once at startup (or between sweeps in tests); they are not
+// synchronized against concurrently running sweeps.
+var (
+	execWorkers  int // 0 = runtime.GOMAXPROCS
+	execProgress func(runner.Progress)
+)
+
+// SetParallelism bounds the worker count for experiment fan-outs;
+// n < 1 restores the default (GOMAXPROCS). Results are bit-identical
+// under any worker count: jobs derive their randomness from stable
+// hashes of their own configuration, never from scheduling order.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 0
+	}
+	execWorkers = n
+}
+
+// SetProgress installs a progress/ETA hook called as sweep jobs
+// complete; nil disables. Each table or figure regeneration reports
+// Done/Total over its benchmark fan-out.
+func SetProgress(fn func(runner.Progress)) { execProgress = fn }
+
+func corePool() *runner.Pool {
+	return runner.New(runner.Options{Workers: execWorkers, Progress: execProgress})
+}
+
+// mapBench runs fn for every benchmark on the shared pool and returns
+// the per-benchmark results in workload.Names() order, regardless of
+// completion order. Errors are tagged with the benchmark name; a
+// panicking benchmark surfaces its configuration instead of killing
+// the sweep.
+func mapBench[R any](fn func(bench string) (R, error)) ([]R, error) {
+	return runner.Map(context.Background(), corePool(), workload.Names(),
+		func(_ context.Context, _ int, name string) (R, error) {
+			r, err := fn(name)
+			if err != nil {
+				var zero R
+				return zero, fmt.Errorf("%s: %w", name, err)
+			}
+			return r, nil
+		})
+}
+
+// resultCache memoizes timing runs by their full configuration
+// (machine, predictor, estimator, gating, workload, sizes). Timing
+// simulations are pure functions of that configuration, so the cache
+// is exact, not approximate.
+var resultCache = runner.NewCache[metrics.Run]()
+
+// ResetResultCache drops every cached timing result and zeroes the
+// hit/miss counters (the on-disk store, if configured, is untouched).
+func ResetResultCache() { resultCache.Reset() }
+
+// ResultCacheStats returns the timing-run cache counters: hits are
+// runs served from memory or disk, misses are fresh simulations.
+func ResultCacheStats() (hits, misses uint64) { return resultCache.Stats() }
+
+// SetResultCacheDir attaches an on-disk result cache rooted at dir,
+// persisting timing runs across invocations (bcetables -cache). An
+// empty dir detaches.
+func SetResultCacheDir(dir string) error {
+	if dir == "" {
+		resultCache.SetStore(nil, nil, nil)
+		return nil
+	}
+	store, err := runner.NewDirStore(dir)
+	if err != nil {
+		return err
+	}
+	resultCache.SetStore(store,
+		func(r metrics.Run) ([]byte, error) { return json.Marshal(r) },
+		func(b []byte) (metrics.Run, error) {
+			var r metrics.Run
+			err := json.Unmarshal(b, &r)
+			return r, err
+		})
+	return nil
+}
+
+// timingKey canonicalizes a timing run's full configuration into its
+// cache key. The estimator is identified by constructing one instance
+// and taking its Name(), which encodes geometry and thresholds;
+// estimator constructors are cheap next to a timing simulation.
+func timingKey(spec TimingSpec, sz Sizes, speculativeTrain bool) string {
+	est := "none"
+	if spec.Estimator != nil {
+		est = spec.Estimator().Name()
+	}
+	return runner.KeyOf(
+		"timing", 1, // schema version: bump when Run or the sim semantics change
+		spec.Bench,
+		fmt.Sprintf("%+v", spec.Machine),
+		spec.Predictor,
+		est,
+		spec.Gating.Threshold, spec.Gating.Latency,
+		spec.Reversal, spec.Perfect, speculativeTrain,
+		sz.Warmup, sz.Measure, sz.segments(),
+	)
+}

@@ -3,13 +3,11 @@ package core
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"bce/internal/confidence"
 	"bce/internal/config"
 	"bce/internal/gating"
 	"bce/internal/metrics"
-	"bce/internal/workload"
 )
 
 // -------------------------------------------------------------------
@@ -180,12 +178,10 @@ func Combined(m config.Machine, sz Sizes) (*CombinedResult, error) {
 			Reversal: 50,  // strongly-low band: reverse above the MB/CB crossover
 		})
 	}
-	rows := make(map[string]CombinedRow)
-	var mu sync.Mutex
-	err := forEachBench(func(bench string) error {
+	rows, err := mapBench(func(bench string) (CombinedRow, error) {
 		base, err := runTiming(TimingSpec{Bench: bench, Machine: m}, sz)
 		if err != nil {
-			return err
+			return CombinedRow{}, err
 		}
 		r, err := runTiming(TimingSpec{
 			Bench: bench, Machine: m,
@@ -194,24 +190,19 @@ func Combined(m config.Machine, sz Sizes) (*CombinedResult, error) {
 			Reversal:  true,
 		}, sz)
 		if err != nil {
-			return err
+			return CombinedRow{}, err
 		}
-		mu.Lock()
-		rows[bench] = CombinedRow{
+		return CombinedRow{
 			Bench:           bench,
 			SpeedupPct:      r.SpeedupPercent(base),
 			UopReductionPct: r.UopReductionPercent(base),
-		}
-		mu.Unlock()
-		return nil
+		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	res := &CombinedResult{Machine: m.Name}
-	for _, name := range workload.Names() {
-		r := rows[name]
-		res.Rows = append(res.Rows, r)
+	res := &CombinedResult{Machine: m.Name, Rows: rows}
+	for _, r := range rows {
 		res.AvgSpeedupPct += r.SpeedupPct
 		res.AvgUopReduction += r.UopReductionPct
 	}
@@ -275,7 +266,7 @@ func Latency(sz Sizes) (*LatencyResult, error) {
 			},
 		}
 	}
-	rows, err := runVariants(sz, func(bench string) TimingSpec {
+	rows, err := gatingSweep(sz, func(bench string) TimingSpec {
 		return TimingSpec{Bench: bench, Machine: config.Baseline40x4()}
 	}, []variant{mk(1), mk(9)})
 	if err != nil {

@@ -34,6 +34,25 @@ type FunctionalResult struct {
 	WrongHist   *metrics.Histogram
 }
 
+// Merge folds another segment's results into r: counters and the
+// confusion matrix add field-wise, histograms merge bin-wise (adopting
+// o's histograms when r has none). Merging is commutative on the
+// counters, but callers merge in segment order so histogram adoption
+// is deterministic too.
+func (r *FunctionalResult) Merge(o FunctionalResult) {
+	r.Confusion.Merge(o.Confusion)
+	r.Uops += o.Uops
+	r.Branches += o.Branches
+	if o.CorrectHist != nil {
+		if r.CorrectHist == nil {
+			r.CorrectHist, r.WrongHist = o.CorrectHist, o.WrongHist
+		} else {
+			r.CorrectHist.Merge(o.CorrectHist)
+			r.WrongHist.Merge(o.WrongHist)
+		}
+	}
+}
+
 // MispredictsPer1KUops returns the Table 2 rate over the measured span.
 func (r FunctionalResult) MispredictsPer1KUops() float64 {
 	if r.Uops == 0 {
@@ -90,17 +109,7 @@ func RunFunctional(cfg FunctionalConfig) (FunctionalResult, error) {
 		if err != nil {
 			return total, err
 		}
-		total.Confusion.Merge(r.Confusion)
-		total.Uops += r.Uops
-		total.Branches += r.Branches
-		if r.CorrectHist != nil {
-			if total.CorrectHist == nil {
-				total.CorrectHist, total.WrongHist = r.CorrectHist, r.WrongHist
-			} else {
-				total.CorrectHist.Merge(r.CorrectHist)
-				total.WrongHist.Merge(r.WrongHist)
-			}
-		}
+		total.Merge(r)
 	}
 	return total, nil
 }
@@ -190,10 +199,9 @@ func AverageConfusion(
 	makeEst func() confidence.Estimator,
 	warmup, measure uint64,
 ) (metrics.Confusion, error) {
-	var total metrics.Confusion
-	for _, name := range workload.Names() {
+	return mergedConfusion(func(bench string) (FunctionalResult, error) {
 		cfg := FunctionalConfig{
-			Bench:       name,
+			Bench:       bench,
 			Estimator:   makeEst(),
 			WarmupUops:  warmup,
 			MeasureUops: measure,
@@ -201,10 +209,20 @@ func AverageConfusion(
 		if makePred != nil {
 			cfg.Predictor = makePred()
 		}
-		r, err := RunFunctional(cfg)
-		if err != nil {
-			return total, err
-		}
+		return RunFunctional(cfg)
+	})
+}
+
+// mergedConfusion runs one functional job per benchmark in parallel
+// and merges the confusion matrices in workload.Names() order, so the
+// aggregate is identical under any worker count.
+func mergedConfusion(job func(bench string) (FunctionalResult, error)) (metrics.Confusion, error) {
+	var total metrics.Confusion
+	perBench, err := mapBench(job)
+	if err != nil {
+		return total, err
+	}
+	for _, r := range perBench {
 		total.Merge(r.Confusion)
 	}
 	return total, nil
@@ -218,23 +236,16 @@ func AverageConfusionSized(
 	makeEst func() confidence.Estimator,
 	sz Sizes,
 ) (metrics.Confusion, error) {
-	var total metrics.Confusion
-	for _, name := range workload.Names() {
-		cfg := FunctionalConfig{
-			Bench:         name,
+	return mergedConfusion(func(bench string) (FunctionalResult, error) {
+		return RunFunctional(FunctionalConfig{
+			Bench:         bench,
 			MakeEstimator: makeEst,
 			MakePredictor: makePred,
 			WarmupUops:    sz.FuncWarmup,
 			MeasureUops:   sz.FuncMeasure,
 			Segments:      sz.segments(),
-		}
-		r, err := RunFunctional(cfg)
-		if err != nil {
-			return total, err
-		}
-		total.Merge(r.Confusion)
-	}
-	return total, nil
+		})
+	})
 }
 
 // AverageConfusionLinked is AverageConfusion for estimators that read
@@ -244,20 +255,14 @@ func AverageConfusionLinked(
 	make func() (predictor.Predictor, confidence.Estimator),
 	warmup, measure uint64,
 ) (metrics.Confusion, error) {
-	var total metrics.Confusion
-	for _, name := range workload.Names() {
+	return mergedConfusion(func(bench string) (FunctionalResult, error) {
 		pred, est := make()
-		r, err := RunFunctional(FunctionalConfig{
-			Bench:       name,
+		return RunFunctional(FunctionalConfig{
+			Bench:       bench,
 			Predictor:   pred,
 			Estimator:   est,
 			WarmupUops:  warmup,
 			MeasureUops: measure,
 		})
-		if err != nil {
-			return total, err
-		}
-		total.Merge(r.Confusion)
-	}
-	return total, nil
+	})
 }

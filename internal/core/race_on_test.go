@@ -1,0 +1,11 @@
+//go:build race
+
+package core
+
+// raceDetectorOn reports whether this test binary was built with the
+// race detector. The full timing sweeps run 10-15x slower under race
+// instrumentation and blow the per-package test timeout, so the
+// heaviest paper-shape tests skip themselves; the runner's concurrency
+// still gets race coverage from TestDeterministicAcrossWorkerCounts,
+// which shrinks its run lengths instead of skipping.
+const raceDetectorOn = true

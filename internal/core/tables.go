@@ -3,19 +3,12 @@ package core
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"bce/internal/confidence"
 	"bce/internal/config"
 	"bce/internal/gating"
 	"bce/internal/workload"
 )
-
-// variant pairs a display label with a per-benchmark timing spec.
-type variant struct {
-	Label string
-	Of    func(bench string) TimingSpec
-}
 
 // -------------------------------------------------------------------
 // Table 2 — benchmarks and their speculative execution characteristics
@@ -48,19 +41,16 @@ type Table2Result struct {
 // − 1.
 func Table2(sz Sizes) (*Table2Result, error) {
 	machines := []config.Machine{config.Mid20x4(), config.Wide20x8(), config.Baseline40x4()}
-	rowsByName := make(map[string]*Table2Row)
-	var mu sync.Mutex
-	err := forEachBench(func(bench string) error {
-		row := &Table2Row{Bench: bench, PaperMispPer1K: workload.Table2Target[bench]}
-		for i, m := range machines {
-			machine := m
+	rows, err := mapBench(func(bench string) (Table2Row, error) {
+		row := Table2Row{Bench: bench, PaperMispPer1K: workload.Table2Target[bench]}
+		for i, machine := range machines {
 			perfect, err := runTiming(TimingSpec{Bench: bench, Machine: machine, Perfect: true}, sz)
 			if err != nil {
-				return err
+				return row, err
 			}
 			real, err := runTiming(TimingSpec{Bench: bench, Machine: machine}, sz)
 			if err != nil {
-				return err
+				return row, err
 			}
 			w := real.WastePercent(perfect.Executed)
 			switch i {
@@ -73,18 +63,13 @@ func Table2(sz Sizes) (*Table2Result, error) {
 				row.MispPer1K = real.MispredictsPer1KUops()
 			}
 		}
-		mu.Lock()
-		rowsByName[bench] = row
-		mu.Unlock()
-		return nil
+		return row, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	res := &Table2Result{}
-	for _, name := range workload.Names() {
-		r := rowsByName[name]
-		res.Rows = append(res.Rows, *r)
+	res := &Table2Result{Rows: rows}
+	for _, r := range rows {
 		res.AvgMispPer1K += r.MispPer1K
 		res.AvgWaste20x4 += r.Waste20x4
 		res.AvgWaste20x8 += r.Waste20x8
@@ -225,7 +210,7 @@ func Table4(sz Sizes) (*Table4Result, error) {
 			},
 		})
 	}
-	rows, err := runVariants(sz, baseline, variants)
+	rows, err := gatingSweep(sz, baseline, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -260,18 +245,6 @@ func (t *Table4Result) String() string {
 	return b.String()
 }
 
-func runVariants(sz Sizes, baselineOf func(string) TimingSpec, vs []variant) ([]GatingResult, error) {
-	conv := make([]struct {
-		Label string
-		Of    func(bench string) TimingSpec
-	}, len(vs))
-	for i, v := range vs {
-		conv[i].Label = v.Label
-		conv[i].Of = v.Of
-	}
-	return gatingSweep(sz, baselineOf, conv)
-}
-
 // -------------------------------------------------------------------
 // Table 5 — effect of a better baseline branch predictor (§5.2)
 // -------------------------------------------------------------------
@@ -304,14 +277,14 @@ func Table5(sz Sizes) (*Table5Result, error) {
 		return out
 	}
 	res := &Table5Result{}
-	rows, err := runVariants(sz, func(bench string) TimingSpec {
+	rows, err := gatingSweep(sz, func(bench string) TimingSpec {
 		return TimingSpec{Bench: bench, Machine: config.Baseline40x4(), Predictor: BimodalGshare}
 	}, mk(BimodalGshare, []int{25, 0, -25, -50}))
 	if err != nil {
 		return nil, err
 	}
 	res.BimodalGshare = rows
-	rows, err = runVariants(sz, func(bench string) TimingSpec {
+	rows, err = gatingSweep(sz, func(bench string) TimingSpec {
 		return TimingSpec{Bench: bench, Machine: config.Baseline40x4(), Predictor: GsharePerceptron}
 	}, mk(GsharePerceptron, []int{0, -25, -50, -60}))
 	if err != nil {
@@ -393,7 +366,7 @@ func Table6(sz Sizes) (*Table6Result, error) {
 			},
 		})
 	}
-	rows, err := runVariants(sz, func(bench string) TimingSpec {
+	rows, err := gatingSweep(sz, func(bench string) TimingSpec {
 		return TimingSpec{Bench: bench, Machine: config.Baseline40x4()}
 	}, variants)
 	if err != nil {

@@ -1,10 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-
 	"bce/internal/confidence"
 	"bce/internal/config"
 	"bce/internal/gating"
@@ -92,17 +88,29 @@ type TimingSpec struct {
 }
 
 // runTiming executes one spec and returns the measured-span counters.
+// Results are served through the suite-wide content-addressed cache:
+// the ungated baseline a dozen tables share runs once, not once per
+// caller.
 func runTiming(spec TimingSpec, sz Sizes) (metrics.Run, error) {
 	return runTimingSpecTrain(spec, sz, false)
 }
 
 // runTimingSpecTrain is runTiming with control over the confidence
 // training site (retire vs speculative fetch-time, an ablation knob).
-// When sz requests multiple segments, each runs on a fresh machine
-// over an independent runtime-randomness stream of the same static
-// program, and the counters are merged (the paper's two-segments-per-
-// benchmark methodology, §4).
 func runTimingSpecTrain(spec TimingSpec, sz Sizes, speculativeTrain bool) (metrics.Run, error) {
+	return resultCache.Do(timingKey(spec, sz, speculativeTrain), func() (metrics.Run, error) {
+		return runTimingUncached(spec, sz, speculativeTrain)
+	})
+}
+
+// runTimingUncached executes the simulation itself. When sz requests
+// multiple segments, each runs on a fresh machine over an independent
+// runtime-randomness stream of the same static program — the segment
+// index flows into the workload's seed derivation, so every
+// (config, segment) job draws deterministic, order-independent
+// randomness — and the counters are merged (the paper's
+// two-segments-per-benchmark methodology, §4).
+func runTimingUncached(spec TimingSpec, sz Sizes, speculativeTrain bool) (metrics.Run, error) {
 	prof, err := workload.ByName(spec.Bench)
 	if err != nil {
 		return metrics.Run{}, err
@@ -131,44 +139,6 @@ func runTimingSpecTrain(spec TimingSpec, sz Sizes, speculativeTrain bool) (metri
 	return merged, nil
 }
 
-// forEachBench runs fn for every benchmark concurrently (each
-// benchmark's simulations are independent and deterministic) and
-// returns the first error.
-func forEachBench(fn func(bench string) error) error {
-	names := workload.Names()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(names) {
-		workers = len(names)
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	ch := make(chan string)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for name := range ch {
-				if err := fn(name); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("%s: %w", name, err)
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for _, n := range names {
-		ch <- n
-	}
-	close(ch)
-	wg.Wait()
-	return firstErr
-}
-
 // GatingResult is one (U, P) measurement: the percentage reduction in
 // executed uops and the percentage performance loss versus the ungated
 // baseline, averaged across benchmarks as the paper reports.
@@ -181,51 +151,49 @@ type GatingResult struct {
 	P float64
 }
 
+// variant pairs a display label with a per-benchmark timing spec.
+type variant struct {
+	Label string
+	Of    func(bench string) TimingSpec
+}
+
 // gatingSweep measures U and P for each estimator configuration
-// against per-benchmark ungated baselines. baselineOf must yield the
-// ungated spec for a benchmark; variants yields the gated specs.
-func gatingSweep(
-	sz Sizes,
-	baselineOf func(bench string) TimingSpec,
-	variants []struct {
-		Label string
-		Of    func(bench string) TimingSpec
-	},
-) ([]GatingResult, error) {
-	type acc struct {
-		u, p float64
-		n    int
-	}
-	accs := make([]acc, len(variants))
-	var mu sync.Mutex
-	err := forEachBench(func(bench string) error {
+// against per-benchmark ungated baselines, averaged across benchmarks
+// as the paper reports. baselineOf must yield the ungated spec for a
+// benchmark; variants yields the gated specs. Each benchmark is one
+// runner job producing its per-variant (U, P) pairs; the average is a
+// serial reduction over the ordered job results, so the output is
+// bit-identical under any worker count.
+func gatingSweep(sz Sizes, baselineOf func(bench string) TimingSpec, variants []variant) ([]GatingResult, error) {
+	type up struct{ u, p float64 }
+	perBench, err := mapBench(func(bench string) ([]up, error) {
 		base, err := runTiming(baselineOf(bench), sz)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		rows := make([]up, len(variants))
 		for i, v := range variants {
 			r, err := runTiming(v.Of(bench), sz)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			mu.Lock()
-			accs[i].u += r.UopReductionPercent(base)
-			accs[i].p += r.PerfLossPercent(base)
-			accs[i].n++
-			mu.Unlock()
+			rows[i] = up{u: r.UopReductionPercent(base), p: r.PerfLossPercent(base)}
 		}
-		return nil
+		return rows, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	out := make([]GatingResult, len(variants))
+	n := float64(len(perBench))
 	for i, v := range variants {
-		out[i] = GatingResult{
-			Label: v.Label,
-			U:     accs[i].u / float64(accs[i].n),
-			P:     accs[i].p / float64(accs[i].n),
+		out[i].Label = v.Label
+		for _, rows := range perBench {
+			out[i].U += rows[i].u
+			out[i].P += rows[i].p
 		}
+		out[i].U /= n
+		out[i].P /= n
 	}
 	return out, nil
 }

@@ -1,0 +1,39 @@
+package metrics
+
+// Result-key hashing for content-addressed experiment caching.
+//
+// Every experiment in this repository is a pure function of its
+// configuration (machine, predictor, estimator, workload profile,
+// gating policy, run sizes): rerunning the same configuration yields
+// bit-identical counters. That makes results content-addressable — a
+// stable hash of the canonical configuration string identifies the Run
+// it produces, across goroutines, worker counts and process
+// invocations alike. The runner package builds its cache keys and its
+// deterministic per-job RNG seeds from these hashes.
+
+// Fingerprint returns the 64-bit FNV-1a hash of the canonical key
+// string. FNV-1a is stable across platforms and Go versions (unlike
+// maphash), which on-disk cache filenames require.
+func Fingerprint(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// SeedFrom derives a deterministic RNG seed from a canonical key
+// string. Jobs that seed randomness this way produce bit-identical
+// results regardless of worker count or scheduling order, because the
+// seed depends only on the job's identity, never on execution order.
+// The hash is folded to keep the seed non-negative (rand.NewSource
+// accepts any int64, but non-negative seeds print legibly in logs).
+func SeedFrom(key string) int64 {
+	h := Fingerprint(key)
+	return int64(h &^ (1 << 63))
+}

@@ -1,0 +1,40 @@
+package metrics
+
+import "testing"
+
+func TestFingerprintKnownVectors(t *testing.T) {
+	// FNV-1a 64-bit reference vectors; these must never change, or
+	// every on-disk cache entry in the world silently invalidates.
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 14695981039346656037},
+		{"a", 0xaf63dc4c8601ec8c},
+		{"foobar", 0x85944171f73967e8},
+	}
+	for _, c := range cases {
+		if got := Fingerprint(c.in); got != c.want {
+			t.Errorf("Fingerprint(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	if Fingerprint("bench=gzip") == Fingerprint("bench=mcf") {
+		t.Error("distinct keys collided")
+	}
+}
+
+func TestSeedFromStableAndNonNegative(t *testing.T) {
+	a := SeedFrom("timing|gzip|seg=0")
+	if a != SeedFrom("timing|gzip|seg=0") {
+		t.Error("seed not stable")
+	}
+	if a < 0 {
+		t.Errorf("seed negative: %d", a)
+	}
+	if a == SeedFrom("timing|gzip|seg=1") {
+		t.Error("segment change did not move seed")
+	}
+}

@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+// walkCounters visits every numeric leaf field of a Run (recursing
+// into nested structs like Confusion) and calls fn with a path label
+// and an addressable reflect.Value. It fails the test on any field
+// type it does not understand, so adding a non-counter field to Run
+// forces a conscious decision about how Merge should treat it.
+func walkCounters(t *testing.T, path string, v reflect.Value, fn func(path string, v reflect.Value)) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Type().Field(i)
+			walkCounters(t, path+"."+f.Name, v.Field(i), fn)
+		}
+	case reflect.Uint64:
+		fn(path, v)
+	default:
+		t.Fatalf("field %s has kind %s: teach walkCounters (and Run.Merge!) about it", path, v.Kind())
+	}
+}
+
+// TestMergeEqualsFieldwiseSum checks that merging N segment Runs is
+// exactly the field-wise sum over every counter, including the nested
+// Confusion matrix — and, via walkCounters, that no Run field can be
+// silently skipped by Merge when the struct grows.
+func TestMergeEqualsFieldwiseSum(t *testing.T) {
+	const n = 4
+	// Give every field of every segment a distinct value so a dropped
+	// or transposed field cannot cancel out.
+	segs := make([]Run, n)
+	for s := range segs {
+		i := uint64(0)
+		walkCounters(t, "Run", reflect.ValueOf(&segs[s]).Elem(), func(path string, v reflect.Value) {
+			i++
+			v.SetUint(uint64(s+1) * (100 + i))
+		})
+	}
+
+	var merged Run
+	for _, s := range segs {
+		merged.Merge(s)
+	}
+
+	var want Run
+	i := uint64(0)
+	walkCounters(t, "Run", reflect.ValueOf(&want).Elem(), func(path string, v reflect.Value) {
+		i++
+		var sum uint64
+		for s := 0; s < n; s++ {
+			sum += uint64(s+1) * (100 + i)
+		}
+		v.SetUint(sum)
+	})
+
+	got := reflect.ValueOf(&merged).Elem()
+	walkCounters(t, "Run", reflect.ValueOf(&want).Elem(), func(path string, v reflect.Value) {
+		g := got
+		for _, field := range splitPath(path) {
+			g = g.FieldByName(field)
+		}
+		if g.Uint() != v.Uint() {
+			t.Errorf("%s: merged %d, want field-wise sum %d (Merge dropped or miscombined it)",
+				path, g.Uint(), v.Uint())
+		}
+	})
+}
+
+func splitPath(path string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(path); i++ {
+		if i == len(path) || path[i] == '.' {
+			if seg := path[start:i]; seg != "" && seg != "Run" {
+				out = append(out, seg)
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// TestMergeZeroIsIdentity checks merging a zero Run changes nothing.
+func TestMergeZeroIsIdentity(t *testing.T) {
+	r := Run{Cycles: 7, Executed: 9, Confusion: Confusion{WrongLow: 3}}
+	want := r
+	r.Merge(Run{})
+	if r != want {
+		t.Errorf("merge with zero changed run: %+v != %+v", r, want)
+	}
+}

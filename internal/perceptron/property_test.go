@@ -1,0 +1,144 @@
+package perceptron
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests for the perceptron invariants the estimator and
+// predictor lean on: weights never escape their saturation bounds,
+// training moves the output monotonically toward the target, and a
+// linearly separable history is learned to perfect classification.
+
+// TestWeightsStayInBoundsProperty trains a perceptron with arbitrary
+// (history, target) sequences and checks every weight stays inside
+// [min, max] at every step, for every configured width.
+func TestWeightsStayInBoundsProperty(t *testing.T) {
+	for _, bits := range []int{2, 4, 8, 15} {
+		prop := func(hists []uint64, targets []bool) bool {
+			p := New(16, bits)
+			min, max := p.WeightRange()
+			for i, h := range hists {
+				tgt := -1
+				if i < len(targets) && targets[i] {
+					tgt = 1
+				}
+				p.Train(h, tgt)
+				for _, w := range p.Weights() {
+					if w < min || w > max {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{
+			MaxCount: 200,
+			Rand:     rand.New(rand.NewSource(int64(bits))),
+		}); err != nil {
+			t.Errorf("bits=%d: %v", bits, err)
+		}
+	}
+}
+
+// TestOutputBoundedByWeights checks |Output| can never exceed the sum
+// of |w_i|, itself bounded by (n+1)·|min| — the bound the estimator's
+// band thresholds implicitly rely on.
+func TestOutputBoundedByWeights(t *testing.T) {
+	prop := func(hist uint64, seqs []uint64) bool {
+		p := New(24, 8)
+		for i, h := range seqs {
+			tgt := 1
+			if i%2 == 0 {
+				tgt = -1
+			}
+			p.Train(h, tgt)
+		}
+		min, _ := p.WeightRange()
+		bound := (p.Inputs() + 1) * int(-min)
+		y := p.Output(hist)
+		return y >= -bound && y <= bound
+	}
+	if err := quick.Check(prop, &quick.Config{
+		MaxCount: 500,
+		Rand:     rand.New(rand.NewSource(1)),
+	}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTrainingMovesOutputTowardTarget checks the core perceptron
+// property: one training step at (hist, t) changes Output(hist) by
+// exactly +t per non-saturated weight, so while any weight has
+// headroom the output strictly moves toward the target, and it never
+// moves away.
+func TestTrainingMovesOutputTowardTarget(t *testing.T) {
+	prop := func(hist uint64, tgtBit bool, warm []uint64) bool {
+		p := New(12, 6)
+		for i, h := range warm {
+			w := 1
+			if i%3 == 0 {
+				w = -1
+			}
+			p.Train(h, w)
+		}
+		tgt := -1
+		if tgtBit {
+			tgt = 1
+		}
+		before := p.Output(hist)
+		p.Train(hist, tgt)
+		after := p.Output(hist)
+		diff := after - before
+		if tgt > 0 {
+			// Move up by up to n+1 (saturated weights contribute 0),
+			// never down.
+			return diff >= 0 && diff <= p.Inputs()+1
+		}
+		return diff <= 0 && diff >= -(p.Inputs()+1)
+	}
+	if err := quick.Check(prop, &quick.Config{
+		MaxCount: 500,
+		Rand:     rand.New(rand.NewSource(2)),
+	}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLearnsLinearlySeparableSequence trains on a function that is
+// linearly separable in the history bits (the sign of one chosen bit)
+// and requires perfect classification after a modest number of passes
+// — the convergence theorem made concrete.
+func TestLearnsLinearlySeparableSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, bit := range []uint{0, 3, 7} {
+		p := New(8, 8)
+		label := func(h uint64) int {
+			if h>>bit&1 == 1 {
+				return 1
+			}
+			return -1
+		}
+		hists := make([]uint64, 64)
+		for i := range hists {
+			hists[i] = rng.Uint64() & 0xFF
+		}
+		for pass := 0; pass < 20; pass++ {
+			for _, h := range hists {
+				// Perceptron rule: train only on mistakes (or zero
+				// output, which classifies as neither side).
+				if y := p.Output(h); (y > 0) != (label(h) > 0) || y == 0 {
+					p.Train(h, label(h))
+				}
+			}
+		}
+		for _, h := range hists {
+			y := p.Output(h)
+			if (y > 0) != (label(h) > 0) {
+				t.Errorf("bit=%d: misclassified hist %#x: output %d, want sign %d",
+					bit, h, y, label(h))
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package runner
+
+import (
+	"sync"
+
+	"bce/internal/metrics"
+)
+
+// Cache is an in-process content-addressed result cache with
+// singleflight deduplication: the first caller of a key computes, and
+// concurrent callers of the same key wait for that computation instead
+// of repeating it. Errors are cached too — every computation in this
+// repository is deterministic, so a failed key fails again.
+//
+// An optional Store persists results across process invocations;
+// install one with SetStore.
+type Cache[V any] struct {
+	mu     sync.Mutex
+	m      map[string]*cacheEntry[V]
+	hits   uint64
+	misses uint64
+
+	store  Store
+	encode func(V) ([]byte, error)
+	decode func([]byte) (V, error)
+}
+
+type cacheEntry[V any] struct {
+	ready chan struct{} // closed once val/err are set
+	val   V
+	err   error
+}
+
+// NewCache returns an empty cache.
+func NewCache[V any]() *Cache[V] {
+	return &Cache[V]{m: make(map[string]*cacheEntry[V])}
+}
+
+// SetStore installs a persistent backing store with the codec that
+// (de)serializes values. A nil store detaches. Store reads count as
+// cache hits; successful fresh computations are written through.
+func (c *Cache[V]) SetStore(s Store, encode func(V) ([]byte, error), decode func([]byte) (V, error)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store = s
+	c.encode = encode
+	c.decode = decode
+}
+
+// Do returns the cached value for key, computing it with compute on
+// first use. Concurrent calls with the same key share one computation.
+func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.val, e.err
+	}
+	e := &cacheEntry[V]{ready: make(chan struct{})}
+	c.m[key] = e
+	store, encode, decode := c.store, c.encode, c.decode
+	c.mu.Unlock()
+
+	defer close(e.ready) // release waiters even if compute panics
+	if store != nil && decode != nil {
+		if data, ok := store.Load(key); ok {
+			if v, err := decode(data); err == nil {
+				e.val = v
+				c.bump(&c.hits)
+				return e.val, nil
+			}
+		}
+	}
+	c.bump(&c.misses)
+	e.val, e.err = compute()
+	if e.err == nil && store != nil && encode != nil {
+		if data, err := encode(e.val); err == nil {
+			store.Save(key, data)
+		}
+	}
+	return e.val, e.err
+}
+
+func (c *Cache[V]) bump(ctr *uint64) {
+	c.mu.Lock()
+	*ctr++
+	c.mu.Unlock()
+}
+
+// Stats returns the hit and miss counters. A hit is a result served
+// from memory (including joins on an in-flight computation) or from
+// the store; a miss is a fresh computation.
+func (c *Cache[V]) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Reset drops all cached entries and zeroes the counters. The backing
+// store, if any, is left untouched.
+func (c *Cache[V]) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[string]*cacheEntry[V])
+	c.hits, c.misses = 0, 0
+}
+
+// Len returns the number of cached keys.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Fingerprint returns the stable 64-bit content hash of a key, the
+// address under which stores file it.
+func Fingerprint(key string) uint64 { return metrics.Fingerprint(key) }

@@ -1,0 +1,175 @@
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheComputesOnce(t *testing.T) {
+	c := NewCache[int]()
+	var computes atomic.Int32
+	for i := 0; i < 5; i++ {
+		v, err := c.Do("k", func() (int, error) {
+			computes.Add(1)
+			return 42, nil
+		})
+		if err != nil || v != 42 {
+			t.Fatalf("v=%d err=%v", v, err)
+		}
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times", n)
+	}
+	hits, misses := c.Stats()
+	if hits != 4 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 4/1", hits, misses)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache[int]()
+	var computes atomic.Int32
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			v, err := c.Do("shared", func() (int, error) {
+				computes.Add(1)
+				return 7, nil
+			})
+			if err != nil || v != 7 {
+				t.Errorf("v=%d err=%v", v, err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("%d concurrent computations for one key", n)
+	}
+}
+
+func TestCacheCachesErrors(t *testing.T) {
+	c := NewCache[int]()
+	boom := errors.New("boom")
+	var computes int
+	for i := 0; i < 3; i++ {
+		if _, err := c.Do("bad", func() (int, error) {
+			computes++
+			return 0, boom
+		}); !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if computes != 1 {
+		t.Fatalf("failed computation reran %d times (deterministic jobs fail identically)", computes)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache[int]()
+	c.Do("k", func() (int, error) { return 1, nil })
+	if c.Len() != 1 {
+		t.Fatal("len")
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("reset did not drop entries")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("counters survived reset: %d/%d", h, m)
+	}
+}
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := json.Marshal(map[string]int{"cycles": 123})
+	s.Save("bench=gzip|machine=40c4w", payload)
+	got, ok := s.Load("bench=gzip|machine=40c4w")
+	if !ok {
+		t.Fatal("saved entry not loadable")
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload mutated: %s", got)
+	}
+	if _, ok := s.Load("bench=mcf|machine=40c4w"); ok {
+		t.Fatal("phantom entry for unknown key")
+	}
+}
+
+func TestDirStoreRejectsKeyMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "the-key"
+	s.Save(key, json.RawMessage(`{"v":1}`))
+	// Corrupt the envelope's key in place, simulating a filename
+	// collision between two distinct keys.
+	path := filepath.Join(dir, filenameFor(key))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := strings.Replace(string(raw), "the-key", "not-key", 1)
+	if err := os.WriteFile(path, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(key); ok {
+		t.Fatal("mismatched envelope key accepted")
+	}
+}
+
+func filenameFor(key string) string {
+	s := &DirStore{}
+	return filepath.Base(s.path(key))
+}
+
+func TestCacheWithStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := func(v int) ([]byte, error) { return json.Marshal(v) }
+	dec := func(b []byte) (int, error) {
+		var v int
+		err := json.Unmarshal(b, &v)
+		return v, err
+	}
+
+	c1 := NewCache[int]()
+	c1.SetStore(s, enc, dec)
+	if v, err := c1.Do("k", func() (int, error) { return 99, nil }); err != nil || v != 99 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+
+	// A fresh cache (new process) must serve the result from disk
+	// without recomputing.
+	c2 := NewCache[int]()
+	c2.SetStore(s, enc, dec)
+	v, err := c2.Do("k", func() (int, error) {
+		t.Error("recomputed despite disk cache")
+		return 0, nil
+	})
+	if err != nil || v != 99 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+	if hits, misses := c2.Stats(); hits != 1 || misses != 0 {
+		t.Errorf("store hit not counted: hits=%d misses=%d", hits, misses)
+	}
+}

@@ -1,0 +1,85 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store persists cache entries across process invocations. Load
+// returns the stored bytes for a key (false when absent or unreadable)
+// and Save writes them; both are best-effort — a broken store must
+// degrade to cache misses, never to errors.
+type Store interface {
+	Load(key string) ([]byte, bool)
+	Save(key string, data []byte)
+}
+
+// DirStore files each entry as <fnv64-of-key>.json in a directory. The
+// full key is stored inside the envelope and verified on load, so a
+// 64-bit filename collision reads as a miss instead of returning the
+// wrong experiment's results.
+type DirStore struct {
+	dir string
+}
+
+// storeEnvelope is the on-disk record: the exact key plus the payload.
+type storeEnvelope struct {
+	Key  string          `json:"key"`
+	Data json.RawMessage `json:"data"`
+}
+
+// NewDirStore returns a store rooted at dir, creating it if needed.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: cache dir: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DirStore) Dir() string { return s.dir }
+
+func (s *DirStore) path(key string) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%016x.json", Fingerprint(key)))
+}
+
+// Load implements Store.
+func (s *DirStore) Load(key string) ([]byte, bool) {
+	raw, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var env storeEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil || env.Key != key {
+		return nil, false
+	}
+	return env.Data, true
+}
+
+// Save implements Store. The write goes through a temp file + rename
+// so concurrent invocations never observe a torn entry.
+func (s *DirStore) Save(key string, data []byte) {
+	env := storeEnvelope{Key: key, Data: json.RawMessage(data)}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(raw)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, s.path(key)); err != nil {
+		os.Remove(name)
+	}
+}
+
+var _ Store = (*DirStore)(nil)

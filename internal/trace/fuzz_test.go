@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+// uopFromChunk builds one syntactically valid Uop from a 27-byte fuzz
+// chunk, covering every kind and the full field ranges (including the
+// PC extremes that stress zig-zag delta encoding).
+func uopFromChunk(c []byte) Uop {
+	u := Uop{
+		PC:     binary.LittleEndian.Uint64(c[0:8]),
+		Target: binary.LittleEndian.Uint64(c[8:16]),
+		Addr:   binary.LittleEndian.Uint64(c[16:24]),
+		Kind:   Kind(c[24] % uint8(numKinds)),
+		Taken:  c[25]&1 != 0,
+	}
+	u.Dst, u.Src1, u.Src2 = NoReg, NoReg, NoReg
+	if c[25]&2 != 0 {
+		u.Dst = c[26] % NumRegs
+		u.Src1 = c[26] / 2 % NumRegs
+		u.Src2 = NoReg
+	}
+	return u
+}
+
+// expected normalizes a written uop to what the codec preserves: the
+// target travels only with branches, the address only with memory
+// uops (everything else reads back as zero).
+func expected(u Uop) Uop {
+	if !u.Kind.IsBranch() {
+		u.Target = 0
+	}
+	if !u.Kind.IsMem() {
+		u.Addr = 0
+	}
+	return u
+}
+
+// FuzzCodecRoundTrip checks that any sequence of valid uops survives a
+// write/read cycle bit-exactly — in particular the zig-zag varint PC
+// deltas, which must round-trip even for deltas of math.MinInt64
+// (adjacent PCs 2^63 apart).
+func FuzzCodecRoundTrip(f *testing.F) {
+	chunk := func(pc, target, addr uint64, kind, flags, regs byte) []byte {
+		var c [27]byte
+		binary.LittleEndian.PutUint64(c[0:8], pc)
+		binary.LittleEndian.PutUint64(c[8:16], target)
+		binary.LittleEndian.PutUint64(c[16:24], addr)
+		c[24], c[25], c[26] = kind, flags, regs
+		return c[:]
+	}
+	// Seeds that force the encoder's edge cases: PC deltas of
+	// ±(2^63), maximal addresses, every field class present.
+	f.Add(append(chunk(0, 0, 0, byte(CondBranch), 1, 0),
+		chunk(1<<63, 1<<63, 0, byte(CondBranch), 0, 0)...)) // delta = MinInt64
+	f.Add(append(chunk(math.MaxUint64, 0, 0, byte(Jump), 1, 0),
+		chunk(0, math.MaxUint64, 0, byte(Ret), 1, 0)...))
+	f.Add(chunk(0x400000, 0, math.MaxUint64, byte(Load), 2, 200))
+	f.Add(chunk(12, 0, 34, byte(Store), 3, 7))
+	f.Add(chunk(0, 0, 0, byte(Nop), 0, 0))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var uops []Uop
+		for len(data) >= 27 {
+			uops = append(uops, uopFromChunk(data[:27]))
+			data = data[27:]
+		}
+
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, u := range uops {
+			if err := w.WriteUop(u); err != nil {
+				t.Fatalf("WriteUop(%v): %v", u, err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		if w.Count() != uint64(len(uops)) {
+			t.Fatalf("Count = %d, want %d", w.Count(), len(uops))
+		}
+
+		r := NewReader(&buf)
+		for i, u := range uops {
+			got, err := r.ReadUop()
+			if err != nil {
+				t.Fatalf("ReadUop #%d: %v", i, err)
+			}
+			if want := expected(u); got != want {
+				t.Fatalf("uop #%d round-trip mismatch:\n got %+v\nwant %+v", i, got, want)
+			}
+		}
+		if _, err := r.ReadUop(); err != io.EOF {
+			t.Fatalf("after %d uops: err = %v, want io.EOF", len(uops), err)
+		}
+		if r.Err() != nil {
+			t.Fatalf("Err() after clean EOF = %v", r.Err())
+		}
+	})
+}
+
+// FuzzReaderRobustness feeds arbitrary bytes — corrupted headers,
+// truncated streams, garbage records — to the Reader and requires a
+// clean, sticky error: never a panic, never an infinite loop, and the
+// same terminal error on every subsequent call.
+func FuzzReaderRobustness(f *testing.F) {
+	valid := func(uops ...Uop) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, u := range uops {
+			if err := w.WriteUop(u); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	whole := valid(
+		Uop{PC: 0x1000, Kind: ALU, Dst: 1, Src1: 2, Src2: NoReg},
+		Uop{PC: 0x1004, Kind: CondBranch, Target: 0x2000, Taken: true},
+		Uop{PC: 0x2000, Kind: Load, Addr: 0xdead},
+	)
+	f.Add(whole)                          // clean stream
+	f.Add(whole[:len(whole)-2])           // truncated mid-record
+	f.Add(whole[:6])                      // truncated header
+	f.Add([]byte{})                       // empty input
+	f.Add([]byte("BCET\xff\xff\x00\x00")) // bad version
+	f.Add([]byte("NOPE\x01\x00\x00\x00")) // bad magic
+	corrupt := bytes.Clone(whole)
+	corrupt[8] = 0xEE // invalid kind in the first record
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		var terminal error
+		for i := 0; ; i++ {
+			_, err := r.ReadUop()
+			if err != nil {
+				terminal = err
+				break
+			}
+			if i > len(data) {
+				t.Fatalf("decoded more records than input bytes (%d); reader not terminating", i)
+			}
+		}
+		// The error must be sticky.
+		if _, err := r.ReadUop(); !errors.Is(err, terminal) {
+			t.Fatalf("error not sticky: first %v, then %v", terminal, err)
+		}
+		// Clean EOF is only legal at a record boundary with a valid
+		// header; anything else must surface as a real error.
+		if terminal == io.EOF && len(data) < 8 {
+			t.Fatalf("clean EOF on %d-byte input (shorter than the header)", len(data))
+		}
+		if r.Err() != nil && r.Err() == io.EOF {
+			t.Fatal("Err() leaked io.EOF")
+		}
+	})
+}

@@ -36,6 +36,7 @@ import (
 	"bce/internal/metrics"
 	"bce/internal/pipeline"
 	"bce/internal/predictor"
+	"bce/internal/telemetry"
 	"bce/internal/trace"
 	"bce/internal/workload"
 )
@@ -79,6 +80,27 @@ type (
 
 	// Sizes sets experiment run lengths.
 	Sizes = core.Sizes
+
+	// TelemetrySink receives per-cycle pipeline and confidence events
+	// (see internal/telemetry). Nil disables telemetry at zero cost.
+	TelemetrySink = telemetry.Sink
+	// TelemetryEvent is one emitted pipeline/confidence event.
+	TelemetryEvent = telemetry.Event
+	// TelemetrySnapshot is a point-in-time copy of a simulation's
+	// counter/histogram registry.
+	TelemetrySnapshot = telemetry.Snapshot
+)
+
+// Telemetry sink constructors.
+var (
+	// NewChromeTrace returns a sink writing a Chrome trace_event JSON
+	// timeline (chrome://tracing, Perfetto). Call Close to flush.
+	NewChromeTrace = telemetry.NewChromeTrace
+	// NewAudit returns a sink building the per-branch-PC confidence
+	// audit (WriteCSV renders it).
+	NewAudit = telemetry.NewAudit
+	// MultiSink fans events out to several sinks (nils dropped).
+	MultiSink = telemetry.Multi
 )
 
 // Confidence bands.
@@ -178,6 +200,10 @@ type SimConfig struct {
 	Reversal bool
 	// Perfect uses oracle prediction (no mispredictions).
 	Perfect bool
+	// Sink receives telemetry events; nil (the default) disables
+	// telemetry entirely — the simulator then never constructs an
+	// event.
+	Sink TelemetrySink
 }
 
 // Simulation is a cycle-accurate out-of-order timing simulation.
@@ -199,6 +225,7 @@ func NewSimulation(cfg SimConfig) *Simulation {
 		Gating:    cfg.Gating,
 		Reversal:  cfg.Reversal,
 		Perfect:   cfg.Perfect,
+		Sink:      cfg.Sink,
 	}, workload.New(prof))}
 }
 
@@ -212,6 +239,11 @@ func (s *Simulation) Machine() Machine { return s.sim.Machine() }
 
 // Cycle returns the current simulated cycle.
 func (s *Simulation) Cycle() uint64 { return s.sim.Cycle() }
+
+// Telemetry returns a snapshot of the simulation's internal counter
+// and histogram registry (richer than the Run summary: squash-depth
+// and resolve-latency histograms, gate-episode lengths, ...).
+func (s *Simulation) Telemetry() TelemetrySnapshot { return s.sim.Telemetry() }
 
 // Experiment regeneration: one entry point per paper table/figure.
 // All accept a Sizes (use DefaultSizes for paper-scale fidelity or
@@ -280,5 +312,6 @@ func NewReplaySimulation(cfg SimConfig, src TraceSource) *Simulation {
 		Gating:    cfg.Gating,
 		Reversal:  cfg.Reversal,
 		Perfect:   cfg.Perfect,
+		Sink:      cfg.Sink,
 	}, replay, replay.WrongPath(1))}
 }

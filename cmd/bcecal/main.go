@@ -18,15 +18,26 @@ import (
 	"strings"
 
 	"bce/internal/predictor"
+	"bce/internal/telemetry"
 	"bce/internal/workload"
 )
 
 func main() {
 	var (
-		bench = flag.String("bench", "", "show per-class attribution for one benchmark")
-		uops  = flag.Int("uops", 400_000, "measured uops (after 100k warmup)")
+		bench     = flag.String("bench", "", "show per-class attribution for one benchmark")
+		uops      = flag.Int("uops", 400_000, "measured uops (after 100k warmup)")
+		debugAddr = flag.String("debug-addr", "", "serve pprof + expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	if *debugAddr != "" {
+		srv, err := telemetry.StartDebug(*debugAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bcecal:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "bcecal: debug endpoint on http://%s/debug/\n", srv.Addr())
+	}
 	if err := run(*bench, *uops); err != nil {
 		fmt.Fprintln(os.Stderr, "bcecal:", err)
 		os.Exit(1)

@@ -11,7 +11,13 @@
 //	bcesim -bench twolf -estimator cic -lambda -75 -reversal 50 -pl 2
 //	bcesim -bench gcc -estimator jrs -lambda 15 -pl 2
 //	bcesim -bench vpr -perfect
-//	bcesim -trace gzip.bcet -estimator cic -pl 1
+//	bcesim -replay gzip.bcet -estimator cic -pl 1
+//
+// Observability (see docs/observability.md):
+//
+//	bcesim -bench gzip -estimator cic -pl 1 -trace out.json -audit out.csv
+//	bcesim -bench gzip -stats
+//	bcesim -bench all -debug-addr localhost:6060 -progress
 package main
 
 import (
@@ -28,35 +34,53 @@ import (
 	"bce/internal/pipeline"
 	"bce/internal/predictor"
 	"bce/internal/runner"
+	"bce/internal/telemetry"
 	"bce/internal/trace"
 	"bce/internal/workload"
 )
 
 func main() {
 	var (
-		bench    = flag.String("bench", "gzip", "benchmark name, comma-separated list, or \"all\" (gzip, vpr, gcc, mcf, crafty, link, eon, perlbmk, gap, vortex, bzip, twolf)")
-		traceIn  = flag.String("trace", "", "replay a recorded .bcet trace instead of a synthetic benchmark")
-		machine  = flag.String("machine", "40c4w", "machine model (40c4w, 20c4w, 20c8w)")
-		predName = flag.String("predictor", "bimodal-gshare", "branch predictor (bimodal-gshare, gshare-perceptron)")
-		estName  = flag.String("estimator", "none", "confidence estimator (none, cic, tnt, jrs, pattern)")
-		lambda   = flag.Int("lambda", 0, "estimator low-confidence threshold λ")
-		reversal = flag.Int("reversal", 0, "CIC reversal threshold (0 disables; enables branch reversal when set)")
-		pl       = flag.Int("pl", 0, "pipeline gating branch-counter threshold (0 disables)")
-		latency  = flag.Int("latency", 0, "estimator latency in cycles (§5.4.2)")
-		warmup   = flag.Uint64("warmup", 60_000, "warmup uops")
-		measure  = flag.Uint64("measure", 200_000, "measured uops")
-		perfect  = flag.Bool("perfect", false, "oracle branch prediction")
-		workers  = flag.Int("workers", 0, "parallel simulations for multi-benchmark runs (0 = GOMAXPROCS)")
-		progress = flag.Bool("progress", false, "report multi-benchmark progress and ETA on stderr")
+		bench     = flag.String("bench", "gzip", "benchmark name, comma-separated list, or \"all\" (gzip, vpr, gcc, mcf, crafty, link, eon, perlbmk, gap, vortex, bzip, twolf)")
+		replayIn  = flag.String("replay", "", "replay a recorded .bcet trace instead of a synthetic benchmark")
+		machine   = flag.String("machine", "40c4w", "machine model (40c4w, 20c4w, 20c8w)")
+		predName  = flag.String("predictor", "bimodal-gshare", "branch predictor (bimodal-gshare, gshare-perceptron)")
+		estName   = flag.String("estimator", "none", "confidence estimator (none, cic, tnt, jrs, pattern)")
+		lambda    = flag.Int("lambda", 0, "estimator low-confidence threshold λ")
+		reversal  = flag.Int("reversal", 0, "CIC reversal threshold (0 disables; enables branch reversal when set)")
+		pl        = flag.Int("pl", 0, "pipeline gating branch-counter threshold (0 disables)")
+		latency   = flag.Int("latency", 0, "estimator latency in cycles (§5.4.2)")
+		warmup    = flag.Uint64("warmup", 60_000, "warmup uops")
+		measure   = flag.Uint64("measure", 200_000, "measured uops")
+		perfect   = flag.Bool("perfect", false, "oracle branch prediction")
+		workers   = flag.Int("workers", 0, "parallel simulations for multi-benchmark runs (0 = GOMAXPROCS)")
+		progress  = flag.Bool("progress", false, "report multi-benchmark progress and ETA on stderr")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the measured span (open in Perfetto or chrome://tracing; single benchmark or -replay only)")
+		auditOut  = flag.String("audit", "", "write the per-branch-PC confidence audit CSV (single benchmark or -replay only)")
+		stats     = flag.Bool("stats", false, "print the telemetry counter/histogram registry after the run")
+		debugAddr = flag.String("debug-addr", "", "serve pprof + expvar + live sweep stats on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		srv, err := telemetry.StartDebug(*debugAddr, map[string]func() any{
+			"bce_runner": func() any { return runner.LiveSnapshot() },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bcesim:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "bcesim: debug endpoint on http://%s/debug/\n", srv.Addr())
+	}
 
 	cfg := simConfig{
 		machine: *machine, predName: *predName, estName: *estName,
 		lambda: *lambda, reversal: *reversal, pl: *pl, latency: *latency,
 		warmup: *warmup, measure: *measure, perfect: *perfect,
+		tracePath: *traceOut, auditPath: *auditOut, stats: *stats,
 	}
-	if err := run(*bench, *traceIn, cfg, *workers, *progress); err != nil {
+	if err := run(*bench, *replayIn, cfg, *workers, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "bcesim:", err)
 		os.Exit(1)
 	}
@@ -73,11 +97,15 @@ type simConfig struct {
 	latency                    int
 	warmup, measure            uint64
 	perfect                    bool
+	tracePath, auditPath       string
+	stats                      bool
 }
 
-func run(bench, traceIn string, cfg simConfig, workers int, progress bool) error {
-	if traceIn != "" {
-		report, err := simTrace(traceIn, cfg)
+func (c simConfig) wantsSinks() bool { return c.tracePath != "" || c.auditPath != "" }
+
+func run(bench, replayIn string, cfg simConfig, workers int, progress bool) error {
+	if replayIn != "" {
+		report, err := simTrace(replayIn, cfg)
 		if err != nil {
 			return err
 		}
@@ -87,6 +115,9 @@ func run(bench, traceIn string, cfg simConfig, workers int, progress bool) error
 	benches, err := parseBenches(bench)
 	if err != nil {
 		return err
+	}
+	if len(benches) > 1 && cfg.wantsSinks() {
+		return fmt.Errorf("-trace/-audit need a single benchmark or -replay (got %d benchmarks)", len(benches))
 	}
 	if len(benches) == 1 {
 		report, err := simBench(benches[0], cfg)
@@ -140,6 +171,62 @@ func parseBenches(bench string) ([]string, error) {
 	return out, nil
 }
 
+// sinkSet holds the exporters attached to one simulation.
+type sinkSet struct {
+	sink      telemetry.Sink
+	trace     *telemetry.ChromeTrace
+	traceFile *os.File
+	audit     *telemetry.Audit
+	auditPath string
+}
+
+// openSinks builds the exporters the configuration asks for; the
+// returned set's sink is nil when none are requested, keeping the
+// simulator on its zero-cost path.
+func openSinks(cfg simConfig) (*sinkSet, error) {
+	s := &sinkSet{auditPath: cfg.auditPath}
+	var sinks []telemetry.Sink
+	if cfg.tracePath != "" {
+		f, err := os.Create(cfg.tracePath)
+		if err != nil {
+			return nil, err
+		}
+		s.traceFile = f
+		s.trace = telemetry.NewChromeTrace(f)
+		sinks = append(sinks, s.trace)
+	}
+	if cfg.auditPath != "" {
+		s.audit = telemetry.NewAudit()
+		sinks = append(sinks, s.audit)
+	}
+	s.sink = telemetry.Multi(sinks...)
+	return s, nil
+}
+
+// finish flushes the exporters to their files.
+func (s *sinkSet) finish() error {
+	if s.trace != nil {
+		if err := s.trace.Close(); err != nil {
+			return err
+		}
+		if err := s.traceFile.Close(); err != nil {
+			return err
+		}
+	}
+	if s.audit != nil {
+		f, err := os.Create(s.auditPath)
+		if err != nil {
+			return err
+		}
+		if err := s.audit.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}
+
 // makeOptions builds pipeline options with fresh stateful components.
 func makeOptions(cfg simConfig) (pipeline.Options, bool, error) {
 	m, err := config.ByName(cfg.machine)
@@ -190,26 +277,44 @@ func simBench(bench string, cfg simConfig) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	sinks, err := openSinks(cfg)
+	if err != nil {
+		return "", err
+	}
+	opt.Sink = sinks.sink
 	sim := pipeline.New(opt, workload.New(prof))
-	return report(sim, bench, cfg, useReversal), nil
+	out, err := report(sim, bench, cfg, useReversal)
+	if err != nil {
+		return "", err
+	}
+	return out, sinks.finish()
 }
 
-func simTrace(traceIn string, cfg simConfig) (string, error) {
+func simTrace(replayIn string, cfg simConfig) (string, error) {
 	opt, useReversal, err := makeOptions(cfg)
 	if err != nil {
 		return "", err
 	}
-	f, err := os.Open(traceIn)
+	f, err := os.Open(replayIn)
 	if err != nil {
 		return "", err
 	}
 	defer f.Close()
+	sinks, err := openSinks(cfg)
+	if err != nil {
+		return "", err
+	}
+	opt.Sink = sinks.sink
 	replay := workload.NewReplay(trace.NewReader(f))
 	sim := pipeline.NewFromSource(opt, replay, replay.WrongPath(1))
-	return report(sim, traceIn, cfg, useReversal), nil
+	out, err := report(sim, replayIn, cfg, useReversal)
+	if err != nil {
+		return "", err
+	}
+	return out, sinks.finish()
 }
 
-func report(sim *pipeline.Sim, bench string, cfg simConfig, useReversal bool) string {
+func report(sim *pipeline.Sim, bench string, cfg simConfig, useReversal bool) (string, error) {
 	sim.Run(cfg.warmup)
 	r := sim.Run(cfg.measure)
 
@@ -241,5 +346,11 @@ func report(sim *pipeline.Sim, bench string, cfg simConfig, useReversal bool) st
 		iss, adv := pf.Stats()
 		fmt.Fprintf(&b, "  prefetcher         %d fills, %d stream advances\n", iss, adv)
 	}
-	return b.String()
+	if cfg.stats {
+		b.WriteString("  telemetry registry (measured span):\n")
+		for _, line := range strings.Split(strings.TrimRight(sim.Telemetry().String(), "\n"), "\n") {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+	}
+	return b.String(), nil
 }

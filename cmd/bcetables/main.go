@@ -24,20 +24,38 @@ import (
 	"bce/internal/config"
 	"bce/internal/core"
 	"bce/internal/runner"
+	"bce/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to regenerate (table2..table6, fig4..fig9, latency, all)")
-		bench    = flag.String("bench", "gcc", "benchmark for the density figures (fig4-fig7)")
-		quick    = flag.Bool("quick", false, "use reduced run lengths")
-		segments = flag.Int("segments", 1, "independent trace segments per benchmark (the paper uses 2)")
-		csv      = flag.Bool("csv", false, "emit density data as CSV (fig4-fig7 only)")
-		workers  = flag.Int("workers", 0, "parallel simulations per sweep (0 = GOMAXPROCS); results are identical under any setting")
-		progress = flag.Bool("progress", false, "report per-sweep progress and ETA on stderr")
-		cacheDir = flag.String("cache", "", "directory for the on-disk timing-result cache (empty = in-memory only)")
+		exp       = flag.String("exp", "all", "experiment to regenerate (table2..table6, fig4..fig9, latency, all)")
+		bench     = flag.String("bench", "gcc", "benchmark for the density figures (fig4-fig7)")
+		quick     = flag.Bool("quick", false, "use reduced run lengths")
+		segments  = flag.Int("segments", 1, "independent trace segments per benchmark (the paper uses 2)")
+		csv       = flag.Bool("csv", false, "emit density data as CSV (fig4-fig7 only)")
+		workers   = flag.Int("workers", 0, "parallel simulations per sweep (0 = GOMAXPROCS); results are identical under any setting")
+		progress  = flag.Bool("progress", false, "report per-sweep progress and ETA on stderr")
+		cacheDir  = flag.String("cache", "", "directory for the on-disk timing-result cache (empty = in-memory only)")
+		debugAddr = flag.String("debug-addr", "", "serve pprof + expvar + live sweep stats on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		srv, err := telemetry.StartDebug(*debugAddr, map[string]func() any{
+			"bce_runner": func() any { return runner.LiveSnapshot() },
+			"bce_result_cache": func() any {
+				hits, misses := core.ResultCacheStats()
+				return map[string]uint64{"hits": hits, "misses": misses}
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bcetables:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "bcetables: debug endpoint on http://%s/debug/\n", srv.Addr())
+	}
 
 	core.SetParallelism(*workers)
 	if *progress {

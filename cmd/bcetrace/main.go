@@ -14,23 +14,36 @@ import (
 	"io"
 	"os"
 
+	"bce/internal/telemetry"
 	"bce/internal/trace"
 	"bce/internal/workload"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	args := os.Args[1:]
+	// Global option, before the subcommand: -debug-addr <addr>.
+	if len(args) >= 2 && args[0] == "-debug-addr" {
+		srv, err := telemetry.StartDebug(args[1], nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bcetrace:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "bcetrace: debug endpoint on http://%s/debug/\n", srv.Addr())
+		args = args[2:]
+	}
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "gen":
-		err = cmdGen(os.Args[2:])
+		err = cmdGen(args[1:])
 	case "dump":
-		err = cmdDump(os.Args[2:])
+		err = cmdDump(args[1:])
 	case "stat":
-		err = cmdStat(os.Args[2:])
+		err = cmdStat(args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -43,6 +56,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
+  bcetrace [-debug-addr <addr>] <command>
   bcetrace gen  -bench <name> -n <uops> -o <file>   generate a trace
   bcetrace dump -i <file> [-n <uops>] [-skip <uops>] print uops
   bcetrace stat -i <file>                            summarize a trace`)

@@ -1,0 +1,79 @@
+package confidence
+
+import "bce/internal/telemetry"
+
+// instrumented decorates an Estimator so every Estimate and Train
+// emits a telemetry event. One hook at the estimator boundary covers
+// every caller — the pipeline's retire-time training, the
+// speculative-training ablation, and functional (confidence-only)
+// experiments alike.
+type instrumented struct {
+	est  Estimator
+	sink telemetry.Sink
+	now  func() uint64
+}
+
+// Instrument wraps est so estimates and training updates are reported
+// to sink, stamped with the cycle returned by now (pass a closure over
+// the simulation clock, or a constant func for functional runs). A nil
+// sink returns est unchanged. If est needs trace ground truth
+// (TraceOracle), the wrapper forwards it.
+func Instrument(est Estimator, sink telemetry.Sink, now func() uint64) Estimator {
+	if sink == nil || est == nil {
+		return est
+	}
+	if now == nil {
+		now = func() uint64 { return 0 }
+	}
+	in := &instrumented{est: est, sink: sink, now: now}
+	if or, ok := est.(TraceOracle); ok {
+		return &instrumentedOracle{instrumented: in, oracle: or}
+	}
+	return in
+}
+
+// Estimate implements Estimator.
+func (in *instrumented) Estimate(pc uint64, predictedTaken bool) Token {
+	tok := in.est.Estimate(pc, predictedTaken)
+	in.sink.Emit(telemetry.Event{
+		Kind:   telemetry.EvEstimate,
+		Cycle:  in.now(),
+		PC:     pc,
+		Band:   uint8(tok.Band),
+		Output: tok.Output,
+		Taken:  predictedTaken,
+	})
+	return tok
+}
+
+// Train implements Estimator.
+func (in *instrumented) Train(pc uint64, tok Token, mispredicted, taken bool) {
+	in.est.Train(pc, tok, mispredicted, taken)
+	in.sink.Emit(telemetry.Event{
+		Kind:    telemetry.EvTrain,
+		Cycle:   in.now(),
+		PC:      pc,
+		Band:    uint8(tok.Band),
+		Output:  tok.Output,
+		Taken:   taken,
+		Mispred: mispredicted,
+	})
+}
+
+// Name implements Estimator.
+func (in *instrumented) Name() string { return in.est.Name() }
+
+// instrumentedOracle additionally forwards trace ground truth.
+type instrumentedOracle struct {
+	*instrumented
+	oracle TraceOracle
+}
+
+// ObserveNext implements TraceOracle.
+func (in *instrumentedOracle) ObserveNext(mispredicted bool) { in.oracle.ObserveNext(mispredicted) }
+
+var (
+	_ Estimator   = (*instrumented)(nil)
+	_ Estimator   = (*instrumentedOracle)(nil)
+	_ TraceOracle = (*instrumentedOracle)(nil)
+)

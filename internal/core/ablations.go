@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -155,9 +156,9 @@ func AblateTrainingSite(sz Sizes) (*AblationResult, error) {
 		u, p, pvn, spec float64
 		n               int
 	}
-	perBench, err := mapBench(func(bench string) ([2]acc, error) {
+	perBench, err := mapBench(func(ctx context.Context, bench string) ([2]acc, error) {
 		var out [2]acc
-		base, err := runTiming(TimingSpec{Bench: bench, Machine: config.Baseline40x4()}, sz)
+		base, err := runTiming(ctx, TimingSpec{Bench: bench, Machine: config.Baseline40x4()}, sz)
 		if err != nil {
 			return out, err
 		}
@@ -167,7 +168,7 @@ func AblateTrainingSite(sz Sizes) (*AblationResult, error) {
 				Estimator: func() confidence.Estimator { return confidence.NewCIC(0) },
 				Gating:    gating.PL(1),
 			}
-			r, err := runTimingSpecTrain(s, sz, spec)
+			r, err := runTimingSpecTrain(ctx, s, sz, spec)
 			if err != nil {
 				return out, err
 			}
@@ -267,12 +268,12 @@ func Variability(lambda, pl int, sz Sizes) (*VariabilityReport, error) {
 		Label:        fmt.Sprintf("cic λ=%d PL%d, 40c4w", lambda, pl),
 		PerBenchmark: make(map[string][2]float64),
 	}
-	perBench, err := mapBench(func(bench string) ([2]float64, error) {
-		base, err := runTiming(TimingSpec{Bench: bench, Machine: config.Baseline40x4()}, sz)
+	perBench, err := mapBench(func(ctx context.Context, bench string) ([2]float64, error) {
+		base, err := runTiming(ctx, TimingSpec{Bench: bench, Machine: config.Baseline40x4()}, sz)
 		if err != nil {
 			return [2]float64{}, err
 		}
-		r, err := runTiming(TimingSpec{
+		r, err := runTiming(ctx, TimingSpec{
 			Bench: bench, Machine: config.Baseline40x4(),
 			Estimator: func() confidence.Estimator { return confidence.NewCIC(lambda) },
 			Gating:    gating.PL(pl),

@@ -49,11 +49,13 @@ func corePool() *runner.Pool {
 // the per-benchmark results in workload.Names() order, regardless of
 // completion order. Errors are tagged with the benchmark name; a
 // panicking benchmark surfaces its configuration instead of killing
-// the sweep.
-func mapBench[R any](fn func(bench string) (R, error)) ([]R, error) {
+// the sweep. The context carries the job's cache-classification flag
+// (runner.MarkCached); pass it down to runTiming so fully cached jobs
+// are excluded from progress ETAs.
+func mapBench[R any](fn func(ctx context.Context, bench string) (R, error)) ([]R, error) {
 	return runner.Map(context.Background(), corePool(), workload.Names(),
-		func(_ context.Context, _ int, name string) (R, error) {
-			r, err := fn(name)
+		func(ctx context.Context, _ int, name string) (R, error) {
+			r, err := fn(ctx, name)
 			if err != nil {
 				var zero R
 				return zero, fmt.Errorf("%s: %w", name, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -178,12 +179,12 @@ func Combined(m config.Machine, sz Sizes) (*CombinedResult, error) {
 			Reversal: 50,  // strongly-low band: reverse above the MB/CB crossover
 		})
 	}
-	rows, err := mapBench(func(bench string) (CombinedRow, error) {
-		base, err := runTiming(TimingSpec{Bench: bench, Machine: m}, sz)
+	rows, err := mapBench(func(ctx context.Context, bench string) (CombinedRow, error) {
+		base, err := runTiming(ctx, TimingSpec{Bench: bench, Machine: m}, sz)
 		if err != nil {
 			return CombinedRow{}, err
 		}
-		r, err := runTiming(TimingSpec{
+		r, err := runTiming(ctx, TimingSpec{
 			Bench: bench, Machine: m,
 			Estimator: mkEst,
 			Gating:    gating.PL(2),

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"bce/internal/confidence"
@@ -199,7 +200,7 @@ func AverageConfusion(
 	makeEst func() confidence.Estimator,
 	warmup, measure uint64,
 ) (metrics.Confusion, error) {
-	return mergedConfusion(func(bench string) (FunctionalResult, error) {
+	return mergedConfusion(func(_ context.Context, bench string) (FunctionalResult, error) {
 		cfg := FunctionalConfig{
 			Bench:       bench,
 			Estimator:   makeEst(),
@@ -216,7 +217,7 @@ func AverageConfusion(
 // mergedConfusion runs one functional job per benchmark in parallel
 // and merges the confusion matrices in workload.Names() order, so the
 // aggregate is identical under any worker count.
-func mergedConfusion(job func(bench string) (FunctionalResult, error)) (metrics.Confusion, error) {
+func mergedConfusion(job func(ctx context.Context, bench string) (FunctionalResult, error)) (metrics.Confusion, error) {
 	var total metrics.Confusion
 	perBench, err := mapBench(job)
 	if err != nil {
@@ -236,7 +237,7 @@ func AverageConfusionSized(
 	makeEst func() confidence.Estimator,
 	sz Sizes,
 ) (metrics.Confusion, error) {
-	return mergedConfusion(func(bench string) (FunctionalResult, error) {
+	return mergedConfusion(func(_ context.Context, bench string) (FunctionalResult, error) {
 		return RunFunctional(FunctionalConfig{
 			Bench:         bench,
 			MakeEstimator: makeEst,
@@ -255,7 +256,7 @@ func AverageConfusionLinked(
 	make func() (predictor.Predictor, confidence.Estimator),
 	warmup, measure uint64,
 ) (metrics.Confusion, error) {
-	return mergedConfusion(func(bench string) (FunctionalResult, error) {
+	return mergedConfusion(func(_ context.Context, bench string) (FunctionalResult, error) {
 		pred, est := make()
 		return RunFunctional(FunctionalConfig{
 			Bench:       bench,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"runtime"
 	"testing"
@@ -35,12 +36,12 @@ func sweepResults(t *testing.T, workers int, sz Sizes) []byte {
 	ResetResultCache()
 	SetParallelism(workers)
 	defer SetParallelism(0)
-	runs, err := mapBench(func(bench string) ([2]metrics.Run, error) {
-		base, err := runTiming(TimingSpec{Bench: bench, Machine: config.Baseline40x4()}, sz)
+	runs, err := mapBench(func(ctx context.Context, bench string) ([2]metrics.Run, error) {
+		base, err := runTiming(ctx, TimingSpec{Bench: bench, Machine: config.Baseline40x4()}, sz)
 		if err != nil {
 			return [2]metrics.Run{}, err
 		}
-		gated, err := runTiming(TimingSpec{
+		gated, err := runTiming(ctx, TimingSpec{
 			Bench: bench, Machine: config.Baseline40x4(),
 			Estimator: func() confidence.Estimator { return confidence.NewCIC(0) },
 			Gating:    gating.PL(1),
@@ -92,7 +93,7 @@ func TestResultCacheServesRepeats(t *testing.T) {
 	sz := Sizes{Warmup: 2_000, Measure: 5_000}
 	spec := TimingSpec{Bench: "gzip", Machine: config.Baseline40x4()}
 
-	first, err := runTiming(spec, sz)
+	first, err := runTiming(context.Background(), spec, sz)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestResultCacheServesRepeats(t *testing.T) {
 		t.Fatalf("after first run: hits=%d misses=%d, want 0/1", hits, misses)
 	}
 
-	second, err := runTiming(spec, sz)
+	second, err := runTiming(context.Background(), spec, sz)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestResultCacheServesRepeats(t *testing.T) {
 	// A different configuration must not collide with the cached one.
 	perf := spec
 	perf.Perfect = true
-	if _, err := runTiming(perf, sz); err != nil {
+	if _, err := runTiming(context.Background(), perf, sz); err != nil {
 		t.Fatal(err)
 	}
 	if _, misses = ResultCacheStats(); misses != 2 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -41,14 +42,14 @@ type Table2Result struct {
 // − 1.
 func Table2(sz Sizes) (*Table2Result, error) {
 	machines := []config.Machine{config.Mid20x4(), config.Wide20x8(), config.Baseline40x4()}
-	rows, err := mapBench(func(bench string) (Table2Row, error) {
+	rows, err := mapBench(func(ctx context.Context, bench string) (Table2Row, error) {
 		row := Table2Row{Bench: bench, PaperMispPer1K: workload.Table2Target[bench]}
 		for i, machine := range machines {
-			perfect, err := runTiming(TimingSpec{Bench: bench, Machine: machine, Perfect: true}, sz)
+			perfect, err := runTiming(ctx, TimingSpec{Bench: bench, Machine: machine, Perfect: true}, sz)
 			if err != nil {
 				return row, err
 			}
-			real, err := runTiming(TimingSpec{Bench: bench, Machine: machine}, sz)
+			real, err := runTiming(ctx, TimingSpec{Bench: bench, Machine: machine}, sz)
 			if err != nil {
 				return row, err
 			}

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
+
 	"bce/internal/confidence"
 	"bce/internal/config"
 	"bce/internal/gating"
 	"bce/internal/metrics"
 	"bce/internal/pipeline"
 	"bce/internal/predictor"
+	"bce/internal/runner"
 	"bce/internal/workload"
 )
 
@@ -90,17 +93,28 @@ type TimingSpec struct {
 // runTiming executes one spec and returns the measured-span counters.
 // Results are served through the suite-wide content-addressed cache:
 // the ungated baseline a dozen tables share runs once, not once per
-// caller.
-func runTiming(spec TimingSpec, sz Sizes) (metrics.Run, error) {
-	return runTimingSpecTrain(spec, sz, false)
+// caller. The context classifies the enclosing runner job for
+// progress ETAs (cache hit vs fresh simulation).
+func runTiming(ctx context.Context, spec TimingSpec, sz Sizes) (metrics.Run, error) {
+	return runTimingSpecTrain(ctx, spec, sz, false)
 }
 
 // runTimingSpecTrain is runTiming with control over the confidence
 // training site (retire vs speculative fetch-time, an ablation knob).
-func runTimingSpecTrain(spec TimingSpec, sz Sizes, speculativeTrain bool) (metrics.Run, error) {
-	return resultCache.Do(timingKey(spec, sz, speculativeTrain), func() (metrics.Run, error) {
+func runTimingSpecTrain(ctx context.Context, spec TimingSpec, sz Sizes, speculativeTrain bool) (metrics.Run, error) {
+	fresh := false
+	r, err := resultCache.Do(timingKey(spec, sz, speculativeTrain), func() (metrics.Run, error) {
+		fresh = true
 		return runTimingUncached(spec, sz, speculativeTrain)
 	})
+	// A job is "cached" only if every simulation it asked for was
+	// served from the cache; one fresh run re-latches it as computed.
+	if fresh {
+		runner.MarkComputed(ctx)
+	} else {
+		runner.MarkCached(ctx)
+	}
+	return r, err
 }
 
 // runTimingUncached executes the simulation itself. When sz requests
@@ -166,14 +180,14 @@ type variant struct {
 // bit-identical under any worker count.
 func gatingSweep(sz Sizes, baselineOf func(bench string) TimingSpec, variants []variant) ([]GatingResult, error) {
 	type up struct{ u, p float64 }
-	perBench, err := mapBench(func(bench string) ([]up, error) {
-		base, err := runTiming(baselineOf(bench), sz)
+	perBench, err := mapBench(func(ctx context.Context, bench string) ([]up, error) {
+		base, err := runTiming(ctx, baselineOf(bench), sz)
 		if err != nil {
 			return nil, err
 		}
 		rows := make([]up, len(variants))
 		for i, v := range variants {
-			r, err := runTiming(v.Of(bench), sz)
+			r, err := runTiming(ctx, v.Of(bench), sz)
 			if err != nil {
 				return nil, err
 			}

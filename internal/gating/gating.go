@@ -6,7 +6,11 @@
 // fetch, reflecting the time to compute the perceptron output).
 package gating
 
-import "fmt"
+import (
+	"fmt"
+
+	"bce/internal/telemetry"
+)
 
 // Policy configures pipeline gating.
 type Policy struct {
@@ -36,6 +40,10 @@ type Controller struct {
 	stalls  uint64
 	events  uint64
 	wasOn   bool
+
+	sink      telemetry.Sink       // gate-on/gate-off events; nil = off
+	episodes  *telemetry.Histogram // stall-episode lengths; nil = off
+	episodeAt uint64               // cycle the current episode started
 }
 
 type pendingArm struct {
@@ -49,6 +57,14 @@ func NewController(p Policy) *Controller {
 		panic(fmt.Sprintf("gating: negative policy %+v", p))
 	}
 	return &Controller{policy: p, armed: make(map[uint64]bool)}
+}
+
+// SetTelemetry installs the telemetry hooks: sink receives gate-on /
+// gate-off transition events, episodes records each stall episode's
+// length in cycles. Either may be nil.
+func (c *Controller) SetTelemetry(sink telemetry.Sink, episodes *telemetry.Histogram) {
+	c.sink = sink
+	c.episodes = episodes
 }
 
 // Enabled reports whether the policy can ever stall fetch.
@@ -113,6 +129,17 @@ func (c *Controller) Stalled(cycle uint64) bool {
 		c.stalls++
 		if !c.wasOn {
 			c.events++
+			c.episodeAt = cycle
+			if c.sink != nil {
+				c.sink.Emit(telemetry.Event{Kind: telemetry.EvGateOn, Cycle: cycle, N: uint64(c.count)})
+			}
+		}
+	} else if c.wasOn {
+		if c.episodes != nil {
+			c.episodes.Observe(cycle - c.episodeAt)
+		}
+		if c.sink != nil {
+			c.sink.Emit(telemetry.Event{Kind: telemetry.EvGateOff, Cycle: cycle, N: cycle - c.episodeAt})
 		}
 	}
 	c.wasOn = on

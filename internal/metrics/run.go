@@ -1,6 +1,9 @@
 package metrics
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // Run accumulates the timing-simulation counters a single simulation
 // produces; every paper table derives from pairs (or triples) of Runs.
@@ -92,6 +95,12 @@ func (r Run) PerfLossPercent(base Run) float64 {
 // SpeedupPercent returns the percentage speedup versus base (the
 // orientation Figures 8-9 plot).
 func (r Run) SpeedupPercent(base Run) float64 { return -r.PerfLossPercent(base) }
+
+// Canonical returns the run's deterministic byte encoding (JSON with
+// struct field order). Two runs are byte-identical under Canonical iff
+// every counter matches — the form the telemetry regression tests
+// compare.
+func (r Run) Canonical() ([]byte, error) { return json.Marshal(r) }
 
 // Merge accumulates another run's counters (used to aggregate the two
 // trace segments per benchmark, §4).

@@ -88,9 +88,9 @@ func TestInvariantsUnderRandomMachines(t *testing.T) {
 		}
 		s := New(Options{Machine: m, Estimator: est, Gating: pol}, gen(t, bench))
 		target := uint64(4000)
-		start := s.run.Retired
+		start := s.ctr.retired.Value()
 		_ = start
-		for steps := 0; s.run.Retired < target; steps++ {
+		for steps := 0; s.ctr.retired.Value() < target; steps++ {
 			s.step()
 			if steps%512 == 0 {
 				checkInvariants(t, s)
@@ -113,7 +113,7 @@ func TestInvariantsCombinedMechanisms(t *testing.T) {
 		Gating:    gating.Policy{Threshold: 2, Latency: 9},
 		Reversal:  true,
 	}, gen(t, "twolf"))
-	for s.run.Retired < 30_000 {
+	for s.ctr.retired.Value() < 30_000 {
 		s.step()
 		if s.cycle%1024 == 0 {
 			checkInvariants(t, s)

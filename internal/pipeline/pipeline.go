@@ -27,6 +27,7 @@ import (
 	"bce/internal/gating"
 	"bce/internal/metrics"
 	"bce/internal/predictor"
+	"bce/internal/telemetry"
 	"bce/internal/trace"
 	"bce/internal/workload"
 )
@@ -61,6 +62,11 @@ type Options struct {
 	// Hierarchy is the data-cache hierarchy; nil means the Table 1
 	// baseline hierarchy.
 	Hierarchy *cache.Hierarchy
+	// Sink receives telemetry events (stage transitions, squashes,
+	// gating, confidence estimates/training) as they happen. Nil means
+	// telemetry is off; the simulation then never constructs an event,
+	// so timing results and benchmark numbers are unaffected.
+	Sink telemetry.Sink
 }
 
 const (
@@ -122,6 +128,7 @@ type Sim struct {
 	gate  *gating.Controller
 	hier  *cache.Hierarchy
 	tc    *cache.Cache
+	sink  telemetry.Sink
 
 	pool   []inflight
 	free   []int32
@@ -144,7 +151,7 @@ type Sim struct {
 	peekedValid bool
 	peekedWrong bool
 
-	run          metrics.Run
+	ctr          *runCounters
 	lastRetireAt uint64
 	divergeSeq   uint64
 }
@@ -178,10 +185,19 @@ func NewFromSource(opt Options, gen trace.Source, wrong workload.PathSource) *Si
 		est:   opt.Estimator,
 		gate:  gating.NewController(opt.Gating),
 		hier:  opt.Hierarchy,
+		sink:  opt.Sink,
+		ctr:   newRunCounters(),
 	}
 	if s.est == nil {
 		s.est = confidence.AlwaysHigh{}
 	}
+	if s.sink != nil {
+		// Estimate/Train events come from inside the estimator wrapper,
+		// so every caller of the estimator (retire-time training,
+		// speculative-training ablations) is covered by one hook.
+		s.est = confidence.Instrument(s.est, s.sink, func() uint64 { return s.cycle })
+	}
+	s.gate.SetTelemetry(s.sink, s.ctr.gateEpisode)
 	if s.hier == nil {
 		s.hier = cache.NewBaselineHierarchy()
 	}
@@ -288,22 +304,20 @@ func (s *Sim) release(idx int32) {
 // statistics for exactly that span. Call once with a warmup count
 // (discard the result), then with the measurement count.
 func (s *Sim) Run(n uint64) metrics.Run {
-	s.run = metrics.Run{}
+	s.ctr.reg.Reset()
 	s.gate.ResetStats()
 	s.lastRetireAt = s.cycle
 	start := s.cycle
-	for s.run.Retired < n {
+	retired := s.ctr.retired
+	for retired.Value() < n {
 		s.step()
 		if s.cycle-s.lastRetireAt > 200000 {
 			panic(fmt.Sprintf("pipeline: no retirement for 200k cycles at cycle %d (rob=%d fetchq=%d)",
 				s.cycle, s.rob.len(), s.fetchQ.len()))
 		}
 	}
-	s.run.Cycles = s.cycle - start
 	gc, ge := s.gate.Stats()
-	s.run.GatedCycles = gc
-	s.run.GateEvents = ge
-	return s.run
+	return s.ctr.snapshot(s.cycle-start, gc, ge)
 }
 
 // step advances one cycle: retire, complete, issue, dispatch, fetch.

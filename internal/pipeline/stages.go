@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bce/internal/confidence"
+	"bce/internal/telemetry"
 	"bce/internal/trace"
 )
 
@@ -67,20 +68,26 @@ func (s *Sim) retire() {
 			if !s.opt.SpeculativeCETrain {
 				s.est.Train(e.u.PC, e.tok, e.mispredOrig, e.actualTaken)
 			}
-			s.run.RetiredBranches++
-			s.run.Confusion.Add(e.mispredOrig, e.tok.Band.Low())
+			s.ctr.retiredBranches.Inc()
+			s.ctr.observeConfusion(e.mispredOrig, e.tok.Band.Low())
 			if e.mispredFinal {
-				s.run.Mispredicts++
+				s.ctr.mispredicts.Inc()
 			}
 			if e.reversed {
-				s.run.Reversals++
+				s.ctr.reversals.Inc()
 				if e.mispredOrig && !e.mispredFinal {
-					s.run.ReversalsGood++
+					s.ctr.reversalsGood.Inc()
 				}
 			}
+			// dispatchAt is fetch cycle + front-end depth, so this is
+			// the branch's full fetch-to-retire latency.
+			s.ctr.resolveLatency.Observe(s.cycle - (e.dispatchAt - uint64(m.FrontendDepth)))
 		}
-		s.run.Retired++
+		s.ctr.retired.Inc()
 		s.lastRetireAt = s.cycle
+		if s.sink != nil {
+			s.sink.Emit(telemetry.Event{Kind: telemetry.EvRetire, Cycle: s.cycle, Seq: e.seq, PC: e.u.PC})
+		}
 		s.release(idx)
 	}
 }
@@ -95,6 +102,9 @@ func (s *Sim) complete() {
 			continue
 		}
 		e.state = sDone
+		if s.sink != nil {
+			s.sink.Emit(telemetry.Event{Kind: telemetry.EvComplete, Cycle: s.cycle, Seq: e.seq, PC: e.u.PC, WrongPath: e.wrongPath})
+		}
 		if e.isBranch {
 			if e.gated {
 				s.gate.OnResolve(e.seq)
@@ -113,6 +123,7 @@ func (s *Sim) complete() {
 // branch, restores the rename checkpoint and redirects fetch to the
 // correct path.
 func (s *Sim) recover() {
+	var squashed uint64
 	// The ROB tail younger than divergeSeq is all wrong-path.
 	keep := s.rob.len()
 	for keep > 0 {
@@ -120,16 +131,28 @@ func (s *Sim) recover() {
 		if e.seq <= s.divergeSeq {
 			break
 		}
+		if s.sink != nil {
+			s.sink.Emit(telemetry.Event{Kind: telemetry.EvSquashUop, Cycle: s.cycle, Seq: e.seq, PC: e.u.PC})
+		}
 		s.squashEntry(e, s.rob.at(keep-1))
+		squashed++
 		keep--
 	}
 	s.rob.truncate(keep)
 	// Everything still in the fetch queue is younger too.
 	for i := 0; i < s.fetchQ.len(); i++ {
 		idx := s.fetchQ.at(i)
+		if s.sink != nil {
+			s.sink.Emit(telemetry.Event{Kind: telemetry.EvSquashUop, Cycle: s.cycle, Seq: s.pool[idx].seq, PC: s.pool[idx].u.PC})
+		}
 		s.squashEntry(&s.pool[idx], idx)
+		squashed++
 	}
 	s.fetchQ.clear()
+	s.ctr.squashDepth.Observe(squashed)
+	if s.sink != nil {
+		s.sink.Emit(telemetry.Event{Kind: telemetry.EvSquash, Cycle: s.cycle, Seq: s.divergeSeq, N: squashed})
+	}
 	if s.peekedValid && s.peekedWrong {
 		s.peekedValid = false
 	}
@@ -204,6 +227,9 @@ func (s *Sim) issue() {
 		s.windowUsed[cl]--
 		unitUsed[cl]++
 		issued++
+		if s.sink != nil {
+			s.sink.Emit(telemetry.Event{Kind: telemetry.EvIssue, Cycle: s.cycle, Seq: e.seq, PC: e.u.PC, WrongPath: e.wrongPath})
+		}
 	}
 }
 
@@ -240,9 +266,12 @@ func (s *Sim) dispatch() {
 		case trace.Store:
 			s.storesUsed++
 		}
-		s.run.Executed++
+		s.ctr.executed.Inc()
 		if e.wrongPath {
-			s.run.WrongPathExecuted++
+			s.ctr.wrongPathExecuted.Inc()
+		}
+		if s.sink != nil {
+			s.sink.Emit(telemetry.Event{Kind: telemetry.EvDispatch, Cycle: s.cycle, Seq: e.seq, PC: e.u.PC, WrongPath: e.wrongPath})
 		}
 		s.renameSources(e)
 		if e.u.Dst != trace.NoReg {
@@ -334,7 +363,10 @@ func (s *Sim) fetch() {
 		}
 		s.fetchQ.push(idx)
 		s.peekedValid = false
-		s.run.Fetched++
+		s.ctr.fetched.Inc()
+		if s.sink != nil {
+			s.sink.Emit(telemetry.Event{Kind: telemetry.EvFetch, Cycle: s.cycle, Seq: e.seq, PC: e.u.PC, WrongPath: e.wrongPath})
+		}
 		// A diverging branch switches the fetch source; the rest of
 		// this cycle's slots fill from the wrong path.
 	}
@@ -356,6 +388,10 @@ func (s *Sim) fetchBranch(e *inflight) {
 		e.predTaken = s.pred.Predict(e.u.PC)
 		s.pred.Update(e.u.PC, e.actualTaken)
 	}
+	if s.sink != nil {
+		s.sink.Emit(telemetry.Event{Kind: telemetry.EvPredict, Cycle: s.cycle, Seq: e.seq, PC: e.u.PC,
+			Taken: e.predTaken, WrongPath: e.wrongPath})
+	}
 	if or, ok := s.est.(confidence.TraceOracle); ok {
 		or.ObserveNext(e.predTaken != e.actualTaken)
 	}
@@ -367,11 +403,19 @@ func (s *Sim) fetchBranch(e *inflight) {
 	}
 	e.mispredOrig = e.predTaken != e.actualTaken
 	e.mispredFinal = e.finalTaken != e.actualTaken
+	if e.reversed && s.sink != nil {
+		s.sink.Emit(telemetry.Event{Kind: telemetry.EvReversal, Cycle: s.cycle, Seq: e.seq, PC: e.u.PC,
+			Taken: e.finalTaken, Mispred: e.mispredOrig && !e.mispredFinal, WrongPath: e.wrongPath})
+	}
 	gateIt := e.tok.Band == confidence.WeakLow ||
 		(e.tok.Band == confidence.StrongLow && !s.opt.Reversal)
 	if gateIt && s.gate.Enabled() {
 		s.gate.OnFetch(e.seq, s.cycle)
 		e.gated = true
+		if s.sink != nil {
+			s.sink.Emit(telemetry.Event{Kind: telemetry.EvGateArm, Cycle: s.cycle, Seq: e.seq, PC: e.u.PC,
+				WrongPath: e.wrongPath})
+		}
 	}
 	if s.opt.SpeculativeCETrain && !e.wrongPath && !s.opt.Perfect {
 		s.est.Train(e.u.PC, e.tok, e.mispredOrig, e.actualTaken)

@@ -1,0 +1,102 @@
+package pipeline
+
+import (
+	"bce/internal/metrics"
+	"bce/internal/telemetry"
+)
+
+// runCounters is the simulation's statistics store: every tally the
+// old code kept as an ad-hoc metrics.Run field increment now lives in
+// a telemetry.Registry, pre-resolved into direct counter pointers so
+// the hot path pays a pointer-chased increment — the same cost as the
+// struct field it replaced. The registry view (Sim.Telemetry) adds the
+// distribution statistics a flat Run cannot carry: squash depths,
+// branch resolution latencies, gating episode lengths.
+type runCounters struct {
+	reg *telemetry.Registry
+
+	retired           *telemetry.Counter
+	executed          *telemetry.Counter
+	fetched           *telemetry.Counter
+	wrongPathExecuted *telemetry.Counter
+	retiredBranches   *telemetry.Counter
+	mispredicts       *telemetry.Counter
+	reversals         *telemetry.Counter
+	reversalsGood     *telemetry.Counter
+
+	confCorrectHigh *telemetry.Counter
+	confCorrectLow  *telemetry.Counter
+	confWrongHigh   *telemetry.Counter
+	confWrongLow    *telemetry.Counter
+
+	squashDepth    *telemetry.Histogram
+	resolveLatency *telemetry.Histogram
+	gateEpisode    *telemetry.Histogram
+}
+
+func newRunCounters() *runCounters {
+	reg := telemetry.NewRegistry()
+	return &runCounters{
+		reg:               reg,
+		retired:           reg.Counter("retired_uops"),
+		executed:          reg.Counter("executed_uops"),
+		fetched:           reg.Counter("fetched_uops"),
+		wrongPathExecuted: reg.Counter("wrong_path_executed_uops"),
+		retiredBranches:   reg.Counter("retired_branches"),
+		mispredicts:       reg.Counter("mispredicts"),
+		reversals:         reg.Counter("reversals"),
+		reversalsGood:     reg.Counter("reversals_good"),
+		confCorrectHigh:   reg.Counter("conf_correct_high"),
+		confCorrectLow:    reg.Counter("conf_correct_low"),
+		confWrongHigh:     reg.Counter("conf_wrong_high"),
+		confWrongLow:      reg.Counter("conf_wrong_low"),
+		squashDepth:       reg.Histogram("squash_depth_uops"),
+		resolveLatency:    reg.Histogram("branch_resolve_cycles"),
+		gateEpisode:       reg.Histogram("gate_episode_cycles"),
+	}
+}
+
+// observeConfusion records one retired conditional branch in the
+// confusion counters (the registry form of metrics.Confusion.Add).
+func (c *runCounters) observeConfusion(mispredicted, lowConfidence bool) {
+	switch {
+	case mispredicted && lowConfidence:
+		c.confWrongLow.Inc()
+	case mispredicted:
+		c.confWrongHigh.Inc()
+	case lowConfidence:
+		c.confCorrectLow.Inc()
+	default:
+		c.confCorrectHigh.Inc()
+	}
+}
+
+// snapshot assembles the metrics.Run the tables consume from the
+// registry counters. Cycle and gating totals come from the caller
+// (they are owned by the simulation loop and the gating controller).
+func (c *runCounters) snapshot(cycles, gatedCycles, gateEvents uint64) metrics.Run {
+	return metrics.Run{
+		Cycles:            cycles,
+		Retired:           c.retired.Value(),
+		Executed:          c.executed.Value(),
+		Fetched:           c.fetched.Value(),
+		WrongPathExecuted: c.wrongPathExecuted.Value(),
+		RetiredBranches:   c.retiredBranches.Value(),
+		Mispredicts:       c.mispredicts.Value(),
+		Reversals:         c.reversals.Value(),
+		ReversalsGood:     c.reversalsGood.Value(),
+		GatedCycles:       gatedCycles,
+		GateEvents:        gateEvents,
+		Confusion: metrics.Confusion{
+			CorrectHigh: c.confCorrectHigh.Value(),
+			CorrectLow:  c.confCorrectLow.Value(),
+			WrongHigh:   c.confWrongHigh.Value(),
+			WrongLow:    c.confWrongLow.Value(),
+		},
+	}
+}
+
+// Telemetry returns a snapshot of the simulation's metric registry for
+// the span measured by the last Run call (counters reset when a run
+// starts, like the Run statistics themselves).
+func (s *Sim) Telemetry() telemetry.Snapshot { return s.ctr.reg.Snapshot() }

@@ -31,13 +31,19 @@ import (
 )
 
 // Progress is one progress report: Done jobs out of Total have
-// finished, Elapsed wall-clock has passed, and ETA extrapolates the
-// remaining time from the average pace so far. ETA is zero until the
-// first job completes.
+// finished (Cached of them served from a result cache), Elapsed
+// wall-clock has passed, and ETA extrapolates the remaining time from
+// the pace of the *uncached* jobs only — cache hits complete in
+// microseconds and would otherwise skew the projected rate toward
+// zero right when the remaining work is the expensive kind. ETA is
+// zero until the first uncached job completes.
 type Progress struct {
 	Done, Total int
-	Elapsed     time.Duration
-	ETA         time.Duration
+	// Cached counts completed jobs that reported themselves served
+	// from a cache (see MarkCached).
+	Cached  int
+	Elapsed time.Duration
+	ETA     time.Duration
 }
 
 // Options configures a Pool.
@@ -124,10 +130,12 @@ func Map[T, R any](ctx context.Context, p *Pool, items []T, fn func(ctx context.
 		mu       sync.Mutex
 		firstErr error
 		done     int
+		cached   int
 	)
 	start := time.Now()
 	report := p.progressFunc()
 	total := len(items)
+	live.sweepStart(total, workers)
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -137,7 +145,10 @@ func Map[T, R any](ctx context.Context, p *Pool, items []T, fn func(ctx context.
 				if ctx.Err() != nil {
 					continue // drain remaining indices after cancellation
 				}
-				r, err := runJob(ctx, i, items[i], fn)
+				flag := newJobFlag()
+				live.jobStart()
+				r, err := runJob(context.WithValue(ctx, jobFlagKey{}, flag), i, items[i], fn)
+				live.jobEnd(err, flag.cached())
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -149,14 +160,19 @@ func Map[T, R any](ctx context.Context, p *Pool, items []T, fn func(ctx context.
 				}
 				out[i] = r
 				done++
-				d := done
+				if flag.cached() {
+					cached++
+				}
+				d, c := done, cached
 				elapsed := time.Since(start)
 				var eta time.Duration
-				if d > 0 && d < total {
-					eta = time.Duration(int64(elapsed) / int64(d) * int64(total-d))
+				// Rate from uncached completions only: cache hits are
+				// effectively free and must not dilute the projection.
+				if u := d - c; u > 0 && d < total {
+					eta = time.Duration(int64(elapsed) / int64(u) * int64(total-d))
 				}
 				if report != nil {
-					report(Progress{Done: d, Total: total, Elapsed: elapsed, ETA: eta})
+					report(Progress{Done: d, Total: total, Cached: c, Elapsed: elapsed, ETA: eta})
 				}
 				mu.Unlock()
 			}

@@ -1,0 +1,113 @@
+package runner
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestProgressCached checks cache-classified jobs are excluded from
+// the ETA pace: with every completed job cached, no rate exists and
+// ETA stays zero; the Cached tally reaches the final report.
+func TestProgressCached(t *testing.T) {
+	var reports []Progress
+	p := New(Options{Workers: 1, Progress: func(pr Progress) { reports = append(reports, pr) }})
+	items := []int{0, 1, 2, 3}
+	_, err := Map(context.Background(), p, items, func(ctx context.Context, i int, _ int) (int, error) {
+		if i%2 == 0 {
+			MarkCached(ctx)
+		} else {
+			MarkComputed(ctx)
+		}
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(items) {
+		t.Fatalf("reports = %d, want %d", len(reports), len(items))
+	}
+	last := reports[len(reports)-1]
+	if last.Done != 4 || last.Cached != 2 {
+		t.Errorf("final report Done=%d Cached=%d, want 4/2", last.Done, last.Cached)
+	}
+}
+
+// TestProgressAllCachedNoETA pins the fix for cache-skewed ETAs: when
+// every completed job is a cache hit there is no uncached pace to
+// extrapolate from, so ETA must stay zero rather than projecting a
+// near-instant finish.
+func TestProgressAllCachedNoETA(t *testing.T) {
+	var etas []time.Duration
+	p := New(Options{Workers: 2, Progress: func(pr Progress) { etas = append(etas, pr.ETA) }})
+	_, err := Map(context.Background(), p, make([]int, 8), func(ctx context.Context, _ int, _ int) (int, error) {
+		MarkCached(ctx)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, eta := range etas {
+		if eta != 0 {
+			t.Errorf("report %d: ETA = %v with only cached completions, want 0", i, eta)
+		}
+	}
+}
+
+// TestMarkComputedWins checks the latch: a job that both hit a cache
+// and ran a fresh computation counts as computed.
+func TestMarkComputedWins(t *testing.T) {
+	var last Progress
+	p := New(Options{Workers: 1, Progress: func(pr Progress) { last = pr }})
+	_, err := Map(context.Background(), p, []int{0}, func(ctx context.Context, _ int, _ int) (int, error) {
+		MarkCached(ctx)   // one lookup hit...
+		MarkComputed(ctx) // ...but a fresh simulation also ran
+		MarkCached(ctx)   // later hits must not demote it back
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Cached != 0 {
+		t.Errorf("Cached = %d, want 0 (computed latch)", last.Cached)
+	}
+}
+
+// TestMarkCachedOutsideJob checks the context API degrades to a no-op
+// without a runner job (e.g. runTiming called directly in tests).
+func TestMarkCachedOutsideJob(t *testing.T) {
+	MarkCached(context.Background())
+	MarkComputed(context.Background())
+}
+
+// TestLiveSnapshot checks the process-wide counters advance across a
+// sweep and workers return to idle.
+func TestLiveSnapshot(t *testing.T) {
+	before := LiveSnapshot()
+	p := New(Options{Workers: 3})
+	_, err := Map(context.Background(), p, make([]int, 5), func(ctx context.Context, i int, _ int) (int, error) {
+		if i == 0 {
+			MarkCached(ctx)
+		}
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := LiveSnapshot()
+	if got := after.JobsStarted - before.JobsStarted; got != 5 {
+		t.Errorf("JobsStarted advanced by %d, want 5", got)
+	}
+	if got := after.JobsDone - before.JobsDone; got != 5 {
+		t.Errorf("JobsDone advanced by %d, want 5", got)
+	}
+	if got := after.JobsCached - before.JobsCached; got != 1 {
+		t.Errorf("JobsCached advanced by %d, want 1", got)
+	}
+	if after.BusyWorkers != 0 {
+		t.Errorf("BusyWorkers = %d after sweep, want 0", after.BusyWorkers)
+	}
+	if after.SweepTotal != 5 || after.SweepDone != 5 {
+		t.Errorf("sweep progress = %d/%d, want 5/5", after.SweepDone, after.SweepTotal)
+	}
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// bandCount is the number of confidence bands (high, weak-low,
+// strong-low); mirrors internal/confidence without importing it, so
+// telemetry stays a leaf package.
+const bandCount = 3
+
+// pcAudit accumulates one static branch's confidence history.
+type pcAudit struct {
+	estimates [bandCount]uint64 // fetch-time estimates per band (incl. wrong path)
+	ok        [bandCount]uint64 // retired, prediction correct, per band
+	miss      [bandCount]uint64 // retired, prediction wrong, per band
+	gated     uint64            // times this branch armed the gating counter
+	reversals uint64
+	corrected uint64 // reversals that fixed a would-be misprediction
+}
+
+// Audit is a Sink that builds the per-branch-PC confidence audit: for
+// every static conditional branch, how often each band was assigned,
+// the per-band hit/miss record at retirement, and the gating and
+// reversal decisions taken on it. This is the H2P-style breakdown that
+// whole-run means hide — the handful of PCs where a band is chronically
+// wrong is exactly where an estimator loses its coverage.
+type Audit struct {
+	pcs map[uint64]*pcAudit
+}
+
+// NewAudit returns an empty audit collector.
+func NewAudit() *Audit { return &Audit{pcs: make(map[uint64]*pcAudit)} }
+
+func (a *Audit) at(pc uint64) *pcAudit {
+	p := a.pcs[pc]
+	if p == nil {
+		p = &pcAudit{}
+		a.pcs[pc] = p
+	}
+	return p
+}
+
+// Emit implements Sink.
+func (a *Audit) Emit(e Event) {
+	switch e.Kind {
+	case EvEstimate:
+		if e.Band < bandCount {
+			a.at(e.PC).estimates[e.Band]++
+		}
+	case EvTrain:
+		if e.Band < bandCount {
+			p := a.at(e.PC)
+			if e.Mispred {
+				p.miss[e.Band]++
+			} else {
+				p.ok[e.Band]++
+			}
+		}
+	case EvGateArm:
+		a.at(e.PC).gated++
+	case EvReversal:
+		p := a.at(e.PC)
+		p.reversals++
+		if e.Mispred {
+			p.corrected++
+		}
+	}
+}
+
+// Branches returns the number of distinct branch PCs audited.
+func (a *Audit) Branches() int { return len(a.pcs) }
+
+// auditHeader is the CSV column set. "est_*" columns are fetch-time
+// band assignments (wrong-path fetches included, since those are the
+// estimates gating acts on); "*_ok"/"*_miss" count retired branches
+// per band by prediction outcome.
+const auditHeader = "pc,estimates,est_high,est_weak_low,est_strong_low," +
+	"trained,high_ok,high_miss,weak_low_ok,weak_low_miss,strong_low_ok,strong_low_miss," +
+	"mispredict_rate,gated,reversals,reversals_good\n"
+
+// WriteCSV renders the audit sorted by PC.
+func (a *Audit) WriteCSV(w io.Writer) error {
+	pcs := make([]uint64, 0, len(a.pcs))
+	for pc := range a.pcs {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	if _, err := io.WriteString(w, auditHeader); err != nil {
+		return err
+	}
+	for _, pc := range pcs {
+		p := a.pcs[pc]
+		est := p.estimates[0] + p.estimates[1] + p.estimates[2]
+		trained := p.ok[0] + p.ok[1] + p.ok[2] + p.miss[0] + p.miss[1] + p.miss[2]
+		miss := p.miss[0] + p.miss[1] + p.miss[2]
+		rate := 0.0
+		if trained > 0 {
+			rate = float64(miss) / float64(trained)
+		}
+		if _, err := fmt.Fprintf(w, "0x%x,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%d,%d\n",
+			pc, est, p.estimates[0], p.estimates[1], p.estimates[2],
+			trained, p.ok[0], p.miss[0], p.ok[1], p.miss[1], p.ok[2], p.miss[2],
+			rate, p.gated, p.reversals, p.corrected); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var _ Sink = (*Audit)(nil)

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestAuditCSV(t *testing.T) {
+	a := NewAudit()
+	// PC 0x100: two high estimates, one trained correct, one trained
+	// wrong; gated once.
+	a.Emit(Event{Kind: EvEstimate, PC: 0x100, Band: 0})
+	a.Emit(Event{Kind: EvEstimate, PC: 0x100, Band: 0})
+	a.Emit(Event{Kind: EvTrain, PC: 0x100, Band: 0})
+	a.Emit(Event{Kind: EvTrain, PC: 0x100, Band: 0, Mispred: true})
+	a.Emit(Event{Kind: EvGateArm, PC: 0x100})
+	// PC 0x80 (sorts first): strong-low estimate, corrected reversal.
+	a.Emit(Event{Kind: EvEstimate, PC: 0x80, Band: 2})
+	a.Emit(Event{Kind: EvTrain, PC: 0x80, Band: 2, Mispred: true})
+	a.Emit(Event{Kind: EvReversal, PC: 0x80, Mispred: true})
+
+	if a.Branches() != 2 {
+		t.Fatalf("Branches() = %d, want 2", a.Branches())
+	}
+
+	var buf bytes.Buffer
+	if err := a.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want header + 2", len(rows))
+	}
+	header := strings.Join(rows[0], ",")
+	if header+"\n" != auditHeader {
+		t.Errorf("header = %q", header)
+	}
+	col := func(row []string, name string) string {
+		for i, h := range rows[0] {
+			if h == name {
+				return row[i]
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return ""
+	}
+
+	// Sorted by PC: 0x80 first.
+	if got := col(rows[1], "pc"); got != "0x80" {
+		t.Errorf("row 1 pc = %q, want 0x80 (sorted)", got)
+	}
+	if got := col(rows[1], "est_strong_low"); got != "1" {
+		t.Errorf("0x80 est_strong_low = %q", got)
+	}
+	if got := col(rows[1], "reversals_good"); got != "1" {
+		t.Errorf("0x80 reversals_good = %q", got)
+	}
+	if got := col(rows[1], "mispredict_rate"); got != "1.0000" {
+		t.Errorf("0x80 mispredict_rate = %q", got)
+	}
+
+	if got := col(rows[2], "pc"); got != "0x100" {
+		t.Errorf("row 2 pc = %q", got)
+	}
+	if got := col(rows[2], "estimates"); got != "2" {
+		t.Errorf("0x100 estimates = %q", got)
+	}
+	if got := col(rows[2], "high_ok"); got != "1" {
+		t.Errorf("0x100 high_ok = %q", got)
+	}
+	if got := col(rows[2], "high_miss"); got != "1" {
+		t.Errorf("0x100 high_miss = %q", got)
+	}
+	if got := col(rows[2], "mispredict_rate"); got != "0.5000" {
+		t.Errorf("0x100 mispredict_rate = %q", got)
+	}
+	if got := col(rows[2], "gated"); got != "1" {
+		t.Errorf("0x100 gated = %q", got)
+	}
+}
+
+func TestAuditIgnoresUnrelatedEvents(t *testing.T) {
+	a := NewAudit()
+	a.Emit(Event{Kind: EvFetch, PC: 0x10})
+	a.Emit(Event{Kind: EvRetire, PC: 0x10})
+	a.Emit(Event{Kind: EvGateOn, N: 3})
+	if a.Branches() != 0 {
+		t.Errorf("pipeline events created audit rows: %d", a.Branches())
+	}
+}

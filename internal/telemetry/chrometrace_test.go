@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// emitFixedSequence drives a sink through a small, fully determined
+// simulation fragment: two uops (one retiring, one squashed), a
+// low-confidence estimate, a gating episode and a reversal.
+func emitFixedSequence(s Sink) {
+	emit := func(e Event) { s.Emit(e) }
+	// Uop 1: a branch that fetches, flows through every stage, retires.
+	emit(Event{Kind: EvFetch, Cycle: 0, Seq: 1, PC: 0x400010})
+	emit(Event{Kind: EvPredict, Cycle: 0, Seq: 1, PC: 0x400010, Taken: true})
+	emit(Event{Kind: EvEstimate, Cycle: 0, Seq: 1, PC: 0x400010, Band: 1, Output: -12, Taken: true})
+	emit(Event{Kind: EvDispatch, Cycle: 2, Seq: 1, PC: 0x400010})
+	emit(Event{Kind: EvIssue, Cycle: 4, Seq: 1, PC: 0x400010})
+	emit(Event{Kind: EvComplete, Cycle: 7, Seq: 1, PC: 0x400010})
+	// Uop 2: wrong path, squashed before completing.
+	emit(Event{Kind: EvFetch, Cycle: 1, Seq: 2, PC: 0x400020, WrongPath: true})
+	emit(Event{Kind: EvDispatch, Cycle: 3, Seq: 2, PC: 0x400020})
+	emit(Event{Kind: EvSquashUop, Cycle: 8, Seq: 2})
+	emit(Event{Kind: EvSquash, Cycle: 8, Seq: 1, N: 1})
+	// A gating episode and its release.
+	emit(Event{Kind: EvGateOn, Cycle: 9, N: 2})
+	emit(Event{Kind: EvGateOff, Cycle: 14, N: 5})
+	// Reversal that corrected a misprediction, then uop 1 retires.
+	emit(Event{Kind: EvReversal, Cycle: 15, PC: 0x400010, Taken: false, Mispred: true})
+	emit(Event{Kind: EvRetire, Cycle: 16, Seq: 1, PC: 0x400010})
+	emit(Event{Kind: EvTrain, Cycle: 16, PC: 0x400010, Band: 1, Taken: true})
+}
+
+func buildTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	ct := NewChromeTrace(&buf)
+	emitFixedSequence(ct)
+	if err := ct.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestChromeTraceGolden pins the exact emitted JSON for a fixed event
+// sequence. Regenerate with: go test ./internal/telemetry -run Golden -update
+func TestChromeTraceGolden(t *testing.T) {
+	got := buildTrace(t)
+	golden := filepath.Join("testdata", "chrome_trace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace output differs from golden file %s\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// traceDoc mirrors the trace_event JSON envelope.
+type traceDoc struct {
+	DisplayTimeUnit string             `json:"displayTimeUnit"`
+	TraceEvents     []traceEventRecord `json:"traceEvents"`
+}
+
+type traceEventRecord struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   *uint64        `json:"ts"`
+	Dur  *uint64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// TestChromeTraceStructure validates the trace_event invariants every
+// viewer depends on: the document parses, slices ("X") carry
+// durations, phases nest (a slice never extends past the next event on
+// its lane that the sort placed after it), and timestamps are
+// monotonic per tid.
+func TestChromeTraceStructure(t *testing.T) {
+	raw := buildTrace(t)
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+
+	metaNames := map[int]bool{}
+	lastTs := map[int]uint64{}
+	var slices, instants int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			metaNames[e.Tid] = true
+			continue
+		case "X":
+			slices++
+			if e.Dur == nil {
+				t.Errorf("slice %q has no dur", e.Name)
+			}
+		case "i":
+			instants++
+		case "C":
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+		if e.Ts == nil {
+			t.Errorf("event %q (ph %s) has no ts", e.Name, e.Ph)
+			continue
+		}
+		if *e.Ts < lastTs[e.Tid] {
+			t.Errorf("tid %d: ts %d after %d — not monotonic", e.Tid, *e.Ts, lastTs[e.Tid])
+		}
+		lastTs[e.Tid] = *e.Ts
+	}
+	for tid := tidFrontend; tid <= tidControl; tid++ {
+		if !metaNames[tid] {
+			t.Errorf("lane %d (%s) has no thread_name metadata", tid, tidNames[tid])
+		}
+	}
+	// Fetch→dispatch, dispatch→issue, issue→complete, complete→retire
+	// for uop 1, fetch→dispatch for uop 2, plus the gated interval.
+	if slices != 6 {
+		t.Errorf("slices = %d, want 6", slices)
+	}
+	// Squash, low-confidence estimate, reversal.
+	if instants != 3 {
+		t.Errorf("instants = %d, want 3", instants)
+	}
+}
+
+// TestChromeTraceSquashDropsSpan checks a squashed uop never produces
+// stage slices after its squash.
+func TestChromeTraceSquashDropsSpan(t *testing.T) {
+	var buf bytes.Buffer
+	ct := NewChromeTrace(&buf)
+	ct.Emit(Event{Kind: EvFetch, Cycle: 0, Seq: 9, PC: 0x99})
+	ct.Emit(Event{Kind: EvSquashUop, Cycle: 1, Seq: 9})
+	// Events for a dead seq must be ignored, not crash or emit.
+	ct.Emit(Event{Kind: EvDispatch, Cycle: 2, Seq: 9})
+	ct.Emit(Event{Kind: EvRetire, Cycle: 3, Seq: 9})
+	if err := ct.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			t.Errorf("squashed uop produced slice %q", e.Name)
+		}
+	}
+}

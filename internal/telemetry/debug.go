@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the opt-in live-introspection endpoint (-debug-addr):
+// net/http/pprof profiling, expvar counters, and caller-registered
+// live variables (sweep progress, cache hit rates, worker utilization)
+// under /debug/vars and /debug/live. It runs beside a simulation or
+// sweep and dies with the process; it holds no simulator state itself,
+// only the closures handed to Publish.
+type DebugServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	vars map[string]func() any
+}
+
+// StartDebug listens on addr (host:port; use ":0" for an ephemeral
+// port) and serves in a background goroutine. vars maps a name to a
+// closure sampled at request time; closures must be safe to call from
+// the serving goroutine (read atomics, not plain simulator fields).
+func StartDebug(addr string, vars map[string]func() any) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug listen %s: %w", addr, err)
+	}
+	d := &DebugServer{ln: ln, vars: vars}
+	// Mirror the live vars into the process-global expvar namespace so
+	// standard tooling that scrapes /debug/vars sees them. Re-publishing
+	// a name (second server in one process, e.g. tests) keeps the first
+	// registration; /debug/live always serves this server's own vars.
+	for name, fn := range vars {
+		if expvar.Get(name) == nil {
+			expvar.Publish(name, expvar.Func(fn))
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/live", d.serveLive)
+	d.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go d.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return d, nil
+}
+
+// serveLive renders the registered vars as one JSON object with stable
+// key order.
+func (d *DebugServer) serveLive(w http.ResponseWriter, _ *http.Request) {
+	m := make(map[string]any, len(d.vars))
+	for name, fn := range d.vars {
+		m[name] = fn()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, "{")
+	for i, name := range sortedVarNames(m) {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		b, err := json.Marshal(m[name])
+		if err != nil {
+			b = []byte(fmt.Sprintf("%q", err.Error()))
+		}
+		fmt.Fprintf(w, "%q:%s", name, b)
+	}
+	fmt.Fprintln(w, "}")
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server.
+func (d *DebugServer) Close() error { return d.srv.Close() }

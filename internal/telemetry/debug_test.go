@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestDebugServer(t *testing.T) {
+	calls := 0
+	srv, err := StartDebug("127.0.0.1:0", map[string]func() any{
+		"test_live_var": func() any {
+			calls++
+			return map[string]int{"value": calls}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	var live map[string]map[string]int
+	if err := json.Unmarshal(get("/debug/live"), &live); err != nil {
+		t.Fatalf("/debug/live is not valid JSON: %v", err)
+	}
+	if live["test_live_var"]["value"] < 1 {
+		t.Errorf("/debug/live = %v, var not sampled", live)
+	}
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+	if _, ok := vars["test_live_var"]; !ok {
+		t.Errorf("/debug/vars missing published var (keys: %d)", len(vars))
+	}
+
+	if b := get("/debug/pprof/"); len(b) == 0 {
+		t.Error("/debug/pprof/ empty")
+	}
+
+	// The var closure is sampled per request, not cached.
+	before := calls
+	get("/debug/live")
+	if calls <= before {
+		t.Error("live var not re-sampled per request")
+	}
+}
+
+func TestDebugServerSecondInstance(t *testing.T) {
+	// Publishing the same expvar name twice must not panic; the second
+	// server still serves its own vars on /debug/live.
+	mk := func() *DebugServer {
+		srv, err := StartDebug("127.0.0.1:0", map[string]func() any{
+			"test_dup_var": func() any { return 1 },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	a := mk()
+	defer a.Close()
+	b := mk()
+	defer b.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/live", b.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var live map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&live); err != nil {
+		t.Fatal(err)
+	}
+	if live["test_dup_var"] != 1 {
+		t.Errorf("second server /debug/live = %v", live)
+	}
+}

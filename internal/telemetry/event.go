@@ -1,0 +1,175 @@
+// Package telemetry is the simulator's observability layer: a
+// low-overhead event stream threaded through the pipeline stages and
+// confidence estimators, a typed counters/histograms registry backing
+// the per-run statistics, and exporters that turn the stream into
+// artifacts — a Chrome trace_event timeline for chrome://tracing or
+// Perfetto, a per-branch-PC confidence audit CSV, and a live debug
+// HTTP endpoint (pprof + expvar).
+//
+// The design constraint is that observability must cost nothing when
+// it is off: the pipeline holds a Sink interface value and guards
+// every emission with a nil check, so an untraced simulation executes
+// the same instruction stream it did before this package existed, and
+// a traced simulation produces byte-identical metrics.
+package telemetry
+
+// EventKind discriminates telemetry events.
+type EventKind uint8
+
+const (
+	// EvFetch: a uop entered the front end (Seq, PC, WrongPath).
+	EvFetch EventKind = iota
+	// EvDispatch: a uop was renamed into the ROB and a scheduling
+	// window.
+	EvDispatch
+	// EvIssue: a uop was selected for execution.
+	EvIssue
+	// EvComplete: a uop's execution latency elapsed.
+	EvComplete
+	// EvRetire: a uop retired architecturally.
+	EvRetire
+	// EvSquashUop: one in-flight uop was squashed by misprediction
+	// recovery.
+	EvSquashUop
+	// EvSquash: one recovery event; N is the number of uops squashed,
+	// Seq the diverging branch.
+	EvSquash
+	// EvPredict: the branch predictor produced a direction (Taken) for
+	// the conditional branch at PC.
+	EvPredict
+	// EvEstimate: the confidence estimator classified a prediction;
+	// Band is the confidence band, Output the raw estimator output.
+	EvEstimate
+	// EvTrain: the confidence estimator trained on a resolved branch;
+	// Mispred is whether the original prediction was wrong.
+	EvTrain
+	// EvReversal: a strongly-low-confidence prediction was reversed;
+	// Mispred reports whether the reversal corrected a would-be
+	// misprediction.
+	EvReversal
+	// EvGateArm: a low-confidence branch armed the pipeline-gating
+	// counter.
+	EvGateArm
+	// EvGateOn: fetch gating engaged; N is the armed branch count.
+	EvGateOn
+	// EvGateOff: fetch gating released; N is the stall length in
+	// cycles.
+	EvGateOff
+
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{
+	"fetch", "dispatch", "issue", "complete", "retire",
+	"squash-uop", "squash", "predict", "estimate", "train",
+	"reversal", "gate-arm", "gate-on", "gate-off",
+}
+
+// String returns the event kind name.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "event(?)"
+}
+
+// Event is one simulator occurrence. It is a flat value type — no
+// pointers, no allocation — so emitting one is a struct copy.
+// Field meaning depends on Kind; unused fields are zero.
+type Event struct {
+	// Cycle is the simulated cycle the event occurred on.
+	Cycle uint64
+	// Seq is the uop's pipeline sequence number (0 when not tied to a
+	// specific in-flight uop).
+	Seq uint64
+	// PC is the instruction address, where meaningful.
+	PC uint64
+	// N is a kind-specific magnitude (squash depth, gating counter,
+	// stall length).
+	N uint64
+	// Output is the estimator's raw output (EvEstimate).
+	Output int
+	// Kind discriminates the event.
+	Kind EventKind
+	// Band is the confidence band (0 high, 1 weak-low, 2 strong-low)
+	// for EvEstimate/EvTrain.
+	Band uint8
+	// Taken is the branch direction in play (predicted for EvPredict,
+	// final for EvReversal, resolved for EvTrain).
+	Taken bool
+	// Mispred reports a wrong original prediction (EvTrain) or a
+	// corrected one (EvReversal).
+	Mispred bool
+	// WrongPath marks events caused by wrong-path (to-be-squashed)
+	// uops.
+	WrongPath bool
+}
+
+// Sink consumes telemetry events. Implementations are called from the
+// simulation goroutine, synchronously and in program order; they must
+// not retain the Event (it is a value, so copying is retention
+// enough). A nil Sink means telemetry is off, and emitters must check
+// for nil rather than calling.
+type Sink interface {
+	Emit(Event)
+}
+
+// multiSink fans one stream out to several sinks.
+type multiSink []Sink
+
+// Emit implements Sink.
+func (m multiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// Multi combines sinks into one, dropping nils. It returns nil when
+// nothing remains (telemetry off), and the sink itself when exactly
+// one remains.
+func Multi(sinks ...Sink) Sink {
+	var kept multiSink
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	default:
+		return kept
+	}
+}
+
+// CountingSink counts events by kind — the cheapest possible live
+// sink, used in tests and overhead benchmarks.
+type CountingSink struct {
+	counts [numEventKinds]uint64
+}
+
+// Emit implements Sink.
+func (c *CountingSink) Emit(e Event) {
+	if int(e.Kind) < len(c.counts) {
+		c.counts[e.Kind]++
+	}
+}
+
+// Count returns how many events of kind k were emitted.
+func (c *CountingSink) Count(k EventKind) uint64 {
+	if int(k) >= len(c.counts) {
+		return 0
+	}
+	return c.counts[k]
+}
+
+// Total returns the total event count.
+func (c *CountingSink) Total() uint64 {
+	var t uint64
+	for _, n := range c.counts {
+		t += n
+	}
+	return t
+}

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value() = %d, want 42", got)
+	}
+	c.Reset()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("after Reset, Value() = %d, want 0", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 3, 8, 1 << 40} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count() = %d, want 7", h.Count())
+	}
+	if want := uint64(0 + 1 + 2 + 3 + 3 + 8 + 1<<40); h.Sum() != want {
+		t.Errorf("Sum() = %d, want %d", h.Sum(), want)
+	}
+	if h.Max() != 1<<40 {
+		t.Errorf("Max() = %d, want %d", h.Max(), uint64(1)<<40)
+	}
+	want := []Bucket{
+		{Lo: 0, Hi: 0, Count: 1},               // value 0
+		{Lo: 1, Hi: 1, Count: 1},               // value 1
+		{Lo: 2, Hi: 3, Count: 3},               // values 2, 3, 3
+		{Lo: 8, Hi: 15, Count: 1},              // value 8
+		{Lo: 1 << 40, Hi: 1<<41 - 1, Count: 1}, // value 2^40
+	}
+	got := h.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("Buckets() = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistogramMeanEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 {
+		t.Errorf("empty Mean() = %v, want 0", h.Mean())
+	}
+	h.Observe(4)
+	h.Observe(8)
+	if h.Mean() != 6 {
+		t.Errorf("Mean() = %v, want 6", h.Mean())
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_second").Add(2)
+	r.Counter("a_first").Add(1)
+	r.Histogram("lat").Observe(5)
+	// Get-or-create returns the same instance.
+	r.Counter("a_first").Inc()
+
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || len(s.Histograms) != 1 {
+		t.Fatalf("snapshot shape: %d counters, %d histograms", len(s.Counters), len(s.Histograms))
+	}
+	// Registration order is preserved, not sorted.
+	if s.Counters[0].Name != "b_second" || s.Counters[1].Name != "a_first" {
+		t.Errorf("counter order = %q, %q; want registration order", s.Counters[0].Name, s.Counters[1].Name)
+	}
+	if v, ok := s.Counter("a_first"); !ok || v != 2 {
+		t.Errorf("Counter(a_first) = %d, %v; want 2, true", v, ok)
+	}
+	if _, ok := s.Counter("missing"); ok {
+		t.Error("Counter(missing) reported present")
+	}
+
+	vars := s.Vars()
+	if vars["b_second"] != uint64(2) {
+		t.Errorf("Vars[b_second] = %v", vars["b_second"])
+	}
+	if vars["lat.count"] != uint64(1) || vars["lat.sum"] != uint64(5) {
+		t.Errorf("histogram vars = %v", vars)
+	}
+
+	out := s.String()
+	for _, want := range []string{"b_second", "a_first", "lat", "[4..7] 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+
+	r.Reset()
+	if v, _ := r.Snapshot().Counter("a_first"); v != 0 {
+		t.Errorf("after Reset, a_first = %d", v)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("Histogram on a counter name did not panic")
+		}
+	}()
+	r.Histogram("x")
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() != nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) != nil")
+	}
+	a := &CountingSink{}
+	if got := Multi(nil, a); got != Sink(a) {
+		t.Errorf("Multi with one live sink returned %T, want the sink itself", got)
+	}
+	b := &CountingSink{}
+	m := Multi(a, nil, b)
+	m.Emit(Event{Kind: EvFetch})
+	m.Emit(Event{Kind: EvRetire})
+	for _, s := range []*CountingSink{a, b} {
+		if s.Count(EvFetch) != 1 || s.Count(EvRetire) != 1 || s.Total() != 2 {
+			t.Errorf("fan-out counts = fetch %d, retire %d, total %d",
+				s.Count(EvFetch), s.Count(EvRetire), s.Total())
+		}
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if k.String() == "" || k.String() == "event(?)" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if EventKind(200).String() != "event(?)" {
+		t.Error("out-of-range kind did not fall back")
+	}
+}

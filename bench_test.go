@@ -17,6 +17,7 @@ func benchSizes() core.Sizes { return core.QuickSizes() }
 
 // BenchmarkTable2 regenerates Table 2 (speculation waste per machine).
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t, err := core.Table2(benchSizes())
 		if err != nil {
@@ -31,6 +32,7 @@ func BenchmarkTable2(b *testing.B) {
 
 // BenchmarkTable3 regenerates Table 3 (JRS vs perceptron PVN/Spec).
 func BenchmarkTable3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t, err := core.Table3(benchSizes())
 		if err != nil {
@@ -45,6 +47,7 @@ func BenchmarkTable3(b *testing.B) {
 
 // BenchmarkTable4 regenerates Table 4 (gating U/P sweep, 40c4w).
 func BenchmarkTable4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t, err := core.Table4(benchSizes())
 		if err != nil {
@@ -60,6 +63,7 @@ func BenchmarkTable4(b *testing.B) {
 
 // BenchmarkTable5 regenerates Table 5 (better baseline predictor).
 func BenchmarkTable5(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t, err := core.Table5(benchSizes())
 		if err != nil {
@@ -72,6 +76,7 @@ func BenchmarkTable5(b *testing.B) {
 
 // BenchmarkTable6 regenerates Table 6 (estimator size sensitivity).
 func BenchmarkTable6(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t, err := core.Table6(benchSizes())
 		if err != nil {
@@ -85,6 +90,7 @@ func BenchmarkTable6(b *testing.B) {
 
 // BenchmarkFig4 regenerates Figures 4-5 (CIC output density on gcc).
 func BenchmarkFig4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		d, err := core.Density("gcc", "cic", benchSizes())
 		if err != nil {
@@ -97,6 +103,7 @@ func BenchmarkFig4(b *testing.B) {
 
 // BenchmarkFig6 regenerates Figures 6-7 (TNT output density on gcc).
 func BenchmarkFig6(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		d, err := core.Density("gcc", "tnt", benchSizes())
 		if err != nil {
@@ -109,6 +116,7 @@ func BenchmarkFig6(b *testing.B) {
 
 // BenchmarkFig8 regenerates Figure 8 (gating+reversal, 40c4w).
 func BenchmarkFig8(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c, err := core.Combined(config.Baseline40x4(), benchSizes())
 		if err != nil {
@@ -121,6 +129,7 @@ func BenchmarkFig8(b *testing.B) {
 
 // BenchmarkFig9 regenerates Figure 9 (gating+reversal, 20c8w).
 func BenchmarkFig9(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c, err := core.Combined(config.Wide20x8(), benchSizes())
 		if err != nil {
@@ -133,6 +142,7 @@ func BenchmarkFig9(b *testing.B) {
 
 // BenchmarkLatency regenerates the §5.4.2 estimator-latency study.
 func BenchmarkLatency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		l, err := core.Latency(benchSizes())
 		if err != nil {
@@ -146,6 +156,7 @@ func BenchmarkLatency(b *testing.B) {
 // BenchmarkSimulatorThroughput measures raw timing-simulator speed
 // (uops simulated per wall second are nsec/op's inverse).
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	sim := NewSimulation(SimConfig{Bench: "gzip", Estimator: NewCIC(0), Gating: PL(1)})
 	sim.Run(20_000)
 	b.ResetTimer()
@@ -155,6 +166,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // BenchmarkAblateReversal regenerates the reversal-source ablation
 // (why only the multi-valued CIC output supports reversal).
 func BenchmarkAblateReversal(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		a, err := core.AblateReversalSource(benchSizes())
 		if err != nil {
@@ -168,6 +180,7 @@ func BenchmarkAblateReversal(b *testing.B) {
 // BenchmarkAblateSignal regenerates the training-signal ablation
 // (correct/incorrect vs taken/not-taken training).
 func BenchmarkAblateSignal(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		a, err := core.AblateTrainingSignal(benchSizes())
 		if err != nil {
@@ -180,6 +193,7 @@ func BenchmarkAblateSignal(b *testing.B) {
 
 // BenchmarkVariability regenerates the per-benchmark spread report.
 func BenchmarkVariability(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		v, err := core.Variability(0, 1, benchSizes())
 		if err != nil {

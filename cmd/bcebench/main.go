@@ -1,0 +1,163 @@
+// Command bcebench is the benchmark harness mode: it runs the repo's
+// benchmark suites via `go test -bench`, writes a machine-readable
+// trajectory file (BENCH_*.json), and compares two such files
+// benchstat-style so CI can gate on performance regressions.
+//
+// Examples:
+//
+//	bcebench -suite kernel -count 5 -out BENCH_pr3.json
+//	bcebench -suite all -progress -out BENCH_pr3.json
+//	bcebench -suite kernel -min-speedup 2.0          # kernel vs reference gate
+//	bcebench -compare old.json -against new.json -max-regress 10
+//
+// See docs/performance.md for the profiling and trajectory workflow.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bce/internal/bench"
+	"bce/internal/runner"
+)
+
+func main() {
+	var (
+		suite      = flag.String("suite", "kernel", "suite to run: kernel, pipeline, table, all")
+		count      = flag.Int("count", 1, "benchmark repetitions (-count); means are reported")
+		benchtime  = flag.String("benchtime", "", "override -benchtime for every suite (e.g. 100ms, 10x)")
+		out        = flag.String("out", "", "write the JSON report to this file")
+		minSpeedup = flag.Float64("min-speedup", 0, "fail unless every kernel-vs-reference speedup is at least this ratio (0 disables)")
+		compare    = flag.String("compare", "", "baseline JSON report; compare-only mode unless -suite also runs")
+		against    = flag.String("against", "", "candidate JSON report to compare against the -compare baseline (default: this run's results)")
+		maxRegress = flag.Float64("max-regress", 10, "fail the comparison when any shared benchmark slows down by more than this percent")
+		progress   = flag.Bool("progress", false, "report per-suite progress on stderr")
+		verbose    = flag.Bool("v", false, "stream raw go test output to stderr")
+	)
+	flag.Parse()
+	if err := run(*suite, *count, *benchtime, *out, *minSpeedup,
+		*compare, *against, *maxRegress, *progress, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "bcebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(suite string, count int, benchtime, out string, minSpeedup float64,
+	compare, against string, maxRegress float64, progress, verbose bool) error {
+	// Pure compare mode: two existing reports, no benchmarks run.
+	if compare != "" && against != "" {
+		old, err := load(compare)
+		if err != nil {
+			return err
+		}
+		cand, err := load(against)
+		if err != nil {
+			return err
+		}
+		return gate(old, cand, maxRegress)
+	}
+
+	suites, err := bench.Suites(suite)
+	if err != nil {
+		return err
+	}
+	report := bench.NewReport()
+	pool := runner.New(runner.Options{
+		// Benchmarks are timing-sensitive; never run suites concurrently.
+		Workers: 1,
+		Progress: func(p runner.Progress) {
+			if progress {
+				fmt.Fprintf(os.Stderr, "bcebench: %d/%d suites done (%.0fs elapsed)\n",
+					p.Done, p.Total, p.Elapsed.Seconds())
+			}
+		},
+	})
+	err = runner.ForEach(context.Background(), pool, suites, func(ctx context.Context, i int, s bench.Suite) error {
+		if progress {
+			fmt.Fprintf(os.Stderr, "bcebench: running suite %q (%s -bench %s)\n", s.Name, s.Pkg, s.Pattern)
+		}
+		start := time.Now()
+		results, raw, err := bench.Run(ctx, ".", s, count, benchtime)
+		if verbose {
+			os.Stderr.Write(raw)
+		}
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, results...)
+		if progress {
+			fmt.Fprintf(os.Stderr, "bcebench: suite %q: %d benchmarks in %.1fs\n",
+				s.Name, len(results), time.Since(start).Seconds())
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	for _, r := range report.Results {
+		fmt.Printf("%-10s %-24s %12.2f ns/op %10.0f allocs/op", r.Suite, r.Name, r.NsPerOp, r.AllocsPerOp)
+		for unit, v := range r.Metrics {
+			fmt.Printf("  %.4g %s", v, unit)
+		}
+		fmt.Println()
+	}
+	for _, sp := range bench.KernelSpeedups(report) {
+		fmt.Printf("speedup    %-24s %12.2fx vs %s\n", sp.Name, sp.Ratio, sp.Against)
+		if minSpeedup > 0 && sp.Ratio < minSpeedup {
+			return fmt.Errorf("%s is only %.2fx faster than %s, need >= %.2fx",
+				sp.Name, sp.Ratio, sp.Against, minSpeedup)
+		}
+	}
+
+	if out != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bcebench: wrote %s (%d results)\n", out, len(report.Results))
+	}
+
+	// -compare without -against gates this fresh run against a
+	// committed baseline.
+	if compare != "" {
+		old, err := load(compare)
+		if err != nil {
+			return err
+		}
+		return gate(old, report, maxRegress)
+	}
+	return nil
+}
+
+func load(path string) (*bench.Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func gate(old, cand *bench.Report, maxRegress float64) error {
+	cmps := bench.Compare(old, cand)
+	if len(cmps) == 0 {
+		return fmt.Errorf("no shared benchmarks between reports")
+	}
+	fmt.Print(bench.FormatComparisons(cmps, maxRegress))
+	if bad := bench.Regressions(cmps, maxRegress); len(bad) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%", len(bad), maxRegress)
+	}
+	fmt.Printf("ok: no benchmark regressed more than %.0f%%\n", maxRegress)
+	return nil
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: bce/internal/perceptron
+cpu: some cpu
+BenchmarkOutput32-8             	181651112	         6.400 ns/op	       0 B/op	       0 allocs/op
+BenchmarkOutput32-8             	180000000	         6.600 ns/op	       0 B/op	       0 allocs/op
+BenchmarkOutputReference32-8    	 88234567	        13.50 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRunNilSink-8           	     285	   4190000 ns/op	   7500000 sim-cycles/sec	      12 B/op	       0 allocs/op
+PASS
+ok  	bce/internal/perceptron	5.123s
+`
+
+func TestParse(t *testing.T) {
+	rs, err := Parse("kernel", []byte(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(rs), rs)
+	}
+	out := rs[0]
+	if out.Name != "Output32" || out.Samples != 2 {
+		t.Errorf("first result = %+v, want Output32 with 2 samples", out)
+	}
+	if out.NsPerOp != 6.5 {
+		t.Errorf("Output32 mean ns/op = %v, want 6.5", out.NsPerOp)
+	}
+	if out.MinNsPerOp != 6.4 {
+		t.Errorf("Output32 min ns/op = %v, want 6.4", out.MinNsPerOp)
+	}
+	if out.Iters != 181651112+180000000 {
+		t.Errorf("Output32 iters = %d", out.Iters)
+	}
+	sink := rs[2]
+	if sink.Name != "RunNilSink" {
+		t.Fatalf("third result = %+v", sink)
+	}
+	if got := sink.Metrics["sim-cycles/sec"]; got != 7500000 {
+		t.Errorf("custom metric = %v, want 7500000", got)
+	}
+	if sink.BytesPerOp != 12 {
+		t.Errorf("B/op = %v, want 12", sink.BytesPerOp)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse("kernel", []byte("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("want error for output with no benchmark lines")
+	}
+}
+
+func TestParseMalformedLine(t *testing.T) {
+	if _, err := Parse("kernel", []byte("BenchmarkX-8 notanumber 1 ns/op\n")); err == nil {
+		t.Fatal("want error for bad iteration count")
+	}
+}
+
+func report(results ...Result) *Report {
+	r := NewReport()
+	r.Results = results
+	return r
+}
+
+func TestCompareAndRegressions(t *testing.T) {
+	old := report(
+		Result{Suite: "kernel", Name: "Output32", NsPerOp: 10},
+		Result{Suite: "kernel", Name: "Train32", NsPerOp: 20},
+		Result{Suite: "kernel", Name: "Removed", NsPerOp: 5},
+	)
+	new := report(
+		Result{Suite: "kernel", Name: "Output32", NsPerOp: 12}, // +20%
+		Result{Suite: "kernel", Name: "Train32", NsPerOp: 19},  // -5%
+		Result{Suite: "kernel", Name: "Added", NsPerOp: 1},
+	)
+	cmps := Compare(old, new)
+	if len(cmps) != 2 {
+		t.Fatalf("got %d comparisons, want 2 (added/removed skipped): %+v", len(cmps), cmps)
+	}
+	bad := Regressions(cmps, 10)
+	if len(bad) != 1 || bad[0].Name != "Output32" {
+		t.Fatalf("regressions = %+v, want just Output32", bad)
+	}
+	if got := bad[0].DeltaPct; got < 19.9 || got > 20.1 {
+		t.Errorf("delta = %v, want ~20", got)
+	}
+	tbl := FormatComparisons(cmps, 10)
+	if !strings.Contains(tbl, "REGRESSION") {
+		t.Errorf("table missing regression flag:\n%s", tbl)
+	}
+}
+
+func TestKernelSpeedups(t *testing.T) {
+	r := report(
+		Result{Suite: "kernel", Name: "Output32", NsPerOp: 6.5},
+		Result{Suite: "kernel", Name: "OutputReference32", NsPerOp: 13},
+		Result{Suite: "kernel", Name: "Train32", NsPerOp: 10},
+		// TrainReference32 missing: pair omitted, not zero.
+	)
+	sp := KernelSpeedups(r)
+	if len(sp) != 1 {
+		t.Fatalf("speedups = %+v, want 1", sp)
+	}
+	if sp[0].Ratio != 2 {
+		t.Errorf("ratio = %v, want 2", sp[0].Ratio)
+	}
+}
+
+func TestSuitesSelector(t *testing.T) {
+	all, err := Suites("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("all = %+v", all)
+	}
+	if _, err := Suites("bogus"); err == nil {
+		t.Fatal("want error for unknown selector")
+	}
+	for _, sel := range []string{"kernel", "pipeline", "table"} {
+		ss, err := Suites(sel)
+		if err != nil || len(ss) != 1 || ss[0].Name != sel {
+			t.Fatalf("Suites(%q) = %+v, %v", sel, ss, err)
+		}
+	}
+}

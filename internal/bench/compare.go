@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Comparison is the benchstat-style delta between two reports for one
+// benchmark present in both.
+type Comparison struct {
+	Suite, Name    string
+	OldNs, NewNs   float64
+	DeltaPct       float64 // (new-old)/old * 100; positive = slower
+	OldAllocs      float64
+	NewAllocs      float64
+	AllocRegressed bool // allocs/op grew
+}
+
+// Compare matches results by suite+name and computes ns/op deltas.
+// Results present in only one report are skipped (new benchmarks are
+// not regressions; removed ones cannot be measured).
+func Compare(old, new *Report) []Comparison {
+	var out []Comparison
+	for _, n := range new.Results {
+		o := old.Find(n.Suite, n.Name)
+		if o == nil || o.NsPerOp <= 0 {
+			continue
+		}
+		out = append(out, Comparison{
+			Suite:          n.Suite,
+			Name:           n.Name,
+			OldNs:          o.NsPerOp,
+			NewNs:          n.NsPerOp,
+			DeltaPct:       (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100,
+			OldAllocs:      o.AllocsPerOp,
+			NewAllocs:      n.AllocsPerOp,
+			AllocRegressed: n.AllocsPerOp > o.AllocsPerOp,
+		})
+	}
+	return out
+}
+
+// FormatComparisons renders a fixed-width delta table, flagging rows
+// whose slowdown exceeds maxRegressPct.
+func FormatComparisons(cmps []Comparison, maxRegressPct float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-24s %14s %14s %9s\n", "suite", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, c := range cmps {
+		flag := ""
+		if c.DeltaPct > maxRegressPct {
+			flag = "  << REGRESSION"
+		}
+		fmt.Fprintf(&b, "%-10s %-24s %14.2f %14.2f %+8.1f%%%s\n",
+			c.Suite, c.Name, c.OldNs, c.NewNs, c.DeltaPct, flag)
+	}
+	return b.String()
+}
+
+// Regressions returns the comparisons whose slowdown exceeds
+// maxRegressPct — the CI gate's failure list.
+func Regressions(cmps []Comparison, maxRegressPct float64) []Comparison {
+	var bad []Comparison
+	for _, c := range cmps {
+		if c.DeltaPct > maxRegressPct {
+			bad = append(bad, c)
+		}
+	}
+	return bad
+}
+
+// Speedup is a measured optimized-vs-reference kernel ratio.
+type Speedup struct {
+	Name, Against string
+	Ratio         float64
+}
+
+// KernelSpeedups extracts the optimized-vs-reference ratios the
+// kernel suite carries (branchless/SIMD Output and Train against the
+// retained branchy reference kernels). A missing pair is simply
+// omitted, so the caller can distinguish "not measured" from "slow".
+func KernelSpeedups(r *Report) []Speedup {
+	var out []Speedup
+	for _, pair := range [][2]string{
+		{"Output32", "OutputReference32"},
+		{"Train32", "TrainReference32"},
+	} {
+		opt, ref := r.Find("kernel", pair[0]), r.Find("kernel", pair[1])
+		if opt == nil || ref == nil || opt.NsPerOp <= 0 {
+			continue
+		}
+		out = append(out, Speedup{Name: pair[0], Against: pair[1], Ratio: ref.NsPerOp / opt.NsPerOp})
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads standard `go test -bench` output and aggregates the
+// benchmark lines into Results tagged with the given suite name.
+// Repeated lines for the same benchmark (from -count) are averaged;
+// MinNsPerOp keeps the fastest sample. Lines that are not benchmark
+// results (ok/PASS/goos headers) are ignored.
+func Parse(suite string, out []byte) ([]Result, error) {
+	var order []string
+	acc := map[string]*Result{}
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, iters, pairs, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		r := acc[name]
+		if r == nil {
+			r = &Result{Suite: suite, Name: name, Metrics: map[string]float64{}}
+			acc[name] = r
+			order = append(order, name)
+		}
+		r.Samples++
+		r.Iters += iters
+		for unit, v := range pairs {
+			switch unit {
+			case "ns/op":
+				r.NsPerOp += v
+				if r.MinNsPerOp == 0 || v < r.MinNsPerOp {
+					r.MinNsPerOp = v
+				}
+			case "B/op":
+				r.BytesPerOp += v
+			case "allocs/op":
+				r.AllocsPerOp += v
+			default:
+				r.Metrics[unit] += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: scanning output: %w", err)
+	}
+	results := make([]Result, 0, len(order))
+	for _, name := range order {
+		r := acc[name]
+		n := float64(r.Samples)
+		r.NsPerOp /= n
+		r.BytesPerOp /= n
+		r.AllocsPerOp /= n
+		for unit := range r.Metrics {
+			r.Metrics[unit] /= n
+		}
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+		results = append(results, *r)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("bench: no benchmark lines in output")
+	}
+	return results, nil
+}
+
+// parseLine splits one benchmark result line:
+//
+//	BenchmarkOutput32-8  181651112  6.461 ns/op  0 B/op  0 allocs/op
+//
+// into the bare name (GOMAXPROCS suffix stripped), the iteration
+// count, and value/unit pairs.
+func parseLine(line string) (name string, iters int64, pairs map[string]float64, err error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return "", 0, nil, fmt.Errorf("bench: malformed benchmark line %q", line)
+	}
+	name = strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, perr := strconv.Atoi(name[i+1:]); perr == nil {
+			name = name[:i]
+		}
+	}
+	iters, err = strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("bench: bad iteration count in %q: %w", line, err)
+	}
+	pairs = make(map[string]float64, (len(fields)-2)/2)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, verr := strconv.ParseFloat(fields[i], 64)
+		if verr != nil {
+			return "", 0, nil, fmt.Errorf("bench: bad value %q in %q: %w", fields[i], line, verr)
+		}
+		pairs[fields[i+1]] = v
+	}
+	return name, iters, pairs, nil
+}

@@ -18,6 +18,10 @@ type Prefetcher struct {
 	issued  uint64
 	useful  uint64 // advanced-stream hits (stream reuse)
 	clock   uint64 // LRU allocation clock
+	// buf is the reused prefetch-line scratch returned by Miss; the
+	// caller consumes it before the next call, so the steady-state
+	// access path allocates nothing.
+	buf []uint64
 }
 
 type stream struct {
@@ -34,7 +38,12 @@ func NewPrefetcher(streams, depth int) *Prefetcher {
 	if streams < 1 || depth < 1 {
 		panic(fmt.Sprintf("cache: prefetcher needs positive streams/depth, got %d/%d", streams, depth))
 	}
-	return &Prefetcher{streams: make([]stream, streams), depth: depth, maxStr: 8}
+	return &Prefetcher{
+		streams: make([]stream, streams),
+		depth:   depth,
+		maxStr:  8,
+		buf:     make([]uint64, 0, depth),
+	}
 }
 
 // Stats returns the number of prefetch fills issued and the number of
@@ -42,7 +51,7 @@ func NewPrefetcher(streams, depth int) *Prefetcher {
 func (p *Prefetcher) Stats() (issued, advances uint64) { return p.issued, p.useful }
 
 func (p *Prefetcher) ahead(s *stream) []uint64 {
-	out := make([]uint64, 0, p.depth)
+	out := p.buf[:0]
 	l := int64(s.last)
 	for d := 1; d <= p.depth; d++ {
 		out = append(out, uint64(l+s.delta*int64(d)))
@@ -54,6 +63,8 @@ func (p *Prefetcher) ahead(s *stream) []uint64 {
 
 // Miss notifies the prefetcher of a demand miss at line-granular
 // address `line` and returns the lines to prefetch (possibly nil).
+// The returned slice is reused by the next call; consume it before
+// calling Miss again.
 func (p *Prefetcher) Miss(line uint64) []uint64 {
 	p.clock++
 	// A trained stream advances when the miss lands on its next

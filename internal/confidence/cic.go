@@ -108,12 +108,12 @@ func (c *PerceptronCIC) Geometry() (entries, hlen, bits int) {
 // Output returns the raw perceptron output for pc against the current
 // history, without classifying. Density studies (Figures 4-7) use it.
 func (c *PerceptronCIC) Output(pc uint64) int {
-	return c.tbl.Lookup(pc).Output(c.ghr)
+	return c.tbl.Output(pc, c.ghr)
 }
 
 // Estimate implements Estimator.
 func (c *PerceptronCIC) Estimate(pc uint64, predictedTaken bool) Token {
-	y := c.tbl.Lookup(pc).Output(c.ghr)
+	y := c.tbl.Output(pc, c.ghr)
 	band := High
 	switch {
 	case y >= c.reversal:
@@ -142,7 +142,7 @@ func (c *PerceptronCIC) Train(pc uint64, tok Token, mispredicted, taken bool) {
 	wrongClass := lowConf != mispredicted // sign(c) != sign(p)
 	y := tok.Output
 	if wrongClass || abs(y) <= c.trainT {
-		c.tbl.Lookup(pc).Train(tok.Hist, p)
+		c.tbl.Train(pc, tok.Hist, p)
 	}
 	c.ghr <<= 1
 	if taken {

@@ -1,0 +1,57 @@
+package confidence
+
+import (
+	"runtime"
+	"testing"
+)
+
+// allocBytes measures heap bytes allocated by f on this goroutine.
+// TotalAlloc is monotonic, so no GC coordination is needed; the
+// thresholds below leave room for unrelated background allocation.
+func allocBytes(f func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// TestConstructionDoesNotMaterializeTable pins the sweep-engine
+// contract behind core's timing-run cache keys: constructing an
+// estimator and asking its Name()/SizeBytes() — all a cache hit ever
+// does — must not allocate the perceptron weight array. The backing
+// array (entries × (hlen+1) × 2 bytes, ~34 KB for the default CIC)
+// materializes on first Estimate/Train only, so fully cached sweeps
+// never pay table allocation per job.
+func TestConstructionDoesNotMaterializeTable(t *testing.T) {
+	const n = 50
+	var sink int
+	got := allocBytes(func() {
+		for i := 0; i < n; i++ {
+			c := NewCICWith(CICConfig{Lambda: -75, Reversal: 50})
+			sink += len(c.Name()) + c.SizeBytes()
+			p := NewTNT(75)
+			sink += len(p.Name())
+		}
+	})
+	_ = sink
+	c := NewCIC(0)
+	// One materialized table per constructed estimator would cost at
+	// least n * SizeBytes; construction metadata is a few hundred
+	// bytes. Split the difference with a generous noise margin.
+	limit := uint64(n) * uint64(c.SizeBytes()) / 4
+	if got > limit {
+		t.Errorf("constructing %d estimators allocated %d bytes (> %d): Name/SizeBytes materialize the table",
+			2*n, got, limit)
+	}
+
+	// And the table does materialize once the estimator is used.
+	used := allocBytes(func() {
+		est := NewCIC(0)
+		est.Estimate(0x1234, true)
+	})
+	if used < uint64(c.SizeBytes()) {
+		t.Errorf("first Estimate allocated only %d bytes, table (%d bytes) not materialized?",
+			used, c.SizeBytes())
+	}
+}

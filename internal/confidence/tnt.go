@@ -76,7 +76,7 @@ func (p *PerceptronTNT) Lambda() int { return p.lambda }
 // Output returns the raw perceptron output for pc against the current
 // history (density Figures 6-7).
 func (p *PerceptronTNT) Output(pc uint64) int {
-	return p.tbl.Lookup(pc).Output(p.ghr)
+	return p.tbl.Output(pc, p.ghr)
 }
 
 // Estimate implements Estimator: low confidence iff |y| <= λ. TNT has
@@ -84,7 +84,7 @@ func (p *PerceptronTNT) Output(pc uint64) int {
 // information about *which* direction is wrong — so it only produces
 // High and WeakLow.
 func (p *PerceptronTNT) Estimate(pc uint64, predictedTaken bool) Token {
-	y := p.tbl.Lookup(pc).Output(p.ghr)
+	y := p.tbl.Output(pc, p.ghr)
 	band := High
 	if abs(y) <= p.lambda {
 		band = WeakLow
@@ -103,7 +103,7 @@ func (p *PerceptronTNT) Train(pc uint64, tok Token, mispredicted, taken bool) {
 		if taken {
 			t = 1
 		}
-		p.tbl.Lookup(pc).Train(tok.Hist, t)
+		p.tbl.Train(pc, tok.Hist, t)
 	}
 	p.ghr <<= 1
 	if taken {

@@ -1,0 +1,130 @@
+//go:build amd64
+
+package perceptron
+
+import "math/bits"
+
+// kernel_amd64.go is the SSE2 fast path for the perceptron kernels.
+// The ±1 input vector for eight history bits is a single table load
+// (signTable, indexed by one history byte), so a full 8-weight block
+// of the dot product is one PMADDWL — eight exact int16×(±1) products
+// pairwise-summed into int32 lanes, no overflow at any supported
+// weight width (64 weights × 2^14 < 2^31) — and a block of the
+// training step is PADDW + PMAXSW/PMINSW against broadcast saturation
+// bounds. Both asm kernels compute bit-identical results to the scalar
+// kernels in kernel.go, which still handle the sub-8-weight tail and
+// every other architecture; the fuzz tests in kernel_test.go hold all
+// three implementations (asm, scalar, reference) to exact agreement.
+
+// signTable[0][b] holds the eight ±1 sign words for history byte b
+// (+1 where the bit is set); signTable[1][b] is its negation, used as
+// the per-weight delta when training toward t = -1.
+var signTable [2][256][8]int16
+
+// satVecs[k] holds the PMAXSW/PMINSW operands for k-bit weights:
+// lanes 0-7 the minimum, lanes 8-15 the maximum.
+var satVecs [16][16]int16
+
+func init() {
+	for b := 0; b < 256; b++ {
+		for i := 0; i < 8; i++ {
+			s := int16(-1)
+			if b>>uint(i)&1 == 1 {
+				s = 1
+			}
+			signTable[0][b][i] = s
+			signTable[1][b][i] = -s
+		}
+	}
+	for wb := 2; wb <= 15; wb++ {
+		max := int16(1<<(wb-1) - 1)
+		min := -max - 1
+		for i := 0; i < 8; i++ {
+			satVecs[wb][i] = min
+			satVecs[wb][i+8] = max
+		}
+	}
+}
+
+// dotBlocks sums blocks full 8-weight PMADDWL blocks of w against the
+// sign vectors selected by successive bytes of hist. Implemented in
+// kernel_amd64.s.
+//
+//go:noescape
+func dotBlocks(w *Weight, tbl *[256][8]int16, hist uint64, blocks int) int32
+
+// trainBlocks applies the ±1 deltas selected by successive bytes of
+// hist to blocks full 8-weight blocks of w, saturating at the bounds
+// in sv. Implemented in kernel_amd64.s.
+//
+//go:noescape
+func trainBlocks(w *Weight, tbl *[256][8]int16, hist uint64, blocks int, sv *[16]int16)
+
+// dot computes w[0] + Σ w[i+1]·x[i] with x[i] = ±1 from hist. The
+// whole-block case (history length a multiple of 8 — every default
+// geometry) stays small enough to inline, so the hot path is one call
+// straight into the assembly; odd lengths take the outlined mixed
+// SIMD+scalar path.
+func dot(w []Weight, hist uint64) int {
+	if n := len(w) - 1; n&7 == 0 && n > 0 {
+		return int(w[0]) + int(dotBlocks(&w[1], &signTable[0], hist, n>>3))
+	}
+	return dotOdd(w, hist)
+}
+
+// dotOdd handles history lengths that are not a multiple of 8: full
+// blocks in SIMD, the remainder through the scalar sign-mask tail.
+func dotOdd(w []Weight, hist uint64) int {
+	y := int(w[0])
+	n := len(w) - 1
+	full := n &^ 7
+	if full > 0 {
+		y += int(dotBlocks(&w[1], &signTable[0], hist, full>>3))
+	}
+	b := hist >> uint(full)
+	for _, wv := range w[1+full:] {
+		m := int(b&1) - 1
+		y += (int(wv) ^ m) - m
+		b >>= 1
+	}
+	return y
+}
+
+// trainStep applies one perceptron update toward target t (±1) with
+// saturation at [min, max]: full 8-weight blocks in SIMD, the
+// remainder through the scalar tail. The sign of t only selects which
+// precomputed delta table the SIMD blocks add.
+func trainStep(w []Weight, hist uint64, t int, min, max Weight) {
+	if n := len(w) - 1; n&7 == 0 && n > 0 {
+		w[0] = sat(int(w[0])+t, min, max)
+		tbl := &signTable[0]
+		if t < 0 {
+			tbl = &signTable[1]
+		}
+		trainBlocks(&w[1], tbl, hist, n>>3, &satVecs[bits.Len16(uint16(max)+1)])
+		return
+	}
+	trainOdd(w, hist, t, min, max)
+}
+
+// trainOdd is trainStep for history lengths that are not a multiple
+// of 8.
+func trainOdd(w []Weight, hist uint64, t int, min, max Weight) {
+	w[0] = sat(int(w[0])+t, min, max)
+	n := len(w) - 1
+	full := n &^ 7
+	if full > 0 {
+		tbl := &signTable[0]
+		if t < 0 {
+			tbl = &signTable[1]
+		}
+		trainBlocks(&w[1], tbl, hist, full>>3, &satVecs[bits.Len16(uint16(max)+1)])
+	}
+	b := hist >> uint(full)
+	x := w[1+full:]
+	for i := range x {
+		m := int(b&1) - 1
+		x[i] = sat(int(x[i])+((t^m)-m), min, max)
+		b >>= 1
+	}
+}

@@ -1,0 +1,96 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dotBlocks(w *Weight, tbl *[256][8]int16, hist uint64, blocks int) int32
+//
+// X0 accumulates four int32 partial sums; each iteration loads the
+// eight ±1 sign words for the next history byte, multiply-adds them
+// against eight weights (PMADDWL: exact int16 products pairwise summed
+// into int32 lanes), and folds the lanes together at the end.
+TEXT ·dotBlocks(SB), NOSPLIT, $0-36
+	MOVQ w+0(FP), SI
+	MOVQ tbl+8(FP), DI
+	MOVQ hist+16(FP), CX
+	MOVQ blocks+24(FP), BX
+	PXOR X0, X0
+	PXOR X7, X7
+
+	// Two blocks per iteration into independent accumulators so the
+	// PADDL chains do not serialize.
+	SUBQ $2, BX
+	JLT  dotsingle
+
+dotloop:
+	MOVWLZX CX, AX // next two history bytes
+	MOVL    AX, R8
+	ANDL    $255, AX
+	SHRL    $8, R8
+	SHLL    $4, AX // 16 bytes per sign-table row
+	SHLL    $4, R8
+	MOVOU   (DI)(AX*1), X1
+	MOVOU   (SI), X2
+	PMADDWL X1, X2
+	PADDL   X2, X0
+	MOVOU   (DI)(R8*1), X5
+	MOVOU   16(SI), X6
+	PMADDWL X5, X6
+	PADDL   X6, X7
+	ADDQ    $32, SI
+	SHRQ    $16, CX
+	SUBQ    $2, BX
+	JGE     dotloop
+
+dotsingle:
+	ADDQ $2, BX
+	JZ   dotsum
+
+	// Odd leftover block.
+	MOVBLZX CX, AX
+	SHLL    $4, AX
+	MOVOU   (DI)(AX*1), X1
+	MOVOU   (SI), X2
+	PMADDWL X1, X2
+	PADDL   X2, X0
+
+dotsum:
+	// Horizontal sum: after the two shuffle+add rounds every lane
+	// holds the total.
+	PADDL  X7, X0
+	PSHUFL $0x4E, X0, X1
+	PADDL  X1, X0
+	PSHUFL $0xB1, X0, X1
+	PADDL  X1, X0
+	MOVQ   X0, AX
+	MOVL   AX, ret+32(FP)
+	RET
+
+// func trainBlocks(w *Weight, tbl *[256][8]int16, hist uint64, blocks int, sv *[16]int16)
+//
+// Adds the ±1 delta vector selected by each history byte to the
+// corresponding 8-weight block, clamping to the saturation bounds
+// broadcast in sv (lanes 0-7 min, 8-15 max).
+TEXT ·trainBlocks(SB), NOSPLIT, $0-40
+	MOVQ  w+0(FP), SI
+	MOVQ  tbl+8(FP), DI
+	MOVQ  hist+16(FP), CX
+	MOVQ  blocks+24(FP), BX
+	MOVQ  sv+32(FP), DX
+	MOVOU (DX), X3   // min lanes
+	MOVOU 16(DX), X4 // max lanes
+
+trainloop:
+	MOVQ CX, AX
+	ANDQ $255, AX
+	SHLQ $4, AX
+	MOVOU (DI)(AX*1), X1
+	MOVOU (SI), X2
+	PADDW  X1, X2
+	PMAXSW X3, X2
+	PMINSW X4, X2
+	MOVOU X2, (SI)
+	ADDQ $16, SI
+	SHRQ $8, CX
+	DECQ BX
+	JNZ  trainloop
+	RET

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package perceptron
+
+// On architectures without an assembly fast path the branchless scalar
+// kernels are the production kernels.
+
+func dot(w []Weight, hist uint64) int { return dotScalar(w, hist) }
+
+func trainStep(w []Weight, hist uint64, t int, min, max Weight) {
+	trainScalar(w, hist, t, min, max)
+}

@@ -221,11 +221,11 @@ func TestTable(t *testing.T) {
 	}
 	a := tbl.Lookup(0x1000)
 	b := tbl.Lookup(0x1000)
-	if a != b {
+	if &a.Weights()[0] != &b.Weights()[0] {
 		t.Error("Lookup not stable for same PC")
 	}
 	c := tbl.Lookup(0x1004)
-	if a == c {
+	if &a.Weights()[0] == &c.Weights()[0] {
 		t.Error("adjacent PCs alias to the same perceptron")
 	}
 	a.Train(0, 1)
@@ -235,10 +235,28 @@ func TestTable(t *testing.T) {
 	}
 }
 
+// TestTableRoundsUp pins the power-of-two rounding contract the Table 6
+// equal-budget comparisons depend on: a requested entry count rounds UP
+// to the next power of two, and both Entries and SizeBytes report the
+// table that actually runs — never the requested count.
 func TestTableRoundsUp(t *testing.T) {
-	tbl := NewTable(96, 8, 8)
-	if tbl.Entries() != 128 {
-		t.Errorf("Entries = %d, want 128", tbl.Entries())
+	cases := []struct {
+		requested, entries int
+	}{
+		{1, 1}, {2, 2}, {3, 4}, {96, 128}, {128, 128}, {129, 256}, {1000, 1024},
+	}
+	const hlen, bits = 8, 8
+	for _, tc := range cases {
+		tbl := NewTable(tc.requested, hlen, bits)
+		if tbl.Entries() != tc.entries {
+			t.Errorf("NewTable(%d): Entries = %d, want %d", tc.requested, tbl.Entries(), tc.entries)
+		}
+		// The hardware budget is charged for the rounded size.
+		wantBytes := (tc.entries*(hlen+1)*bits + 7) / 8
+		if got := tbl.SizeBytes(); got != wantBytes {
+			t.Errorf("NewTable(%d): SizeBytes = %d, want %d (charged for %d entries)",
+				tc.requested, got, wantBytes, tc.entries)
+		}
 	}
 }
 
@@ -257,6 +275,7 @@ func BenchmarkOutput32(b *testing.B) {
 	for i := 0; i < 64; i++ {
 		p.Train(r.Uint64(), 1-2*(i&1))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var sink int
 	for i := 0; i < b.N; i++ {
@@ -265,9 +284,65 @@ func BenchmarkOutput32(b *testing.B) {
 	_ = sink
 }
 
+// BenchmarkOutputReference32 measures the retained branchy reference
+// kernel, the denominator of the branchless kernel's speedup claim.
+func BenchmarkOutputReference32(b *testing.B) {
+	p := New(32, 8)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 64; i++ {
+		p.Train(r.Uint64(), 1-2*(i&1))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += referenceDot(p.w, uint64(i)*0x9E3779B97F4A7C15)
+	}
+	_ = sink
+}
+
 func BenchmarkTrain32(b *testing.B) {
 	p := New(32, 8)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p.Train(uint64(i)*0x9E3779B97F4A7C15, 1-2*(i&1))
+	}
+}
+
+// BenchmarkTrainReference32 is the branchy baseline for Train.
+func BenchmarkTrainReference32(b *testing.B) {
+	p := New(32, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		referenceTrainStep(p.w, uint64(i)*0x9E3779B97F4A7C15, 1-2*(i&1), p.min, p.max)
+	}
+}
+
+// BenchmarkTableLookup measures the full table fast path — index,
+// row slice, dot product — over a PC stream touching every entry.
+func BenchmarkTableLookup(b *testing.B) {
+	tbl := NewTable(128, 32, 8)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1024; i++ {
+		tbl.Train(r.Uint64(), r.Uint64(), 1-2*(i&1))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i) * 0x9E3779B97F4A7C15
+		sink += tbl.Output(pc, pc^uint64(i))
+	}
+	_ = sink
+}
+
+// BenchmarkTableReset measures the flat-array clear.
+func BenchmarkTableReset(b *testing.B) {
+	tbl := NewTable(128, 32, 8)
+	tbl.Train(0, ^uint64(0), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Reset()
 	}
 }

@@ -1,0 +1,49 @@
+package perceptron
+
+// reference.go retains the original per-bit branchy kernels as the
+// executable specification of the branchless ones in kernel.go. They
+// are deliberately never called from production code: the fuzz and
+// property tests (kernel_test.go) interleave arbitrary Output/Train
+// sequences through both implementations at every weight width and
+// require bit-identical weights and outputs, and the microbenchmarks
+// keep the speedup of the shipping kernel measurable against them.
+// Change these only when the perceptron semantics themselves change.
+
+// referenceDot is the branchy specification of dot: history bit i
+// (0 = most recent branch, 1 = taken) contributes +w[i+1] when set and
+// -w[i+1] when clear; the bias w[0] always contributes positively.
+func referenceDot(w []Weight, hist uint64) int {
+	y := int(w[0])
+	for i := 1; i < len(w); i++ {
+		if hist>>(uint(i)-1)&1 == 1 {
+			y += int(w[i])
+		} else {
+			y -= int(w[i])
+		}
+	}
+	return y
+}
+
+// referenceTrainStep is the branchy specification of trainStep:
+// w[i] += t·x[i] with saturation, where x[0] = 1 and x[i] = ±1 from
+// hist.
+func referenceTrainStep(w []Weight, hist uint64, t int, min, max Weight) {
+	w[0] = referenceSat(int(w[0])+t, min, max)
+	for i := 1; i < len(w); i++ {
+		d := t
+		if hist>>(uint(i)-1)&1 == 0 {
+			d = -t
+		}
+		w[i] = referenceSat(int(w[i])+d, min, max)
+	}
+}
+
+func referenceSat(v int, min, max Weight) Weight {
+	if v > int(max) {
+		return max
+	}
+	if v < int(min) {
+		return min
+	}
+	return Weight(v)
+}

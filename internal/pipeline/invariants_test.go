@@ -46,6 +46,53 @@ func checkInvariants(t *testing.T, s *Sim) {
 		}
 		prev = e.seq
 	}
+	// Scheduler-list consistency: every dispatched-not-issued uop in
+	// the ROB has exactly one live waiting ref, every issued-not-done
+	// uop exactly one live pending ref, and live refs never point at
+	// anything else. Stale refs (seq mismatch) are allowed — squash
+	// invalidates lazily — but double-entry is not.
+	liveWaiting := make(map[int32]int)
+	for _, ref := range s.waiting {
+		if e := &s.pool[ref.idx]; e.seq == ref.seq {
+			if e.state != sDispatched {
+				t.Fatalf("live waiting ref to state %d (idx %d seq %d)", e.state, ref.idx, ref.seq)
+			}
+			liveWaiting[ref.idx]++
+		}
+	}
+	livePending := make(map[int32]int)
+	for _, ref := range s.pending {
+		if e := &s.pool[ref.idx]; e.seq == ref.seq {
+			if e.state != sIssued {
+				t.Fatalf("live pending ref to state %d (idx %d seq %d)", e.state, ref.idx, ref.seq)
+			}
+			livePending[ref.idx]++
+		}
+	}
+	for i := 0; i < s.rob.len(); i++ {
+		idx := s.rob.at(i)
+		e := &s.pool[idx]
+		switch e.state {
+		case sDispatched:
+			if liveWaiting[idx] != 1 {
+				t.Fatalf("dispatched uop seq %d has %d waiting refs, want 1", e.seq, liveWaiting[idx])
+			}
+		case sIssued:
+			if livePending[idx] != 1 {
+				t.Fatalf("issued uop seq %d has %d pending refs, want 1", e.seq, livePending[idx])
+			}
+		}
+	}
+	for idx, n := range liveWaiting {
+		if n > 1 {
+			t.Fatalf("pool slot %d has %d waiting refs", idx, n)
+		}
+	}
+	for idx, n := range livePending {
+		if n > 1 {
+			t.Fatalf("pool slot %d has %d pending refs", idx, n)
+		}
+	}
 }
 
 // Randomized machine shapes must preserve the structural invariants

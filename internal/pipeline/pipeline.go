@@ -87,6 +87,17 @@ type renameEntry struct {
 	seq uint64
 }
 
+// schedRef names a pool entry at a point in time: the slot index plus
+// the seq it held when the reference was taken. Seqs are globally
+// unique and release zeroes the slot's seq, so a stale reference (the
+// uop was squashed, and the slot possibly reallocated) is detected by
+// a single comparison — squash never has to search the scheduler
+// lists.
+type schedRef struct {
+	idx int32
+	seq uint64
+}
+
 type inflight struct {
 	u         trace.Uop
 	seq       uint64
@@ -136,6 +147,15 @@ type Sim struct {
 	rob    ring // program order, dispatched
 	rename [trace.NumRegs]renameEntry
 	ckpt   [trace.NumRegs]renameEntry // rename snapshot at the diverge branch
+
+	// Scheduler fast-path lists: per-cycle work is proportional to the
+	// uops actually moving, not to the ROB size. waiting holds
+	// dispatched-not-issued refs in program order; pending holds
+	// issued-not-done refs in issue order; due is complete()'s scratch
+	// for the current cycle. Squashes invalidate refs lazily via seq.
+	waiting []schedRef
+	pending []schedRef
+	due     []schedRef
 
 	windowUsed [3]int
 	windowCap  [3]int
@@ -228,6 +248,14 @@ func NewFromSource(opt Options, gen trace.Source, wrong workload.PathSource) *Si
 	}
 	s.fetchQ = newRing(fetchQCap)
 	s.rob = newRing(m.ROB)
+	// Steady-state bounds: waiting ≤ live window occupancy plus at most
+	// one squash's worth of stale refs (compacted away next issue);
+	// pending likewise relative to the ROB. Preallocate so the
+	// scheduler never grows a list mid-run.
+	windowSum := m.IntSched + m.MemSched + m.FPSched
+	s.waiting = make([]schedRef, 0, 2*windowSum+m.DispatchWidth)
+	s.pending = make([]schedRef, 0, 2*m.ROB)
+	s.due = make([]schedRef, 0, m.ROB)
 	s.windowCap = [3]int{m.IntSched, m.MemSched, m.FPSched}
 	s.unitCap = [3]int{m.IntUnits, m.MemUnits, m.FPUnits}
 	for r := range s.rename {

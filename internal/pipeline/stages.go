@@ -8,7 +8,9 @@ import (
 	"bce/internal/trace"
 )
 
-// ring is a fixed-capacity FIFO of pool indices.
+// ring is a fixed-capacity FIFO of pool indices. Index arithmetic
+// wraps with a compare instead of %: the modulo was a measurable cost
+// in the per-cycle walks, and capacities are not powers of two.
 type ring struct {
 	buf  []int32
 	head int
@@ -26,15 +28,28 @@ func (r *ring) push(v int32) {
 	if r.full() {
 		panic("pipeline: ring overflow")
 	}
-	r.buf[(r.head+r.n)%len(r.buf)] = v
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = v
 	r.n++
 }
 
-func (r *ring) at(i int) int32 { return r.buf[(r.head+i)%len(r.buf)] }
+func (r *ring) at(i int) int32 {
+	j := r.head + i
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	return r.buf[j]
+}
 
 func (r *ring) pop() int32 {
 	v := r.buf[r.head]
-	r.head = (r.head + 1) % len(r.buf)
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
 	r.n--
 	return v
 }
@@ -94,13 +109,43 @@ func (s *Sim) retire() {
 
 // complete marks issued uops whose latency elapsed as done, resolves
 // branches for the gating counter and triggers misprediction recovery.
+//
+// Instead of walking the whole ROB it walks the pending list — only
+// the uops actually in flight in an execution unit. Squashed entries
+// are dropped lazily by the seq check (squash never edits the list),
+// and the due set is processed in seq order, which is exactly the
+// program order the full ROB scan used, so event order and recovery
+// timing are unchanged.
 func (s *Sim) complete() {
-	divergeDone := false
-	for i := 0; i < s.rob.len(); i++ {
-		e := &s.pool[s.rob.at(i)]
-		if e.state != sIssued || e.doneAt > s.cycle {
+	pending := s.pending
+	due := s.due[:0]
+	keep := 0
+	for _, ref := range pending {
+		e := &s.pool[ref.idx]
+		if e.seq != ref.seq || e.state != sIssued {
+			continue // squashed (slot freed or reallocated) — drop
+		}
+		if e.doneAt > s.cycle {
+			pending[keep] = ref
+			keep++
 			continue
 		}
+		due = append(due, ref)
+	}
+	s.pending = pending[:keep]
+	// The pending list is in issue order, not program order; restore
+	// seq order with an insertion sort (the due set is tiny — bounded
+	// by the execution units draining in one cycle — and nearly sorted
+	// already, and sort.Slice would allocate).
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0 && due[j-1].seq > due[j].seq; j-- {
+			due[j-1], due[j] = due[j], due[j-1]
+		}
+	}
+	s.due = due
+	divergeDone := false
+	for _, ref := range due {
+		e := &s.pool[ref.idx]
 		e.state = sDone
 		if s.sink != nil {
 			s.sink.Emit(telemetry.Event{Kind: telemetry.EvComplete, Cycle: s.cycle, Seq: e.seq, PC: e.u.PC, WrongPath: e.wrongPath})
@@ -206,20 +251,32 @@ func (s *Sim) ready(e *inflight) bool {
 
 // issue selects ready uops oldest-first, subject to the global issue
 // width and per-class execution-unit limits.
+//
+// The candidates live in the waiting list — only dispatched-not-issued
+// uops, appended in dispatch order, which is program order, so
+// oldest-first selection is a front-to-back walk rather than a full
+// ROB scan. The walk compacts the list in place: issued uops move to
+// the pending list and squashed ones (seq mismatch) drop out.
 func (s *Sim) issue() {
 	m := s.opt.Machine
 	issued := 0
 	var unitUsed [3]int
-	for i := 0; i < s.rob.len() && issued < m.IssueWidth; i++ {
-		e := &s.pool[s.rob.at(i)]
-		if e.state != sDispatched {
+	w := s.waiting
+	keep := 0
+	for _, ref := range w {
+		e := &s.pool[ref.idx]
+		if e.seq != ref.seq || e.state != sDispatched {
+			continue // squashed — drop
+		}
+		if issued >= m.IssueWidth {
+			w[keep] = ref
+			keep++
 			continue
 		}
 		cl := e.class
-		if unitUsed[cl] >= s.unitCap[cl] {
-			continue
-		}
-		if !s.ready(e) {
+		if unitUsed[cl] >= s.unitCap[cl] || !s.ready(e) {
+			w[keep] = ref
+			keep++
 			continue
 		}
 		e.state = sIssued
@@ -227,10 +284,12 @@ func (s *Sim) issue() {
 		s.windowUsed[cl]--
 		unitUsed[cl]++
 		issued++
+		s.pending = append(s.pending, ref)
 		if s.sink != nil {
 			s.sink.Emit(telemetry.Event{Kind: telemetry.EvIssue, Cycle: s.cycle, Seq: e.seq, PC: e.u.PC, WrongPath: e.wrongPath})
 		}
 	}
+	s.waiting = w[:keep]
 }
 
 // dispatch renames and inserts fetched uops into the ROB and
@@ -281,6 +340,7 @@ func (s *Sim) dispatch() {
 			s.ckpt = s.rename
 		}
 		e.state = sDispatched
+		s.waiting = append(s.waiting, schedRef{idx: idx, seq: e.seq})
 	}
 }
 

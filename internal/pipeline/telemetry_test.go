@@ -125,8 +125,30 @@ func benchmarkRun(b *testing.B, sink telemetry.Sink) {
 	}
 	sim := New(tracedOptions(sink), workload.New(prof))
 	sim.Run(10_000) // warmup
+	b.ReportAllocs()
 	b.ResetTimer()
+	start := sim.Cycle()
 	for i := 0; i < b.N; i++ {
 		sim.Run(10_000)
+	}
+	b.StopTimer()
+	if cycles := sim.Cycle() - start; cycles > 0 {
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/sec")
+	}
+}
+
+// TestRunNilSinkAllocFree pins the scheduler + telemetry fast path:
+// once warmed up, a nil-sink simulation allocates nothing per cycle —
+// no events are constructed, the scheduler lists never grow, and the
+// perceptron tables are fully materialized.
+func TestRunNilSinkAllocFree(t *testing.T) {
+	prof, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := New(tracedOptions(nil), workload.New(prof))
+	sim.Run(20_000) // warmup: materialize tables, grow any lazy buffers
+	if n := testing.AllocsPerRun(3, func() { sim.Run(2_000) }); n > 0 {
+		t.Errorf("nil-sink Run allocates %v times per call, want 0", n)
 	}
 }

@@ -41,7 +41,7 @@ func (p *Perceptron) History() uint64 { return p.ghr }
 // Output computes the raw perceptron output y for pc against the
 // current history. Positive y predicts taken.
 func (p *Perceptron) Output(pc uint64) int {
-	return p.tbl.Lookup(pc).Output(p.ghr)
+	return p.tbl.Output(pc, p.ghr)
 }
 
 // Predict implements Predictor.
@@ -70,7 +70,7 @@ func (p *Perceptron) Update(pc uint64, taken bool) {
 		if taken {
 			t = 1
 		}
-		p.tbl.Lookup(pc).Train(p.ghr, t)
+		p.tbl.Train(pc, p.ghr, t)
 	}
 	p.ghr <<= 1
 	if taken {

@@ -296,6 +296,9 @@ type (
 func NewTraceReader(r io.Reader) *TraceReader { return trace.NewReader(r) }
 
 // NewTraceWriter returns a writer encoding the BCET binary format.
+// Call its Close method when the trace is complete: it seals the
+// stream with a CRC32 integrity footer that lets readers distinguish
+// a whole trace from a truncated one.
 func NewTraceWriter(w io.Writer) *TraceWriter { return trace.NewWriter(w) }
 
 // NewReplaySimulation builds a timing simulation over a recorded

@@ -39,14 +39,18 @@ func main() {
 		verbose    = flag.Bool("v", false, "stream raw go test output to stderr")
 	)
 	flag.Parse()
-	if err := run(*suite, *count, *benchtime, *out, *minSpeedup,
+	// First SIGINT/SIGTERM cancels remaining suites (the in-flight
+	// `go test -bench` child sees its context die); a second kills.
+	ctx, stop := runner.ShutdownContext(context.Background())
+	defer stop()
+	if err := run(ctx, *suite, *count, *benchtime, *out, *minSpeedup,
 		*compare, *against, *maxRegress, *progress, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "bcebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(suite string, count int, benchtime, out string, minSpeedup float64,
+func run(ctx context.Context, suite string, count int, benchtime, out string, minSpeedup float64,
 	compare, against string, maxRegress float64, progress, verbose bool) error {
 	// Pure compare mode: two existing reports, no benchmarks run.
 	if compare != "" && against != "" {
@@ -76,7 +80,7 @@ func run(suite string, count int, benchtime, out string, minSpeedup float64,
 			}
 		},
 	})
-	err = runner.ForEach(context.Background(), pool, suites, func(ctx context.Context, i int, s bench.Suite) error {
+	err = runner.ForEach(ctx, pool, suites, func(ctx context.Context, i int, s bench.Suite) error {
 		if progress {
 			fmt.Fprintf(os.Stderr, "bcebench: running suite %q (%s -bench %s)\n", s.Name, s.Pkg, s.Pattern)
 		}

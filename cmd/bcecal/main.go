@@ -11,13 +11,18 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"bce/internal/predictor"
+	"bce/internal/runner"
 	"bce/internal/telemetry"
 	"bce/internal/workload"
 )
@@ -26,6 +31,9 @@ func main() {
 	var (
 		bench     = flag.String("bench", "", "show per-class attribution for one benchmark")
 		uops      = flag.Int("uops", 400_000, "measured uops (after 100k warmup)")
+		workers   = flag.Int("workers", 0, "parallel calibration runs (0 = GOMAXPROCS); results are identical under any setting")
+		cacheDir  = flag.String("cache", "", "directory for the on-disk calibration cache (empty = no persistence)")
+		resume    = flag.Bool("resume", false, "replay the checkpoint journal from a killed run (needs -cache)")
 		debugAddr = flag.String("debug-addr", "", "serve pprof + expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -38,23 +46,94 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "bcecal: debug endpoint on http://%s/debug/\n", srv.Addr())
 	}
-	if err := run(*bench, *uops); err != nil {
+	if *resume && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "bcecal: -resume needs -cache (the journal lives next to the result store)")
+		os.Exit(2)
+	}
+	ctx, stop := runner.ShutdownContext(context.Background())
+	defer stop()
+	if err := run(ctx, *bench, *uops, *workers, *cacheDir, *resume); err != nil {
+		if errors.Is(err, context.Canceled) {
+			ls := runner.LiveSnapshot()
+			fmt.Fprintf(os.Stderr, "bcecal: interrupted: %d calibration runs finished before shutdown", ls.JobsDone)
+			if *cacheDir != "" {
+				fmt.Fprintf(os.Stderr, "; rerun with -resume to continue")
+			}
+			fmt.Fprintln(os.Stderr)
+		}
 		fmt.Fprintln(os.Stderr, "bcecal:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench string, uops int) error {
+// openStore builds the checkpointed store stack for -cache/-resume:
+// a crash-safe journal tiered in front of the DirStore. The cleanup
+// removes the journal on success (results all merged into the store)
+// and keeps it for -resume otherwise.
+func openStore(cacheDir string, resume bool) (runner.Store, func(ok bool), error) {
+	if cacheDir == "" {
+		return nil, func(bool) {}, nil
+	}
+	ds, err := runner.NewDirStore(cacheDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	jpath := filepath.Join(ds.Dir(), "sweep.journal")
+	if !resume {
+		os.Remove(jpath)
+	}
+	j, err := runner.OpenJournal(jpath)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resume {
+		fmt.Fprintf(os.Stderr, "bcecal: resumed from %s (%d checkpointed runs)\n", jpath, j.Replayed())
+	}
+	cleanup := func(ok bool) {
+		if ok {
+			j.Remove()
+		} else {
+			j.Close()
+		}
+	}
+	return runner.Tiered(j, ds), cleanup, nil
+}
+
+func run(ctx context.Context, bench string, uops, workers int, cacheDir string, resume bool) error {
 	if bench != "" {
 		return attribute(bench, uops)
 	}
+	store, cleanup, err := openStore(cacheDir, resume)
+	if err != nil {
+		return err
+	}
+	cache := runner.NewCache[float64]()
+	if store != nil {
+		cache.SetStore(store,
+			func(v float64) ([]byte, error) { return json.Marshal(v) },
+			func(b []byte) (float64, error) { var v float64; err := json.Unmarshal(b, &v); return v, err })
+	}
+	// The fan-out: one deterministic calibration run per benchmark,
+	// results assembled in workload.Names() order so output is
+	// identical under any worker count and across resumes.
+	pool := runner.New(runner.Options{Workers: workers})
+	rates, err := runner.Map(ctx, pool, workload.Names(),
+		func(ctx context.Context, _ int, name string) (float64, error) {
+			return cache.Do(runner.KeyOf("bcecal", 1, name, uops), func() (float64, error) {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+				return mispRate(name, uops)
+			})
+		})
+	cleanup(err == nil)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%-9s %10s %10s %8s\n", "bench", "misp/Kuop", "target", "ratio")
 	var worst float64 = 1
-	for _, name := range workload.Names() {
-		rate, err := mispRate(name, uops)
-		if err != nil {
-			return err
-		}
+	for i, name := range workload.Names() {
+		rate := rates[i]
 		target := workload.Table2Target[name]
 		ratio := rate / target
 		if ratio > worst {

@@ -22,6 +22,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -80,7 +81,15 @@ func main() {
 		warmup: *warmup, measure: *measure, perfect: *perfect,
 		tracePath: *traceOut, auditPath: *auditOut, stats: *stats,
 	}
-	if err := run(*bench, *replayIn, cfg, *workers, *progress); err != nil {
+	// First SIGINT/SIGTERM cancels multi-benchmark fan-outs gracefully;
+	// a second kills the process.
+	ctx, stop := runner.ShutdownContext(context.Background())
+	defer stop()
+	if err := run(ctx, *bench, *replayIn, cfg, *workers, *progress); err != nil {
+		if errors.Is(err, context.Canceled) {
+			ls := runner.LiveSnapshot()
+			fmt.Fprintf(os.Stderr, "bcesim: interrupted: %d simulations finished before shutdown\n", ls.JobsDone)
+		}
 		fmt.Fprintln(os.Stderr, "bcesim:", err)
 		os.Exit(1)
 	}
@@ -103,7 +112,7 @@ type simConfig struct {
 
 func (c simConfig) wantsSinks() bool { return c.tracePath != "" || c.auditPath != "" }
 
-func run(bench, replayIn string, cfg simConfig, workers int, progress bool) error {
+func run(ctx context.Context, bench, replayIn string, cfg simConfig, workers int, progress bool) error {
 	if replayIn != "" {
 		report, err := simTrace(replayIn, cfg)
 		if err != nil {
@@ -137,7 +146,7 @@ func run(bench, replayIn string, cfg simConfig, workers int, progress bool) erro
 				p.Done, p.Total, p.Elapsed.Round(timeUnit), p.ETA.Round(timeUnit))
 		}
 	}
-	reports, err := runner.Map(context.Background(), runner.New(opts), benches,
+	reports, err := runner.Map(ctx, runner.New(opts), benches,
 		func(_ context.Context, _ int, b string) (string, error) {
 			return simBench(b, cfg)
 		})
@@ -310,6 +319,12 @@ func simTrace(replayIn string, cfg simConfig) (string, error) {
 	out, err := report(sim, replayIn, cfg, useReversal)
 	if err != nil {
 		return "", err
+	}
+	// A corrupt recording ends the reader mid-stream and Replay loops
+	// its truncated prefix; the run "succeeds" on garbage. Surface the
+	// decode error (with record index and PC context) instead.
+	if err := replay.Err(); err != nil {
+		return "", fmt.Errorf("replaying %s: %w", replayIn, err)
 	}
 	return out, sinks.finish()
 }

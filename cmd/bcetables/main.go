@@ -16,6 +16,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,15 +31,18 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to regenerate (table2..table6, fig4..fig9, latency, all)")
-		bench     = flag.String("bench", "gcc", "benchmark for the density figures (fig4-fig7)")
-		quick     = flag.Bool("quick", false, "use reduced run lengths")
-		segments  = flag.Int("segments", 1, "independent trace segments per benchmark (the paper uses 2)")
-		csv       = flag.Bool("csv", false, "emit density data as CSV (fig4-fig7 only)")
-		workers   = flag.Int("workers", 0, "parallel simulations per sweep (0 = GOMAXPROCS); results are identical under any setting")
-		progress  = flag.Bool("progress", false, "report per-sweep progress and ETA on stderr")
-		cacheDir  = flag.String("cache", "", "directory for the on-disk timing-result cache (empty = in-memory only)")
-		debugAddr = flag.String("debug-addr", "", "serve pprof + expvar + live sweep stats on this address (e.g. localhost:6060)")
+		exp        = flag.String("exp", "all", "experiment to regenerate (table2..table6, fig4..fig9, latency, all)")
+		bench      = flag.String("bench", "gcc", "benchmark for the density figures (fig4-fig7)")
+		quick      = flag.Bool("quick", false, "use reduced run lengths")
+		segments   = flag.Int("segments", 1, "independent trace segments per benchmark (the paper uses 2)")
+		csv        = flag.Bool("csv", false, "emit density data as CSV (fig4-fig7 only)")
+		workers    = flag.Int("workers", 0, "parallel simulations per sweep (0 = GOMAXPROCS); results are identical under any setting")
+		progress   = flag.Bool("progress", false, "report per-sweep progress and ETA on stderr")
+		cacheDir   = flag.String("cache", "", "directory for the on-disk timing-result cache (empty = in-memory only)")
+		resume     = flag.Bool("resume", false, "replay the checkpoint journal from a killed run (needs -cache); completed simulations are not re-run and merged output is identical to an uninterrupted run")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-simulation deadline (0 = none); timed-out jobs are retried per -retries")
+		retries    = flag.Int("retries", 0, "retries per job for transient failures, with exponential backoff")
+		debugAddr  = flag.String("debug-addr", "", "serve pprof + expvar + live sweep stats on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -58,18 +63,39 @@ func main() {
 	}
 
 	core.SetParallelism(*workers)
+	core.SetJobTimeout(*jobTimeout)
+	core.SetRetries(*retries, 100*time.Millisecond)
 	if *progress {
 		core.SetProgress(func(p runner.Progress) {
 			fmt.Fprintf(os.Stderr, "bcetables: %d/%d jobs, elapsed %s, eta %s\n",
 				p.Done, p.Total, p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
 		})
 	}
+	if *resume && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "bcetables: -resume needs -cache (the journal lives next to the result store)")
+		os.Exit(2)
+	}
 	if *cacheDir != "" {
 		if err := core.SetResultCacheDir(*cacheDir); err != nil {
 			fmt.Fprintln(os.Stderr, "bcetables:", err)
 			os.Exit(1)
 		}
+		replayed, err := core.SetCheckpoint(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bcetables:", err)
+			os.Exit(1)
+		}
+		if *resume {
+			fmt.Fprintf(os.Stderr, "bcetables: resumed from %s (%d checkpointed simulations)\n",
+				core.CheckpointPath(), replayed)
+		}
 	}
+
+	// First SIGINT/SIGTERM cancels the sweep (in-flight jobs finish and
+	// checkpoint); a second kills the process.
+	ctx, stop := runner.ShutdownContext(context.Background())
+	defer stop()
+	core.SetBaseContext(ctx)
 
 	sz := core.DefaultSizes()
 	if *quick {
@@ -77,13 +103,31 @@ func main() {
 	}
 	sz.Segments = *segments
 	if err := run(*exp, *bench, *csv, sz); err != nil {
+		if errors.Is(err, context.Canceled) {
+			interrupted()
+		}
+		core.CloseCheckpoint(false)
 		fmt.Fprintln(os.Stderr, "bcetables:", err)
 		os.Exit(1)
+	}
+	if err := core.CloseCheckpoint(true); err != nil {
+		fmt.Fprintln(os.Stderr, "bcetables: checkpoint:", err)
 	}
 	if *progress {
 		hits, misses := core.ResultCacheStats()
 		fmt.Fprintf(os.Stderr, "bcetables: result cache: %d hits, %d misses (%d simulations avoided)\n",
 			hits, misses, hits)
+	}
+}
+
+// interrupted prints the partial-results summary after a graceful
+// shutdown: what completed, and how to pick the sweep back up.
+func interrupted() {
+	ls := runner.LiveSnapshot()
+	fmt.Fprintf(os.Stderr, "bcetables: interrupted: %d simulations finished (%d cached, %d retried) before shutdown\n",
+		ls.JobsDone, ls.JobsCached, ls.JobsRetried)
+	if path := core.CheckpointPath(); path != "" {
+		fmt.Fprintf(os.Stderr, "bcetables: completed work is checkpointed in %s; rerun with -resume to continue\n", path)
 	}
 }
 
@@ -108,7 +152,11 @@ func run(exp, bench string, csv bool, sz core.Sizes) error {
 		if err := fn(); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Printf("[%s regenerated in %.1fs]\n\n", name, time.Since(start).Seconds())
+		// Wall-clock decoration goes to stderr so stdout carries only
+		// the deterministic results — a resumed run's stdout is
+		// byte-identical to an uninterrupted one.
+		fmt.Fprintf(os.Stderr, "[%s regenerated in %.1fs]\n", name, time.Since(start).Seconds())
+		fmt.Println()
 		ran = true
 		return nil
 	}

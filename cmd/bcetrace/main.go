@@ -9,11 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"bce/internal/runner"
 	"bce/internal/telemetry"
 	"bce/internal/trace"
 	"bce/internal/workload"
@@ -36,10 +38,14 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// A SIGINT during gen stops generation at a record boundary and
+	// removes the partial (footerless, hence unreadable) output file.
+	ctx, stop := runner.ShutdownContext(context.Background())
+	defer stop()
 	var err error
 	switch args[0] {
 	case "gen":
-		err = cmdGen(args[1:])
+		err = cmdGen(ctx, args[1:])
 	case "dump":
 		err = cmdDump(args[1:])
 	case "stat":
@@ -62,7 +68,7 @@ func usage() {
   bcetrace stat -i <file>                            summarize a trace`)
 }
 
-func cmdGen(args []string) error {
+func cmdGen(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	bench := fs.String("bench", "gzip", "benchmark name")
 	n := fs.Uint64("n", 1_000_000, "uops to generate")
@@ -85,12 +91,17 @@ func cmdGen(args []string) error {
 	w := trace.NewWriter(f)
 	gen := workload.New(prof)
 	for i := uint64(0); i < *n; i++ {
+		if i%65536 == 0 && ctx.Err() != nil {
+			f.Close()
+			os.Remove(*out)
+			return fmt.Errorf("gen: interrupted after %d uops; removed partial %s", i, *out)
+		}
 		u, _ := gen.Next()
 		if err := w.WriteUop(u); err != nil {
 			return err
 		}
 	}
-	if err := w.Flush(); err != nil {
+	if err := w.Close(); err != nil {
 		return err
 	}
 	info, err := f.Stat()

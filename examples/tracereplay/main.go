@@ -24,7 +24,7 @@ func main() {
 			panic(err)
 		}
 	}
-	if err := w.Flush(); err != nil {
+	if err := w.Close(); err != nil {
 		panic(err)
 	}
 	fmt.Printf("recorded %d uops (%d bytes, %.2f bytes/uop)\n\n",

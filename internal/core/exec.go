@@ -11,6 +11,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
+	"time"
 
 	"bce/internal/metrics"
 	"bce/internal/runner"
@@ -23,6 +26,13 @@ import (
 var (
 	execWorkers  int // 0 = runtime.GOMAXPROCS
 	execProgress func(runner.Progress)
+	execCtx      context.Context
+	execTimeout  time.Duration
+	execRetries  int
+	execBackoff  time.Duration
+
+	execDirStore *runner.DirStore
+	execJournal  *runner.Journal
 )
 
 // SetParallelism bounds the worker count for experiment fan-outs;
@@ -41,8 +51,41 @@ func SetParallelism(n int) {
 // Done/Total over its benchmark fan-out.
 func SetProgress(fn func(runner.Progress)) { execProgress = fn }
 
+// SetBaseContext installs the context every sweep runs under. Cancel
+// it (e.g. from a SIGINT handler — see runner.ShutdownContext) and
+// in-flight jobs finish, unstarted jobs are skipped, and the sweep
+// returns the cancellation error. Nil restores context.Background().
+func SetBaseContext(ctx context.Context) { execCtx = ctx }
+
+// SetJobTimeout bounds each simulation job with a per-attempt
+// deadline; zero disables. Pair with SetRetries to reclaim and re-run
+// wedged jobs.
+func SetJobTimeout(d time.Duration) { execTimeout = d }
+
+// SetRetries configures bounded retry with exponential backoff for
+// transient job failures (runner.IsTransient). n <= 0 disables.
+func SetRetries(n int, backoff time.Duration) {
+	if n < 0 {
+		n = 0
+	}
+	execRetries, execBackoff = n, backoff
+}
+
+func baseContext() context.Context {
+	if execCtx != nil {
+		return execCtx
+	}
+	return context.Background()
+}
+
 func corePool() *runner.Pool {
-	return runner.New(runner.Options{Workers: execWorkers, Progress: execProgress})
+	return runner.New(runner.Options{
+		Workers:      execWorkers,
+		Progress:     execProgress,
+		JobTimeout:   execTimeout,
+		Retries:      execRetries,
+		RetryBackoff: execBackoff,
+	})
 }
 
 // mapBench runs fn for every benchmark on the shared pool and returns
@@ -53,7 +96,7 @@ func corePool() *runner.Pool {
 // (runner.MarkCached); pass it down to runTiming so fully cached jobs
 // are excluded from progress ETAs.
 func mapBench[R any](fn func(ctx context.Context, bench string) (R, error)) ([]R, error) {
-	return runner.Map(context.Background(), corePool(), workload.Names(),
+	return runner.Map(baseContext(), corePool(), workload.Names(),
 		func(ctx context.Context, _ int, name string) (R, error) {
 			r, err := fn(ctx, name)
 			if err != nil {
@@ -80,15 +123,86 @@ func ResultCacheStats() (hits, misses uint64) { return resultCache.Stats() }
 
 // SetResultCacheDir attaches an on-disk result cache rooted at dir,
 // persisting timing runs across invocations (bcetables -cache). An
-// empty dir detaches.
+// empty dir detaches both the store and any checkpoint journal.
 func SetResultCacheDir(dir string) error {
 	if dir == "" {
-		resultCache.SetStore(nil, nil, nil)
+		execDirStore = nil
+		execJournal = nil
+		installResultStore()
 		return nil
 	}
 	store, err := runner.NewDirStore(dir)
 	if err != nil {
 		return err
+	}
+	execDirStore = store
+	installResultStore()
+	return nil
+}
+
+// CheckpointPath returns where the sweep checkpoint journal lives for
+// the configured cache directory ("" when no cache is attached): an
+// append-only JSONL log next to the DirStore's entries.
+func CheckpointPath() string {
+	if execDirStore == nil {
+		return ""
+	}
+	return filepath.Join(execDirStore.Dir(), "sweep.journal")
+}
+
+// SetCheckpoint opens the crash-safe checkpoint journal next to the
+// result-cache DirStore and stacks it in front of the store, so every
+// finished simulation is fsynced before the sweep moves on. With
+// resume true an existing journal's records replay (a killed sweep
+// picks up where it stopped); with resume false any stale journal is
+// ignored and overwritten. Returns the number of replayed records.
+// Requires SetResultCacheDir first.
+func SetCheckpoint(resume bool) (int, error) {
+	path := CheckpointPath()
+	if path == "" {
+		return 0, fmt.Errorf("core: checkpointing needs a result-cache directory (SetResultCacheDir)")
+	}
+	if execJournal != nil {
+		execJournal.Close()
+		execJournal = nil
+	}
+	if !resume {
+		// Start a fresh journal: drop any leftover from a previous run
+		// whose results are already merged into the DirStore.
+		os.Remove(path)
+	}
+	j, err := runner.OpenJournal(path)
+	if err != nil {
+		return 0, err
+	}
+	execJournal = j
+	installResultStore()
+	return j.Replayed(), nil
+}
+
+// CloseCheckpoint flushes and closes the checkpoint journal; with
+// remove true (a sweep that finished cleanly, its results all in the
+// DirStore) the journal file is deleted so the next run starts fresh.
+func CloseCheckpoint(remove bool) error {
+	if execJournal == nil {
+		return nil
+	}
+	j := execJournal
+	execJournal = nil
+	installResultStore()
+	if remove {
+		return j.Remove()
+	}
+	return j.Close()
+}
+
+// installResultStore points the result cache at the current
+// journal/DirStore stack (either may be nil).
+func installResultStore() {
+	store := runner.Tiered(journalStore(), dirStoreOrNil())
+	if store == nil {
+		resultCache.SetStore(nil, nil, nil)
+		return
 	}
 	resultCache.SetStore(store,
 		func(r metrics.Run) ([]byte, error) { return json.Marshal(r) },
@@ -97,7 +211,22 @@ func SetResultCacheDir(dir string) error {
 			err := json.Unmarshal(b, &r)
 			return r, err
 		})
-	return nil
+}
+
+// journalStore and dirStoreOrNil exist because a nil *T in an
+// interface value is not a nil interface; Tiered drops true nils only.
+func journalStore() runner.Store {
+	if execJournal == nil {
+		return nil
+	}
+	return execJournal
+}
+
+func dirStoreOrNil() runner.Store {
+	if execDirStore == nil {
+		return nil
+	}
+	return execDirStore
 }
 
 // timingKey canonicalizes a timing run's full configuration into its

@@ -19,7 +19,6 @@
 package pipeline
 
 import (
-	"fmt"
 
 	"bce/internal/cache"
 	"bce/internal/confidence"
@@ -67,6 +66,12 @@ type Options struct {
 	// telemetry is off; the simulation then never constructs an event,
 	// so timing results and benchmark numbers are unaffected.
 	Sink telemetry.Sink
+	// WatchdogInterval is the forward-progress watchdog's patience: if
+	// no uop retires for this many consecutive cycles, Run aborts by
+	// panicking with a structured *WatchdogError instead of spinning
+	// forever on a scheduler livelock. Zero means
+	// DefaultWatchdogInterval; it cannot be disabled, only widened.
+	WatchdogInterval uint64
 }
 
 const (
@@ -331,17 +336,32 @@ func (s *Sim) release(idx int32) {
 // Run advances the simulation until n more uops retire and returns the
 // statistics for exactly that span. Call once with a warmup count
 // (discard the result), then with the measurement count.
+//
+// Run is guarded by the forward-progress watchdog: if no uop retires
+// for Options.WatchdogInterval cycles, it panics with a structured
+// *WatchdogError describing the wedged machine state (the diagnostic
+// is also emitted to the telemetry sink and counted in the registry)
+// rather than spinning forever.
 func (s *Sim) Run(n uint64) metrics.Run {
 	s.ctr.reg.Reset()
 	s.gate.ResetStats()
 	s.lastRetireAt = s.cycle
 	start := s.cycle
 	retired := s.ctr.retired
+	wd := s.opt.WatchdogInterval
+	if wd == 0 {
+		wd = DefaultWatchdogInterval
+	}
 	for retired.Value() < n {
 		s.step()
-		if s.cycle-s.lastRetireAt > 200000 {
-			panic(fmt.Sprintf("pipeline: no retirement for 200k cycles at cycle %d (rob=%d fetchq=%d)",
-				s.cycle, s.rob.len(), s.fetchQ.len()))
+		if s.cycle-s.lastRetireAt > wd {
+			err := s.watchdogError(wd)
+			s.ctr.watchdogAborts.Inc()
+			if s.sink != nil {
+				s.sink.Emit(telemetry.Event{Kind: telemetry.EvWatchdog, Cycle: s.cycle,
+					Seq: s.divergeSeq, N: uint64(s.rob.len())})
+			}
+			panic(err)
 		}
 	}
 	gc, ge := s.gate.Stats()

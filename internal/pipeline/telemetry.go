@@ -23,6 +23,7 @@ type runCounters struct {
 	mispredicts       *telemetry.Counter
 	reversals         *telemetry.Counter
 	reversalsGood     *telemetry.Counter
+	watchdogAborts    *telemetry.Counter
 
 	confCorrectHigh *telemetry.Counter
 	confCorrectLow  *telemetry.Counter
@@ -46,6 +47,7 @@ func newRunCounters() *runCounters {
 		mispredicts:       reg.Counter("mispredicts"),
 		reversals:         reg.Counter("reversals"),
 		reversalsGood:     reg.Counter("reversals_good"),
+		watchdogAborts:    reg.Counter("watchdog_aborts"),
 		confCorrectHigh:   reg.Counter("conf_correct_high"),
 		confCorrectLow:    reg.Counter("conf_correct_low"),
 		confWrongHigh:     reg.Counter("conf_wrong_high"),

@@ -1,0 +1,293 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Save("alpha", []byte(`{"ipc":1.5}`))
+	j.Save("beta", []byte(`[1,2,3]`))
+	j.Save("alpha", []byte(`{"ipc":2.5}`)) // overwrite: last record wins
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.Replayed(); got != 3 {
+		t.Errorf("Replayed = %d, want 3", got)
+	}
+	if got := j2.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2", got)
+	}
+	data, ok := j2.Load("alpha")
+	if !ok || string(data) != `{"ipc":2.5}` {
+		t.Errorf("alpha = %q, %v; want last-written value", data, ok)
+	}
+	if _, ok := j2.Load("gamma"); ok {
+		t.Error("phantom key gamma")
+	}
+}
+
+// A crash mid-append leaves a torn final line. Reopen must keep every
+// complete record, drop the tail, and keep accepting appends.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Save("a", []byte(`1`))
+	j.Save("b", []byte(`2`))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: half a record at the end.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"c","da`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	if got := j2.Replayed(); got != 2 {
+		t.Errorf("Replayed = %d, want 2", got)
+	}
+	if _, ok := j2.Load("c"); ok {
+		t.Error("torn record resurrected")
+	}
+	// The journal must still be appendable and the append must survive
+	// another reopen (the torn bytes were truncated away).
+	j2.Save("d", []byte(`4`))
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if got := j3.Replayed(); got != 3 {
+		t.Errorf("after torn-tail truncate+append: Replayed = %d, want 3", got)
+	}
+	if data, ok := j3.Load("d"); !ok || string(data) != `4` {
+		t.Errorf("d = %q, %v", data, ok)
+	}
+}
+
+type mapStore map[string][]byte
+
+func (m mapStore) Load(key string) ([]byte, bool) { d, ok := m[key]; return d, ok }
+func (m mapStore) Save(key string, data []byte)   { m[key] = data }
+
+func TestTieredStore(t *testing.T) {
+	front, back := mapStore{}, mapStore{}
+	back["old"] = []byte(`1`)
+	ts := Tiered(front, nil, back)
+	if data, ok := ts.Load("old"); !ok || string(data) != `1` {
+		t.Errorf("back-tier load = %q, %v", data, ok)
+	}
+	ts.Save("new", []byte(`2`))
+	if string(front["new"]) != `2` || string(back["new"]) != `2` {
+		t.Errorf("write-through missed a tier: front=%q back=%q", front["new"], back["new"])
+	}
+	front["both"] = []byte(`front`)
+	back["both"] = []byte(`back`)
+	if data, _ := ts.Load("both"); string(data) != `front` {
+		t.Errorf("tier order violated: got %q", data)
+	}
+	if Tiered(nil, nil) != nil {
+		t.Error("Tiered of nils should be nil")
+	}
+	if Tiered(front) == nil {
+		t.Error("Tiered of one store should be that store")
+	}
+}
+
+// Transient failures retry up to the bound and can succeed; the retry
+// counter advances.
+func TestRetryTransient(t *testing.T) {
+	before := LiveSnapshot().JobsRetried
+	attempts := 0
+	p := New(Options{Workers: 1, Retries: 3, RetryBackoff: time.Microsecond})
+	out, err := Map(context.Background(), p, []int{7}, func(ctx context.Context, i, item int) (int, error) {
+		attempts++
+		if attempts < 3 {
+			return 0, Transient(fmt.Errorf("flaky attempt %d", attempts))
+		}
+		return item * 2, nil
+	})
+	if err != nil {
+		t.Fatalf("retryable job failed: %v", err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+	if out[0] != 14 {
+		t.Errorf("out = %d, want 14", out[0])
+	}
+	if got := LiveSnapshot().JobsRetried - before; got != 2 {
+		t.Errorf("JobsRetried advanced by %d, want 2", got)
+	}
+}
+
+// Retries are bounded: a job that never stops failing transiently
+// reports its last error after Retries+1 attempts.
+func TestRetryExhaustion(t *testing.T) {
+	attempts := 0
+	p := New(Options{Workers: 1, Retries: 2})
+	_, err := Map(context.Background(), p, []int{1}, func(ctx context.Context, i, item int) (int, error) {
+		attempts++
+		return 0, Transient(errors.New("always flaky"))
+	})
+	if err == nil {
+		t.Fatal("want error after exhausted retries")
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (1 + 2 retries)", attempts)
+	}
+	if !IsTransient(err) {
+		t.Error("exhausted error lost its transient classification")
+	}
+}
+
+// Deterministic errors and panics must not burn retries — they would
+// fail identically every time.
+func TestNoRetryDeterministic(t *testing.T) {
+	attempts := 0
+	p := New(Options{Workers: 1, Retries: 5})
+	_, err := Map(context.Background(), p, []int{1}, func(ctx context.Context, i, item int) (int, error) {
+		attempts++
+		return 0, errors.New("deterministic failure")
+	})
+	if err == nil || attempts != 1 {
+		t.Errorf("deterministic error: attempts = %d (err %v), want 1", attempts, err)
+	}
+
+	attempts = 0
+	_, err = Map(context.Background(), p, []int{1}, func(ctx context.Context, i, item int) (int, error) {
+		attempts++
+		panic("boom")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || attempts != 1 {
+		t.Errorf("panic: attempts = %d (err %v), want 1 *PanicError", attempts, err)
+	}
+}
+
+// JobTimeout bounds each attempt; a job that honors its context
+// returns the deadline error, which is transient and so retryable.
+func TestJobTimeout(t *testing.T) {
+	slow := true
+	p := New(Options{Workers: 1, JobTimeout: 10 * time.Millisecond, Retries: 1})
+	out, err := Map(context.Background(), p, []int{1}, func(ctx context.Context, i, item int) (int, error) {
+		if slow {
+			slow = false
+			<-ctx.Done() // first attempt hangs until the deadline
+			return 0, ctx.Err()
+		}
+		return item, nil
+	})
+	if err != nil {
+		t.Fatalf("timed-out attempt did not retry: %v", err)
+	}
+	if out[0] != 1 {
+		t.Errorf("out = %d", out[0])
+	}
+
+	// Without retries the deadline surfaces.
+	p = New(Options{Workers: 1, JobTimeout: 5 * time.Millisecond})
+	_, err = Map(context.Background(), p, []int{1}, func(ctx context.Context, i, item int) (int, error) {
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestPanicErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("structured abort")
+	p := New(Options{Workers: 1})
+	_, err := Map(context.Background(), p, []int{1}, func(ctx context.Context, i, item int) (int, error) {
+		panic(fmt.Errorf("wrapped: %w", sentinel))
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("errors.Is through PanicError failed: %v", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("not a PanicError: %v", err)
+	}
+	if (&PanicError{Value: "not an error"}).Unwrap() != nil {
+		t.Error("non-error panic value should unwrap to nil")
+	}
+}
+
+func TestDirStoreQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := LiveSnapshot().StoreQuarantined
+
+	// Corrupt entry: not JSON at all.
+	key := "experiment-a"
+	path := filepath.Join(dir, fmt.Sprintf("%016x.json", Fingerprint(key)))
+	if err := os.WriteFile(path, []byte("\x00\xffgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(key); ok {
+		t.Fatal("corrupt entry loaded")
+	}
+	if _, err := os.Stat(path + ".bad"); err != nil {
+		t.Errorf("quarantine file missing: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt entry still shadowing its slot")
+	}
+	if got := LiveSnapshot().StoreQuarantined - before; got != 1 {
+		t.Errorf("StoreQuarantined advanced by %d, want 1", got)
+	}
+	// The slot works again.
+	s.Save(key, []byte(`{"ok":true}`))
+	if data, ok := s.Load(key); !ok || !strings.Contains(string(data), "ok") {
+		t.Errorf("post-quarantine save/load = %q, %v", data, ok)
+	}
+
+	// A valid envelope under the wrong key is a collision, not
+	// corruption: plain miss, no quarantine.
+	other := "experiment-b"
+	otherPath := filepath.Join(dir, fmt.Sprintf("%016x.json", Fingerprint(other)))
+	if err := os.WriteFile(otherPath, []byte(`{"key":"someone-else","data":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(other); ok {
+		t.Error("collision loaded as hit")
+	}
+	if _, err := os.Stat(otherPath); err != nil {
+		t.Error("collision entry was quarantined; it belongs to another key")
+	}
+}

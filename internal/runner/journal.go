@@ -1,0 +1,185 @@
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal is a crash-safe, append-only checkpoint log implementing
+// Store. Every Save appends one JSONL record — the same
+// {"key":...,"data":...} envelope DirStore files — and fsyncs, so a
+// sweep killed at any instant loses at most the record being written.
+// Open replays the existing log into memory, tolerating a torn tail:
+// a final partial line (the record a crash interrupted) is ignored,
+// and replay stops at the first undecodable line so garbage can never
+// resurrect as results.
+//
+// Stack a Journal in front of the shared DirStore with Tiered to get
+// kill-and-resume sweeps: completed jobs reload from the journal, the
+// sweep recomputes only what is missing, and the merged output is
+// bit-identical to an uninterrupted run because results are assembled
+// in item order regardless of which jobs were replayed.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	entries map[string]json.RawMessage
+	path    string
+	replay  int
+	closed  bool
+}
+
+// OpenJournal opens (or creates) the checkpoint journal at path and
+// replays its records into memory.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: journal: %w", err)
+	}
+	j := &Journal{f: f, entries: make(map[string]json.RawMessage), path: path}
+	end, err := j.replayLog()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Truncate the torn tail (if any) so appends extend a well-formed
+	// log instead of gluing onto half a record.
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: journal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(end, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: journal: %w", err)
+	}
+	j.w = bufio.NewWriter(f)
+	return j, nil
+}
+
+// replayLog loads every complete, decodable record and returns the
+// byte offset of the end of the last good line.
+func (j *Journal) replayLog() (int64, error) {
+	if _, err := j.f.Seek(0, 0); err != nil {
+		return 0, fmt.Errorf("runner: journal: %w", err)
+	}
+	var end int64
+	sc := bufio.NewScanner(j.f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		lineLen := int64(len(line)) + 1 // +1 for the newline Scan strips
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			end += lineLen
+			continue
+		}
+		var env storeEnvelope
+		if err := json.Unmarshal(trimmed, &env); err != nil {
+			// Torn or corrupt record: stop replay here. Everything from
+			// this point on is discarded (and truncated by Open).
+			break
+		}
+		j.entries[env.Key] = env.Data
+		j.replay++
+		end += lineLen
+	}
+	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
+		return 0, fmt.Errorf("runner: journal: replay: %w", err)
+	}
+	// A file not ending in a newline means the last line may itself be
+	// torn; Scan still returns it, so cap end at the real size.
+	if info, err := j.f.Stat(); err == nil && end > info.Size() {
+		end = info.Size()
+	}
+	return end, nil
+}
+
+// Load implements Store.
+func (j *Journal) Load(key string) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	data, ok := j.entries[key]
+	return data, ok
+}
+
+// Save implements Store: append one record and fsync. Best-effort per
+// the Store contract — an append failure degrades to a warning, the
+// in-memory copy still serves this process.
+func (j *Journal) Save(key string, data []byte) {
+	raw, err := json.Marshal(storeEnvelope{Key: key, Data: json.RawMessage(data)})
+	if err != nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.entries[key] = json.RawMessage(data)
+	if _, err := j.w.Write(append(raw, '\n')); err != nil {
+		fmt.Fprintf(os.Stderr, "runner: journal append: %v\n", err)
+		return
+	}
+	if err := j.w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "runner: journal flush: %v\n", err)
+		return
+	}
+	if err := j.f.Sync(); err != nil {
+		fmt.Fprintf(os.Stderr, "runner: journal sync: %v\n", err)
+	}
+}
+
+// Len returns the number of distinct checkpointed keys.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Replayed returns how many records Open recovered from disk.
+func (j *Journal) Replayed() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.replay
+}
+
+// Path returns the journal file's path.
+func (j *Journal) Path() string { return j.path }
+
+// Close flushes and closes the journal file. Further Saves are
+// dropped; Loads keep serving the in-memory entries.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	ferr := j.w.Flush()
+	serr := j.f.Sync()
+	cerr := j.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Remove closes the journal and deletes its file — call after a sweep
+// completes and its results are merged into the durable store, so the
+// next run starts from a clean checkpoint.
+func (j *Journal) Remove() error {
+	if err := j.Close(); err != nil {
+		os.Remove(j.path)
+		return err
+	}
+	return os.Remove(j.path)
+}
+
+var _ Store = (*Journal)(nil)

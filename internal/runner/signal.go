@@ -1,0 +1,41 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// ShutdownContext returns a context cancelled by the first SIGINT or
+// SIGTERM, giving sweeps a graceful-shutdown window: in-flight jobs see
+// the cancellation, checkpoint journals flush, and the caller can print
+// a partial-results summary. A second signal exits immediately with
+// the conventional 130 status — the escape hatch when shutdown itself
+// wedges. The returned CancelFunc releases the signal handler; call it
+// before process exit.
+func ShutdownContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(os.Stderr, "\ninterrupted (%v): finishing in-flight jobs, flushing checkpoints; interrupt again to kill\n", sig)
+			cancel()
+		case <-ctx.Done():
+			signal.Stop(ch)
+			return
+		}
+		select {
+		case <-ch:
+			os.Exit(130)
+		case <-parent.Done():
+		}
+	}()
+	return ctx, func() {
+		signal.Stop(ch)
+		cancel()
+	}
+}

@@ -50,6 +50,10 @@ type LiveStats struct {
 	JobsDone    uint64 `json:"jobs_done"`
 	JobsFailed  uint64 `json:"jobs_failed"`
 	JobsCached  uint64 `json:"jobs_cached"`
+	// JobsRetried counts transient-failure retries; StoreQuarantined
+	// counts cache entries moved aside as undecodable.
+	JobsRetried      uint64 `json:"jobs_retried"`
+	StoreQuarantined uint64 `json:"store_quarantined"`
 	// BusyWorkers is the number of workers executing a job right now;
 	// Workers is the most recent sweep's worker bound.
 	BusyWorkers int64 `json:"busy_workers"`
@@ -67,15 +71,21 @@ type LiveStats struct {
 var live liveCounters
 
 type liveCounters struct {
-	jobsStarted atomic.Uint64
-	jobsDone    atomic.Uint64
-	jobsFailed  atomic.Uint64
-	jobsCached  atomic.Uint64
-	busyWorkers atomic.Int64
-	workers     atomic.Int64
-	sweepDone   atomic.Int64
-	sweepTotal  atomic.Int64
+	jobsStarted      atomic.Uint64
+	jobsDone         atomic.Uint64
+	jobsFailed       atomic.Uint64
+	jobsCached       atomic.Uint64
+	jobsRetried      atomic.Uint64
+	storeQuarantined atomic.Uint64
+	busyWorkers      atomic.Int64
+	workers          atomic.Int64
+	sweepDone        atomic.Int64
+	sweepTotal       atomic.Int64
 }
+
+func (l *liveCounters) jobRetry() { l.jobsRetried.Add(1) }
+
+func (l *liveCounters) quarantine() { l.storeQuarantined.Add(1) }
 
 func (l *liveCounters) sweepStart(total, workers int) {
 	l.sweepTotal.Store(int64(total))
@@ -105,13 +115,15 @@ func (l *liveCounters) jobEnd(err error, cached bool) {
 // call from any goroutine (the debug endpoint samples it per request).
 func LiveSnapshot() LiveStats {
 	return LiveStats{
-		JobsStarted: live.jobsStarted.Load(),
-		JobsDone:    live.jobsDone.Load(),
-		JobsFailed:  live.jobsFailed.Load(),
-		JobsCached:  live.jobsCached.Load(),
-		BusyWorkers: live.busyWorkers.Load(),
-		Workers:     live.workers.Load(),
-		SweepDone:   live.sweepDone.Load(),
-		SweepTotal:  live.sweepTotal.Load(),
+		JobsStarted:      live.jobsStarted.Load(),
+		JobsDone:         live.jobsDone.Load(),
+		JobsFailed:       live.jobsFailed.Load(),
+		JobsCached:       live.jobsCached.Load(),
+		JobsRetried:      live.jobsRetried.Load(),
+		StoreQuarantined: live.storeQuarantined.Load(),
+		BusyWorkers:      live.busyWorkers.Load(),
+		Workers:          live.workers.Load(),
+		SweepDone:        live.sweepDone.Load(),
+		SweepTotal:       live.sweepTotal.Load(),
 	}
 }

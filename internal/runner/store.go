@@ -45,17 +45,45 @@ func (s *DirStore) path(key string) string {
 	return filepath.Join(s.dir, fmt.Sprintf("%016x.json", Fingerprint(key)))
 }
 
-// Load implements Store.
+// Load implements Store. An entry that fails to decode is quarantined:
+// renamed to <name>.bad so it stops shadowing the slot, counted in
+// LiveStats.StoreQuarantined, and reported on stderr. A decodable
+// entry whose embedded key differs is NOT quarantined — that is a
+// 64-bit filename collision with another experiment's valid entry, and
+// it reads as a plain miss.
 func (s *DirStore) Load(key string) ([]byte, bool) {
-	raw, err := os.ReadFile(s.path(key))
+	path := s.path(key)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
 	var env storeEnvelope
-	if err := json.Unmarshal(raw, &env); err != nil || env.Key != key {
+	if err := json.Unmarshal(raw, &env); err != nil {
+		s.quarantine(path, err)
+		return nil, false
+	}
+	if env.Key != key {
 		return nil, false
 	}
 	return env.Data, true
+}
+
+// quarantine moves an undecodable entry aside as <name>.bad. The cache
+// slot becomes a plain miss, so the experiment recomputes and
+// repopulates it; the corrupt bytes stay on disk for diagnosis.
+func (s *DirStore) quarantine(path string, reason error) {
+	bad := path + ".bad"
+	if err := os.Rename(path, bad); err != nil {
+		// Couldn't move it aside (e.g. permissions); remove instead so
+		// the corrupt entry can't shadow the slot forever.
+		bad = "(removed)"
+		if os.Remove(path) != nil {
+			return
+		}
+	}
+	live.quarantine()
+	fmt.Fprintf(os.Stderr, "runner: quarantined corrupt cache entry %s -> %s: %v\n",
+		filepath.Base(path), filepath.Base(bad), reason)
 }
 
 // Save implements Store. The write goes through a temp file + rename
@@ -83,3 +111,45 @@ func (s *DirStore) Save(key string, data []byte) {
 }
 
 var _ Store = (*DirStore)(nil)
+
+// tieredStore chains stores: loads hit the first tier that answers,
+// saves write through to every tier.
+type tieredStore []Store
+
+// Load implements Store.
+func (t tieredStore) Load(key string) ([]byte, bool) {
+	for _, s := range t {
+		if data, ok := s.Load(key); ok {
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+// Save implements Store.
+func (t tieredStore) Save(key string, data []byte) {
+	for _, s := range t {
+		s.Save(key, data)
+	}
+}
+
+// Tiered combines stores into one: Load consults them in order and
+// returns the first hit; Save writes through to all. Nil stores are
+// dropped; nil is returned when nothing remains. Use it to stack a
+// crash-safe checkpoint journal in front of the shared DirStore.
+func Tiered(stores ...Store) Store {
+	var kept tieredStore
+	for _, s := range stores {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	default:
+		return kept
+	}
+}

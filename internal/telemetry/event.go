@@ -55,6 +55,10 @@ const (
 	// EvGateOff: fetch gating released; N is the stall length in
 	// cycles.
 	EvGateOff
+	// EvWatchdog: the forward-progress watchdog declared the pipeline
+	// wedged; Seq is the last diverging branch, N the ROB occupancy.
+	// The simulation aborts immediately after emitting it.
+	EvWatchdog
 
 	numEventKinds
 )
@@ -62,7 +66,7 @@ const (
 var eventKindNames = [numEventKinds]string{
 	"fetch", "dispatch", "issue", "complete", "retire",
 	"squash-uop", "squash", "predict", "estimate", "train",
-	"reversal", "gate-arm", "gate-on", "gate-off",
+	"reversal", "gate-arm", "gate-on", "gate-off", "watchdog",
 }
 
 // String returns the event kind name.

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -12,14 +13,24 @@ import (
 //
 //	header:  magic "BCET" | version u16 | flags u16
 //	record:  kind u8 | flags u8 | pc varint-delta | then per-kind fields
+//	footer:  0xFF | crc32 u32 | count uvarint            (version 2)
 //
 // PCs are delta-encoded against the previous record's PC (zig-zag
 // varint), which makes sequential code nearly free to store. Branch
 // targets are delta-encoded against the branch's own PC.
-
+//
+// Version 2 ends the stream with an integrity footer: a marker byte
+// that can never begin a record (0xFF is not a valid Kind), the IEEE
+// CRC32 of every record byte between header and footer, and the record
+// count. The footer turns silent tail truncation — a crash mid-write, a
+// partial copy — into a typed ErrCorrupt instead of a short-but-clean
+// replay. Version 1 streams (no footer) are still read.
 const (
 	magic         = "BCET"
-	formatVersion = 1
+	formatVersion = 2
+	// footerMarker begins the v2 integrity footer. It is outside the
+	// valid Kind range, so a reader can never confuse it with a record.
+	footerMarker = 0xFF
 )
 
 const (
@@ -35,17 +46,29 @@ var ErrBadMagic = errors.New("trace: bad magic (not a BCET trace)")
 // version.
 var ErrBadVersion = errors.New("trace: unsupported format version")
 
-// Writer encodes uops to a compact binary stream.
+// ErrCorrupt marks a structurally broken trace: an invalid record, a
+// CRC footer mismatch, a truncated stream, or trailing garbage.
+// Errors carrying it are wrapped with the failing record index, the
+// last decoded PC and the byte offset, so a bad trace is debuggable
+// without a hex dump (errors.Is(err, ErrCorrupt) still matches).
+var ErrCorrupt = errors.New("corrupt trace")
+
+// Writer encodes uops to a compact binary stream. Call Close when the
+// trace is complete: it writes the version-2 integrity footer and
+// flushes. A stream that is flushed but never closed has no footer and
+// reads back as truncated.
 type Writer struct {
 	w      *bufio.Writer
 	lastPC uint64
 	n      uint64
 	buf    []byte
+	crc    uint32
 	hdrOK  bool
+	closed bool
 }
 
 // NewWriter returns a Writer emitting to w. The header is written on
-// the first record (or on Flush for an empty trace).
+// the first record (or on Flush/Close for an empty trace).
 func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 64)}
 }
@@ -71,6 +94,9 @@ func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // WriteUop appends one uop to the stream.
 func (tw *Writer) WriteUop(u Uop) error {
+	if tw.closed {
+		return fmt.Errorf("trace: WriteUop after Close")
+	}
 	if !u.Kind.Valid() {
 		return fmt.Errorf("trace: invalid kind %d", uint8(u.Kind))
 	}
@@ -102,6 +128,7 @@ func (tw *Writer) WriteUop(u Uop) error {
 	}
 	tw.buf = b[:0]
 	tw.n++
+	tw.crc = crc32.Update(tw.crc, crc32.IEEETable, b)
 	_, err := tw.w.Write(b)
 	return err
 }
@@ -109,7 +136,9 @@ func (tw *Writer) WriteUop(u Uop) error {
 // Count reports the number of uops written so far.
 func (tw *Writer) Count() uint64 { return tw.n }
 
-// Flush writes any buffered data (and the header, for an empty trace).
+// Flush writes any buffered data (and the header, for an empty trace)
+// without ending the stream. Use it for mid-stream durability; the
+// trace is only complete after Close.
 func (tw *Writer) Flush() error {
 	if err := tw.header(); err != nil {
 		return err
@@ -117,12 +146,38 @@ func (tw *Writer) Flush() error {
 	return tw.w.Flush()
 }
 
+// Close writes the integrity footer (marker, CRC32 of all record
+// bytes, record count) and flushes. The Writer rejects further uops
+// afterwards; Close is idempotent.
+func (tw *Writer) Close() error {
+	if tw.closed {
+		return nil
+	}
+	if err := tw.header(); err != nil {
+		return err
+	}
+	tw.closed = true
+	b := tw.buf[:0]
+	b = append(b, footerMarker)
+	b = binary.LittleEndian.AppendUint32(b, tw.crc)
+	b = binary.AppendUvarint(b, tw.n)
+	tw.buf = b[:0]
+	if _, err := tw.w.Write(b); err != nil {
+		return err
+	}
+	return tw.w.Flush()
+}
+
 // Reader decodes a binary trace stream. It implements Source.
 type Reader struct {
-	r      *bufio.Reader
-	lastPC uint64
-	err    error
-	hdrOK  bool
+	r       *bufio.Reader
+	lastPC  uint64
+	err     error
+	hdrOK   bool
+	version uint16
+	off     int64  // bytes consumed, including the header
+	rec     uint64 // records fully decoded
+	crc     uint32 // running CRC32 over record bytes (v2)
 }
 
 // NewReader returns a Reader over r. The header is validated lazily on
@@ -143,17 +198,79 @@ func (tr *Reader) checkHeader() error {
 		}
 		return err
 	}
+	tr.off += 8
 	if string(h[0:4]) != magic {
 		return ErrBadMagic
 	}
-	if v := binary.LittleEndian.Uint16(h[4:6]); v != formatVersion {
-		return fmt.Errorf("%w: %d", ErrBadVersion, v)
+	tr.version = binary.LittleEndian.Uint16(h[4:6])
+	if tr.version != 1 && tr.version != formatVersion {
+		return fmt.Errorf("%w: %d", ErrBadVersion, tr.version)
 	}
 	return nil
 }
 
+// corrupt builds the sticky contextual corruption error: which record
+// failed, the last successfully decoded PC, and the byte offset.
+func (tr *Reader) corrupt(format string, args ...any) error {
+	detail := fmt.Sprintf(format, args...)
+	tr.err = fmt.Errorf("trace: record %d at pc %#x (byte offset %d): %w: %s",
+		tr.rec, tr.lastPC, tr.off, ErrCorrupt, detail)
+	return tr.err
+}
+
+// readByte is the single byte source for record decoding: it keeps the
+// byte offset and the running CRC that the v2 footer verifies.
+func (tr *Reader) readByte() (byte, error) {
+	b, err := tr.r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	tr.off++
+	tr.crc = crc32.Update(tr.crc, crc32.IEEETable, []byte{b})
+	return b, nil
+}
+
+// ReadByte implements io.ByteReader so binary.ReadUvarint decodes
+// through the offset/CRC accounting.
+func (tr *Reader) ReadByte() (byte, error) { return tr.readByte() }
+
+func (tr *Reader) readUvarint() (uint64, error) {
+	return binary.ReadUvarint(tr)
+}
+
+// readFooter consumes and verifies the v2 footer after its marker byte
+// was read; crcBefore is the running CRC excluding the marker.
+func (tr *Reader) readFooter(crcBefore uint32) error {
+	var f [4]byte
+	for i := range f {
+		b, err := tr.readByte()
+		if err != nil {
+			return tr.corrupt("truncated integrity footer")
+		}
+		f[i] = b
+	}
+	want := binary.LittleEndian.Uint32(f[:])
+	if want != crcBefore {
+		return tr.corrupt("crc mismatch: footer %#08x, stream %#08x", want, crcBefore)
+	}
+	count, err := tr.readUvarint()
+	if err != nil {
+		return tr.corrupt("truncated integrity footer")
+	}
+	if count != tr.rec {
+		return tr.corrupt("record count mismatch: footer says %d, stream has %d", count, tr.rec)
+	}
+	if _, err := tr.r.ReadByte(); err != io.EOF {
+		tr.off++
+		return tr.corrupt("trailing data after integrity footer")
+	}
+	tr.err = io.EOF
+	return io.EOF
+}
+
 // ReadUop decodes the next uop. It returns io.EOF at a clean end of
-// stream.
+// stream — for version-2 traces, only after a verified integrity
+// footer; a version-2 stream that simply stops is reported corrupt.
 func (tr *Reader) ReadUop() (Uop, error) {
 	if tr.err != nil {
 		return Uop{}, tr.err
@@ -162,62 +279,71 @@ func (tr *Reader) ReadUop() (Uop, error) {
 		tr.err = err
 		return Uop{}, err
 	}
-	kb, err := tr.r.ReadByte()
+	crcBefore := tr.crc
+	kb, err := tr.readByte()
 	if err != nil {
+		if err == io.EOF {
+			if tr.version >= 2 {
+				return Uop{}, tr.corrupt("truncated: missing integrity footer")
+			}
+			tr.err = io.EOF
+			return Uop{}, io.EOF
+		}
 		tr.err = err
 		return Uop{}, err
+	}
+	if kb == footerMarker && tr.version >= 2 {
+		return Uop{}, tr.readFooter(crcBefore)
 	}
 	var u Uop
 	u.Kind = Kind(kb)
 	if !u.Kind.Valid() {
-		tr.err = fmt.Errorf("trace: corrupt record: kind %d", kb)
-		return Uop{}, tr.err
+		return Uop{}, tr.corrupt("invalid kind %d", kb)
 	}
-	flags, err := tr.r.ReadByte()
+	flags, err := tr.readByte()
 	if err != nil {
-		tr.err = eof2unexpected(err)
-		return Uop{}, tr.err
+		return Uop{}, tr.corrupt("unexpected end of stream in record flags")
 	}
 	u.Taken = flags&recTaken != 0
-	d, err := binary.ReadUvarint(tr.r)
+	d, err := tr.readUvarint()
 	if err != nil {
-		tr.err = eof2unexpected(err)
-		return Uop{}, tr.err
+		return Uop{}, tr.corrupt("unexpected end of stream in pc delta")
 	}
 	u.PC = uint64(int64(tr.lastPC) + unzigzag(d))
 	tr.lastPC = u.PC
 	if u.Kind.IsBranch() {
-		td, err := binary.ReadUvarint(tr.r)
+		td, err := tr.readUvarint()
 		if err != nil {
-			tr.err = eof2unexpected(err)
-			return Uop{}, tr.err
+			return Uop{}, tr.corrupt("unexpected end of stream in branch target")
 		}
 		u.Target = uint64(int64(u.PC) + unzigzag(td))
 	}
 	u.Dst, u.Src1, u.Src2 = NoReg, NoReg, NoReg
 	if flags&recHasAddr != 0 {
-		if u.Addr, err = binary.ReadUvarint(tr.r); err != nil {
-			tr.err = eof2unexpected(err)
-			return Uop{}, tr.err
+		if u.Addr, err = tr.readUvarint(); err != nil {
+			return Uop{}, tr.corrupt("unexpected end of stream in address")
 		}
 	}
 	if flags&recHasRegs != 0 {
 		var regs [3]byte
-		if _, err := io.ReadFull(tr.r, regs[:]); err != nil {
-			tr.err = eof2unexpected(err)
-			return Uop{}, tr.err
+		for i := range regs {
+			b, err := tr.readByte()
+			if err != nil {
+				return Uop{}, tr.corrupt("unexpected end of stream in registers")
+			}
+			regs[i] = b
 		}
 		u.Dst, u.Src1, u.Src2 = regs[0], regs[1], regs[2]
 	}
+	tr.rec++
 	return u, nil
 }
 
-func eof2unexpected(err error) error {
-	if err == io.EOF {
-		return io.ErrUnexpectedEOF
-	}
-	return err
-}
+// Records reports the number of records fully decoded so far.
+func (tr *Reader) Records() uint64 { return tr.rec }
+
+// Offset reports the number of stream bytes consumed so far.
+func (tr *Reader) Offset() int64 { return tr.off }
 
 // Next implements Source. A decode error terminates the stream; check
 // Err afterwards.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -43,8 +44,8 @@ func roundTrip(t *testing.T, uops []Uop) []Uop {
 			t.Fatalf("WriteUop: %v", err)
 		}
 	}
-	if err := w.Flush(); err != nil {
-		t.Fatalf("Flush: %v", err)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
 	}
 	if w.Count() != uint64(len(uops)) {
 		t.Fatalf("Count = %d, want %d", w.Count(), len(uops))
@@ -150,11 +151,12 @@ func TestReaderTruncated(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := w.Flush(); err != nil {
+	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
 	full := buf.Bytes()
-	r := NewReader(bytes.NewReader(full[:len(full)-3]))
+	// Cut past the 6-byte footer and into the record stream.
+	r := NewReader(bytes.NewReader(full[:len(full)-10]))
 	n := 0
 	for {
 		if _, err := r.ReadUop(); err != nil {
@@ -229,6 +231,188 @@ func TestReaderArbitraryBytesNoPanic(t *testing.T) {
 	}
 }
 
+// encodeUops returns a complete (Closed, footered) v2 stream.
+func encodeUops(t *testing.T, uops []Uop) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, u := range uops {
+		if err := w.WriteUop(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+var testUops = []Uop{
+	{PC: 0x401000, Kind: ALU, Dst: 1, Src1: 2, Src2: NoReg},
+	{PC: 0x401004, Kind: Load, Addr: 0x2000, Dst: 3, Src1: 1, Src2: NoReg},
+	{PC: 0x401008, Kind: CondBranch, Taken: true, Target: 0x401a2c,
+		Dst: NoReg, Src1: 3, Src2: NoReg},
+	{PC: 0x401a2c, Kind: Store, Addr: 0x2008, Dst: NoReg, Src1: 3, Src2: 1},
+}
+
+// A version-1 stream (no footer) must still read back cleanly: the
+// version-2 footer is additive, not a migration.
+func TestReaderAcceptsVersion1(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, u := range testUops {
+		if err := w.WriteUop(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flush, not Close: no footer. Rewriting the version field yields
+	// exactly what a v1 writer produced (records are unchanged).
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4], raw[5] = 1, 0
+	r := NewReader(bytes.NewReader(raw))
+	for i, want := range testUops {
+		got, err := r.ReadUop()
+		if err != nil || got != want {
+			t.Fatalf("v1 uop %d: got %+v err %v", i, got, err)
+		}
+	}
+	if _, err := r.ReadUop(); err != io.EOF {
+		t.Fatalf("v1 end: err = %v, want io.EOF", err)
+	}
+	if r.Err() != nil {
+		t.Fatalf("v1 Err() = %v", r.Err())
+	}
+}
+
+// A version-2 stream that ends without its footer is truncated, not a
+// clean EOF — the exact failure a crash mid-write produces.
+func TestReaderMissingFooter(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, u := range testUops {
+		if err := w.WriteUop(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil { // no Close
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	for range testUops {
+		if _, err := r.ReadUop(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.ReadUop(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing footer: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// Any record byte flipped between header and footer must fail the CRC
+// (when it doesn't already fail record decoding), with the record
+// index and PC context in the message.
+func TestReaderDetectsBitFlips(t *testing.T) {
+	whole := encodeUops(t, testUops)
+	flips := 0
+	for off := 8; off < len(whole); off++ {
+		raw := bytes.Clone(whole)
+		raw[off] ^= 0x10
+		r := NewReader(bytes.NewReader(raw))
+		var err error
+		for err == nil {
+			_, err = r.ReadUop()
+		}
+		if err == io.EOF {
+			t.Fatalf("flip at offset %d read back clean", off)
+		}
+		if errors.Is(err, ErrCorrupt) {
+			flips++
+		}
+	}
+	if flips == 0 {
+		t.Fatal("no flip produced ErrCorrupt")
+	}
+}
+
+func TestReaderTrailingData(t *testing.T) {
+	raw := append(encodeUops(t, testUops), 0xAB)
+	r := NewReader(bytes.NewReader(raw))
+	var err error
+	for err == nil {
+		_, err = r.ReadUop()
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing data: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// Corruption errors must carry the record index, the last decoded PC
+// and the byte offset — debuggability without a hex dump.
+func TestCorruptErrorContext(t *testing.T) {
+	whole := encodeUops(t, testUops)
+	// Cut the stream one byte into record 3, so decoding dies there
+	// with the last fully decoded PC (record 2's 0x401008) as context.
+	r := NewReader(bytes.NewReader(whole))
+	for i := 0; i < 3; i++ {
+		if _, err := r.ReadUop(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut := r.Offset()
+	r = NewReader(bytes.NewReader(whole[:cut+1]))
+	var err error
+	for err == nil {
+		_, err = r.ReadUop()
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"record 3", "pc 0x401008", "byte offset"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	// Sticky.
+	if _, err2 := r.ReadUop(); !errors.Is(err2, ErrCorrupt) {
+		t.Fatalf("corruption error not sticky: %v", err2)
+	}
+}
+
+func TestWriterAfterClose(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := w.WriteUop(Uop{Kind: Nop, Dst: NoReg, Src1: NoReg, Src2: NoReg}); err == nil {
+		t.Fatal("WriteUop after Close succeeded")
+	}
+}
+
+func TestReaderCountersAdvance(t *testing.T) {
+	r := NewReader(bytes.NewReader(encodeUops(t, testUops)))
+	if r.Records() != 0 || r.Offset() != 0 {
+		t.Fatalf("fresh reader: records %d offset %d", r.Records(), r.Offset())
+	}
+	for range testUops {
+		if _, err := r.ReadUop(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Records() != uint64(len(testUops)) {
+		t.Fatalf("Records = %d, want %d", r.Records(), len(testUops))
+	}
+	if r.Offset() <= 8 {
+		t.Fatalf("Offset = %d, want > header", r.Offset())
+	}
+}
+
 // Round-trip stability under interleaved writers: two traces written
 // independently decode independently (no shared state).
 func TestWritersIndependent(t *testing.T) {
@@ -247,10 +431,10 @@ func TestWritersIndependent(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := wa.Flush(); err != nil {
+	if err := wa.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := wb.Flush(); err != nil {
+	if err := wb.Close(); err != nil {
 		t.Fatal(err)
 	}
 	for name, pair := range map[string]struct {

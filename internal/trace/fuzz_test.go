@@ -79,8 +79,8 @@ func FuzzCodecRoundTrip(f *testing.F) {
 				t.Fatalf("WriteUop(%v): %v", u, err)
 			}
 		}
-		if err := w.Flush(); err != nil {
-			t.Fatalf("Flush: %v", err)
+		if err := w.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
 		}
 		if w.Count() != uint64(len(uops)) {
 			t.Fatalf("Count = %d, want %d", w.Count(), len(uops))
@@ -118,7 +118,7 @@ func FuzzReaderRobustness(f *testing.F) {
 				f.Fatal(err)
 			}
 		}
-		if err := w.Flush(); err != nil {
+		if err := w.Close(); err != nil {
 			f.Fatal(err)
 		}
 		return buf.Bytes()
@@ -129,7 +129,8 @@ func FuzzReaderRobustness(f *testing.F) {
 		Uop{PC: 0x2000, Kind: Load, Addr: 0xdead},
 	)
 	f.Add(whole)                          // clean stream
-	f.Add(whole[:len(whole)-2])           // truncated mid-record
+	f.Add(whole[:len(whole)-2])           // truncated inside the footer
+	f.Add(whole[:len(whole)-7])           // truncated before the footer
 	f.Add(whole[:6])                      // truncated header
 	f.Add([]byte{})                       // empty input
 	f.Add([]byte("BCET\xff\xff\x00\x00")) // bad version
@@ -137,6 +138,16 @@ func FuzzReaderRobustness(f *testing.F) {
 	corrupt := bytes.Clone(whole)
 	corrupt[8] = 0xEE // invalid kind in the first record
 	f.Add(corrupt)
+	crcFlip := bytes.Clone(whole)
+	crcFlip[10] ^= 0x40 // record payload bit flip: CRC footer must catch it
+	f.Add(crcFlip)
+	footerFlip := bytes.Clone(whole)
+	footerFlip[len(footerFlip)-3] ^= 0x01 // corrupt the footer itself
+	f.Add(footerFlip)
+	f.Add(append(bytes.Clone(whole), 0x00)) // trailing data after footer
+	v1 := bytes.Clone(whole)
+	v1[4], v1[5] = 1, 0 // v1 header: records valid, footer bytes are garbage records
+	f.Add(v1)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))

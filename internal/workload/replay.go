@@ -56,6 +56,18 @@ func (r *Replay) Next() (trace.Uop, bool) {
 // Recorded returns the number of distinct uops buffered so far.
 func (r *Replay) Recorded() int { return len(r.buf) }
 
+// Err surfaces the underlying source's terminal error when the source
+// exposes one (trace.Reader does). A recorded trace that ends in a
+// decode error would otherwise silently loop its truncated prefix —
+// callers should check Err after a replayed run and treat a non-nil
+// result as a corrupt input, not a short one.
+func (r *Replay) Err() error {
+	if e, ok := r.src.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}
+
 // WrongPath returns a wrong-path synthesizer over the replayed code:
 // targets that match recorded PCs resume the recording from there
 // (with randomized branch directions); unseen targets fall back to a

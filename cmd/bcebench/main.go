@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"bce/internal/bench"
+	"bce/internal/manifest"
 	"bce/internal/runner"
 )
 
@@ -30,7 +31,7 @@ func main() {
 		suite      = flag.String("suite", "kernel", "suite to run: kernel, pipeline, table, all")
 		count      = flag.Int("count", 1, "benchmark repetitions (-count); means are reported")
 		benchtime  = flag.String("benchtime", "", "override -benchtime for every suite (e.g. 100ms, 10x)")
-		out        = flag.String("out", "", "write the JSON report to this file")
+		out        = flag.String("out", "", "write the JSON report to this file (default BENCH_<short-git-rev>.json)")
 		minSpeedup = flag.Float64("min-speedup", 0, "fail unless every kernel-vs-reference speedup is at least this ratio (0 disables)")
 		compare    = flag.String("compare", "", "baseline JSON report; compare-only mode unless -suite also runs")
 		against    = flag.String("against", "", "candidate JSON report to compare against the -compare baseline (default: this run's results)")
@@ -52,6 +53,13 @@ func main() {
 
 func run(ctx context.Context, suite string, count int, benchtime, out string, minSpeedup float64,
 	compare, against string, maxRegress float64, progress, verbose bool) error {
+	if out == "" && !(compare != "" && against != "") {
+		// Default the trajectory file name to the revision it measures,
+		// so successive runs on different commits never clobber each
+		// other.
+		out = "BENCH_" + manifest.ShortRevision() + ".json"
+	}
+
 	// Pure compare mode: two existing reports, no benchmarks run.
 	if compare != "" && against != "" {
 		old, err := load(compare)
@@ -148,6 +156,9 @@ func load(path string) (*bench.Report, error) {
 	}
 	var r bench.Report
 	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return &r, nil

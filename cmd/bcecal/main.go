@@ -8,6 +8,7 @@
 //	bcecal                  # rates vs targets for all benchmarks
 //	bcecal -bench mcf       # per-class attribution for one benchmark
 //	bcecal -uops 1000000    # longer measurement
+//	bcecal -manifest cal.json  # also write a run manifest
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"sort"
 	"strings"
 
+	"bce/internal/manifest"
 	"bce/internal/predictor"
 	"bce/internal/runner"
 	"bce/internal/telemetry"
@@ -29,12 +31,13 @@ import (
 
 func main() {
 	var (
-		bench     = flag.String("bench", "", "show per-class attribution for one benchmark")
-		uops      = flag.Int("uops", 400_000, "measured uops (after 100k warmup)")
-		workers   = flag.Int("workers", 0, "parallel calibration runs (0 = GOMAXPROCS); results are identical under any setting")
-		cacheDir  = flag.String("cache", "", "directory for the on-disk calibration cache (empty = no persistence)")
-		resume    = flag.Bool("resume", false, "replay the checkpoint journal from a killed run (needs -cache)")
-		debugAddr = flag.String("debug-addr", "", "serve pprof + expvar on this address (e.g. localhost:6060)")
+		bench      = flag.String("bench", "", "show per-class attribution for one benchmark")
+		uops       = flag.Int("uops", 400_000, "measured uops (after 100k warmup)")
+		workers    = flag.Int("workers", 0, "parallel calibration runs (0 = GOMAXPROCS); results are identical under any setting")
+		cacheDir   = flag.String("cache", "", "directory for the on-disk calibration cache (empty = no persistence)")
+		resume     = flag.Bool("resume", false, "replay the checkpoint journal from a killed run (needs -cache)")
+		debugAddr  = flag.String("debug-addr", "", "serve pprof + expvar on this address (e.g. localhost:6060); Prometheus text format on /metrics")
+		manifestTo = flag.String("manifest", "", "write a run manifest (provenance + per-benchmark rates) to this file")
 	)
 	flag.Parse()
 	if *debugAddr != "" {
@@ -50,9 +53,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bcecal: -resume needs -cache (the journal lives next to the result store)")
 		os.Exit(2)
 	}
+	var mb *manifest.Builder
+	if *manifestTo != "" {
+		mb = manifest.NewBuilder("bcecal", os.Args[1:])
+		mb.SetConfig("bench", *bench)
+		mb.SetConfig("uops", fmt.Sprint(*uops))
+		seeds := make(map[string]int64)
+		for _, name := range workload.Names() {
+			if prof, err := workload.ByName(name); err == nil {
+				seeds[name] = prof.Seed
+			}
+		}
+		mb.SetSeeds(seeds)
+	}
 	ctx, stop := runner.ShutdownContext(context.Background())
 	defer stop()
-	if err := run(ctx, *bench, *uops, *workers, *cacheDir, *resume); err != nil {
+	if err := run(ctx, *bench, *uops, *workers, *cacheDir, *resume, mb); err != nil {
 		if errors.Is(err, context.Canceled) {
 			ls := runner.LiveSnapshot()
 			fmt.Fprintf(os.Stderr, "bcecal: interrupted: %d calibration runs finished before shutdown", ls.JobsDone)
@@ -63,6 +79,13 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "bcecal:", err)
 		os.Exit(1)
+	}
+	if mb != nil {
+		if err := mb.WriteFile(*manifestTo, 0, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "bcecal:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bcecal: run manifest written to %s\n", *manifestTo)
 	}
 }
 
@@ -99,7 +122,7 @@ func openStore(cacheDir string, resume bool) (runner.Store, func(ok bool), error
 	return runner.Tiered(j, ds), cleanup, nil
 }
 
-func run(ctx context.Context, bench string, uops, workers int, cacheDir string, resume bool) error {
+func run(ctx context.Context, bench string, uops, workers int, cacheDir string, resume bool, mb *manifest.Builder) error {
 	if bench != "" {
 		return attribute(bench, uops)
 	}
@@ -132,6 +155,11 @@ func run(ctx context.Context, bench string, uops, workers int, cacheDir string, 
 	}
 	fmt.Printf("%-9s %10s %10s %8s\n", "bench", "misp/Kuop", "target", "ratio")
 	var worst float64 = 1
+	type calRow struct {
+		Bench             string
+		MispPer1K, Target float64
+	}
+	var calRows []calRow
 	for i, name := range workload.Names() {
 		rate := rates[i]
 		target := workload.Table2Target[name]
@@ -143,8 +171,22 @@ func run(ctx context.Context, bench string, uops, workers int, cacheDir string, 
 			worst = 1 / ratio
 		}
 		fmt.Printf("%-9s %10.2f %10.2f %7.2fx\n", name, rate, target, ratio)
+		calRows = append(calRows, calRow{Bench: name, MispPer1K: rate, Target: target})
+		if mb != nil {
+			mb.AddJob(manifest.Job{
+				Key: runner.KeyOf("bcecal", 1, name, uops), Kind: "calibration", Bench: name,
+				Extra: map[string]float64{"misp_per_kuop": rate, "target": target},
+			})
+		}
 	}
 	fmt.Printf("\nworst deviation: %.2fx (calibration keeps every benchmark within 2x)\n", worst)
+	if mb != nil {
+		if err := mb.AddResult("calibration", map[string]any{
+			"Rows": calRows, "WorstRatio": worst,
+		}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,120 @@
+// Command bcereport turns run manifests (bcetables -manifest, bcecal
+// -manifest) into the paper-fidelity scorecard and cross-run drift
+// reports.
+//
+// Usage:
+//
+//	bcereport run.json                      # text scorecard on stdout
+//	bcereport -json FIDELITY.json run.json  # canonical scorecard JSON
+//	bcereport -html report.html run.json    # self-contained dashboard
+//	bcereport -baseline FIDELITY.json run.json  # gate: fail on drift
+//	bcereport -compare old.json new.json    # diff two manifests
+//
+// Several manifests can be ingested at once (e.g. a bcetables sweep
+// plus a bcecal run); later files win where experiments overlap. The
+// scorecard JSON is canonical — identical sweeps produce identical
+// bytes — so committing it as a baseline and gating on drift in CI is
+// exact, not approximate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bce/internal/manifest"
+	"bce/internal/report"
+)
+
+func main() {
+	var (
+		jsonOut  = flag.String("json", "", "write the canonical scorecard JSON to this file")
+		htmlOut  = flag.String("html", "", "write the self-contained HTML dashboard to this file")
+		baseline = flag.String("baseline", "", "scorecard JSON to gate against: exit 1 if any metric drifts beyond -tol")
+		compare  = flag.Bool("compare", false, "diff two manifests (old new) instead of rendering a scorecard")
+		tol      = flag.Float64("tol", 1e-9, "drift tolerance in the metric's own unit (simulations are deterministic, so near-zero is exact)")
+		quiet    = flag.Bool("quiet", false, "suppress the text scorecard on stdout")
+	)
+	flag.Parse()
+	if err := run(flag.Args(), *jsonOut, *htmlOut, *baseline, *compare, *tol, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "bcereport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, jsonOut, htmlOut, baseline string, compare bool, tol float64, quiet bool) error {
+	if compare {
+		if len(args) != 2 {
+			return fmt.Errorf("-compare takes exactly two manifests (old new), got %d", len(args))
+		}
+		old, err := manifest.Load(args[0])
+		if err != nil {
+			return err
+		}
+		new, err := manifest.Load(args[1])
+		if err != nil {
+			return err
+		}
+		drifts, notes, err := report.CompareManifests(old, new, tol)
+		if err != nil {
+			return err
+		}
+		for _, n := range notes {
+			fmt.Fprintln(os.Stderr, "bcereport: note:", n)
+		}
+		fmt.Print(report.RenderDrift(drifts, tol))
+		if len(drifts) > 0 {
+			return fmt.Errorf("%d metric(s) drifted", len(drifts))
+		}
+		return nil
+	}
+
+	if len(args) == 0 {
+		return fmt.Errorf("no manifests given (usage: bcereport [flags] manifest.json ...)")
+	}
+	manifests := make([]*manifest.Manifest, len(args))
+	for i, path := range args {
+		m, err := manifest.Load(path)
+		if err != nil {
+			return err
+		}
+		manifests[i] = m
+	}
+	sc, err := report.Build(manifests...)
+	if err != nil {
+		return err
+	}
+
+	if !quiet {
+		fmt.Print(sc.String())
+	}
+	if jsonOut != "" {
+		buf, err := sc.Canonical()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bcereport: scorecard JSON written to %s\n", jsonOut)
+	}
+	if htmlOut != "" {
+		if err := os.WriteFile(htmlOut, []byte(report.WriteHTML(sc, manifests...)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bcereport: dashboard written to %s\n", htmlOut)
+	}
+	if baseline != "" {
+		base, err := report.LoadScorecard(baseline)
+		if err != nil {
+			return err
+		}
+		drifts := report.CompareScorecards(base, sc, tol)
+		fmt.Print(report.RenderDrift(drifts, tol))
+		if len(drifts) > 0 {
+			return fmt.Errorf("fidelity gate failed: %d metric(s) drifted from %s", len(drifts), baseline)
+		}
+		fmt.Fprintf(os.Stderr, "bcereport: fidelity gate passed against %s\n", baseline)
+	}
+	return nil
+}

@@ -8,11 +8,18 @@
 //	bcetables -exp fig4 -bench gcc # density figures accept -bench
 //	bcetables -quick               # reduced run lengths (smoke)
 //	bcetables -exp fig5 -csv       # density data as CSV
+//	bcetables -exp fidelity -manifest run.json  # scorecard feedstock
 //
 // Experiments: table2 table3 table4 table5 table6 fig4 fig5 fig6 fig7
 // fig8 fig9 latency all — plus the extension studies ablate-signal,
 // ablate-reversal, ablate-site, ablate-threshold, ablate-history and
-// variability (run with -exp extras for all of those).
+// variability (run with -exp extras for all of those). -exp fidelity
+// runs the scorecard core (table2 + table3 + table4 + fig8), the
+// composite the CI fidelity gate sweeps.
+//
+// With -manifest the invocation also writes a run manifest: config
+// fingerprint, git revision, per-simulation results and runner/cache
+// statistics, the input cmd/bcereport consumes.
 package main
 
 import (
@@ -25,9 +32,24 @@ import (
 
 	"bce/internal/config"
 	"bce/internal/core"
+	"bce/internal/manifest"
 	"bce/internal/runner"
 	"bce/internal/telemetry"
+	"bce/internal/workload"
 )
+
+// workloadSeeds maps every benchmark to its deterministic base seed,
+// recorded in run manifests so a result can be traced to its exact
+// input stream.
+func workloadSeeds() map[string]int64 {
+	seeds := make(map[string]int64)
+	for _, name := range workload.Names() {
+		if prof, err := workload.ByName(name); err == nil {
+			seeds[name] = prof.Seed
+		}
+	}
+	return seeds
+}
 
 func main() {
 	var (
@@ -42,7 +64,8 @@ func main() {
 		resume     = flag.Bool("resume", false, "replay the checkpoint journal from a killed run (needs -cache); completed simulations are not re-run and merged output is identical to an uninterrupted run")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-simulation deadline (0 = none); timed-out jobs are retried per -retries")
 		retries    = flag.Int("retries", 0, "retries per job for transient failures, with exponential backoff")
-		debugAddr  = flag.String("debug-addr", "", "serve pprof + expvar + live sweep stats on this address (e.g. localhost:6060)")
+		debugAddr  = flag.String("debug-addr", "", "serve pprof + expvar + live sweep stats on this address (e.g. localhost:6060); Prometheus text format on /metrics")
+		manifestTo = flag.String("manifest", "", "write a run manifest (provenance + per-job results) to this file")
 	)
 	flag.Parse()
 
@@ -102,7 +125,27 @@ func main() {
 		sz = core.QuickSizes()
 	}
 	sz.Segments = *segments
-	if err := run(*exp, *bench, *csv, sz); err != nil {
+
+	var mb *manifest.Builder
+	if *manifestTo != "" {
+		mb = manifest.NewBuilder("bcetables", os.Args[1:])
+		mb.SetSizes(manifest.Sizes{
+			Warmup: sz.Warmup, Measure: sz.Measure,
+			FuncWarmup: sz.FuncWarmup, FuncMeasure: sz.FuncMeasure,
+			Segments: *segments,
+		})
+		mb.SetSeeds(workloadSeeds())
+		mb.SetConfig("exp", *exp)
+		mb.SetConfig("bench", *bench)
+		core.SetJobObserver(func(rec core.JobRecord) {
+			mb.AddJob(manifest.Job{
+				Key: rec.Key, Kind: rec.Kind, Bench: rec.Bench, Cached: rec.Cached,
+				Run: rec.Run, Confusion: rec.Confusion,
+			})
+		})
+	}
+
+	if err := run(*exp, *bench, *csv, sz, mb); err != nil {
 		if errors.Is(err, context.Canceled) {
 			interrupted()
 		}
@@ -112,6 +155,14 @@ func main() {
 	}
 	if err := core.CloseCheckpoint(true); err != nil {
 		fmt.Fprintln(os.Stderr, "bcetables: checkpoint:", err)
+	}
+	if mb != nil {
+		hits, misses := core.ResultCacheStats()
+		if err := mb.WriteFile(*manifestTo, hits, misses); err != nil {
+			fmt.Fprintln(os.Stderr, "bcetables:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bcetables: run manifest written to %s\n", *manifestTo)
 	}
 	if *progress {
 		hits, misses := core.ResultCacheStats()
@@ -131,10 +182,21 @@ func interrupted() {
 	}
 }
 
-func run(exp, bench string, csv bool, sz core.Sizes) error {
+func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder) error {
+	// record stores an experiment's structured result in the manifest;
+	// a nil builder (no -manifest) makes it a no-op.
+	record := func(name string, v any) error {
+		if mb == nil {
+			return nil
+		}
+		return mb.AddResult(name, v)
+	}
 	density := func(scheme, figs string) error {
 		d, err := core.Density(bench, scheme, sz)
 		if err != nil {
+			return err
+		}
+		if err := record("density-"+scheme, d); err != nil {
 			return err
 		}
 		fmt.Printf("== %s (%s estimator output density, benchmark %s)\n", figs, scheme, bench)
@@ -146,6 +208,9 @@ func run(exp, bench string, csv bool, sz core.Sizes) error {
 		return nil
 	}
 	all := exp == "all"
+	// fidelity is the scorecard composite: the experiments the paper
+	// fidelity gate scores, at one flag.
+	fid := exp == "fidelity"
 	ran := false
 	timed := func(name string, fn func() error) error {
 		start := time.Now()
@@ -161,22 +226,13 @@ func run(exp, bench string, csv bool, sz core.Sizes) error {
 		return nil
 	}
 
-	if all || exp == "table2" {
+	if all || fid || exp == "table2" {
 		if err := timed("table2", func() error {
 			t, err := core.Table2(sz)
 			if err != nil {
 				return err
 			}
-			fmt.Print(t)
-			return nil
-		}); err != nil {
-			return err
-		}
-	}
-	if all || exp == "table3" {
-		if err := timed("table3", func() error {
-			t, err := core.Table3(sz)
-			if err != nil {
+			if err := record("table2", t); err != nil {
 				return err
 			}
 			fmt.Print(t)
@@ -185,10 +241,28 @@ func run(exp, bench string, csv bool, sz core.Sizes) error {
 			return err
 		}
 	}
-	if all || exp == "table4" {
+	if all || fid || exp == "table3" {
+		if err := timed("table3", func() error {
+			t, err := core.Table3(sz)
+			if err != nil {
+				return err
+			}
+			if err := record("table3", t); err != nil {
+				return err
+			}
+			fmt.Print(t)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || fid || exp == "table4" {
 		if err := timed("table4", func() error {
 			t, err := core.Table4(sz)
 			if err != nil {
+				return err
+			}
+			if err := record("table4", t); err != nil {
 				return err
 			}
 			fmt.Print(t)
@@ -203,6 +277,9 @@ func run(exp, bench string, csv bool, sz core.Sizes) error {
 			if err != nil {
 				return err
 			}
+			if err := record("table5", t); err != nil {
+				return err
+			}
 			fmt.Print(t)
 			return nil
 		}); err != nil {
@@ -213,6 +290,9 @@ func run(exp, bench string, csv bool, sz core.Sizes) error {
 		if err := timed("table6", func() error {
 			t, err := core.Table6(sz)
 			if err != nil {
+				return err
+			}
+			if err := record("table6", t); err != nil {
 				return err
 			}
 			fmt.Print(t)
@@ -231,10 +311,13 @@ func run(exp, bench string, csv bool, sz core.Sizes) error {
 			return err
 		}
 	}
-	if all || exp == "fig8" {
+	if all || fid || exp == "fig8" {
 		if err := timed("fig8", func() error {
 			c, err := core.Combined(config.Baseline40x4(), sz)
 			if err != nil {
+				return err
+			}
+			if err := record("fig8", c); err != nil {
 				return err
 			}
 			fmt.Print(c)
@@ -249,6 +332,9 @@ func run(exp, bench string, csv bool, sz core.Sizes) error {
 			if err != nil {
 				return err
 			}
+			if err := record("fig9", c); err != nil {
+				return err
+			}
 			fmt.Print(c)
 			return nil
 		}); err != nil {
@@ -259,6 +345,9 @@ func run(exp, bench string, csv bool, sz core.Sizes) error {
 		if err := timed("latency", func() error {
 			l, err := core.Latency(sz)
 			if err != nil {
+				return err
+			}
+			if err := record("latency", l); err != nil {
 				return err
 			}
 			fmt.Print(l)
@@ -353,7 +442,7 @@ func run(exp, bench string, csv bool, sz core.Sizes) error {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want table2..table6, fig4..fig9, latency, all, extras, ablate-*, variability)", exp)
+		return fmt.Errorf("unknown experiment %q (want table2..table6, fig4..fig9, latency, all, fidelity, extras, ablate-*, variability)", exp)
 	}
 	return nil
 }

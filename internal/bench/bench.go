@@ -97,9 +97,15 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
+// ReportSchema is the current trajectory-file schema version. Files
+// written before versioning carry no "schema" field and load as
+// version 0; loaders accept anything up to the current version.
+const ReportSchema = 1
+
 // Report is the trajectory file written to BENCH_*.json: one harness
 // run's environment plus every suite result.
 type Report struct {
+	Schema  int      `json:"schema,omitempty"`
 	Go      string   `json:"go"`
 	OS      string   `json:"os"`
 	Arch    string   `json:"arch"`
@@ -110,11 +116,36 @@ type Report struct {
 // NewReport stamps an empty report with the current environment.
 func NewReport() *Report {
 	return &Report{
-		Go:   runtime.Version(),
-		OS:   runtime.GOOS,
-		Arch: runtime.GOARCH,
-		Date: time.Now().UTC().Format(time.RFC3339),
+		Schema: ReportSchema,
+		Go:     runtime.Version(),
+		OS:     runtime.GOOS,
+		Arch:   runtime.GOARCH,
+		Date:   time.Now().UTC().Format(time.RFC3339),
 	}
+}
+
+// Validate checks a loaded trajectory file is usable as a comparison
+// baseline: a known schema version (missing = legacy version 0 is
+// fine), at least one result, and every result carrying a suite, a
+// name, and a positive ns/op. Catches truncated files and JSON that
+// merely shares field names before a comparison silently matches
+// nothing.
+func (r *Report) Validate() error {
+	if r.Schema < 0 || r.Schema > ReportSchema {
+		return fmt.Errorf("bench: unsupported report schema %d (this build reads <= %d)", r.Schema, ReportSchema)
+	}
+	if len(r.Results) == 0 {
+		return fmt.Errorf("bench: report has no results")
+	}
+	for i, res := range r.Results {
+		if res.Suite == "" || res.Name == "" {
+			return fmt.Errorf("bench: result %d has empty suite/name (%q/%q)", i, res.Suite, res.Name)
+		}
+		if !(res.NsPerOp > 0) {
+			return fmt.Errorf("bench: result %s/%s has non-positive ns/op %v", res.Suite, res.Name, res.NsPerOp)
+		}
+	}
+	return nil
 }
 
 // Find returns the result with the given suite and name, or nil.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -127,6 +128,66 @@ func TestSuitesSelector(t *testing.T) {
 		ss, err := Suites(sel)
 		if err != nil || len(ss) != 1 || ss[0].Name != sel {
 			t.Fatalf("Suites(%q) = %+v, %v", sel, ss, err)
+		}
+	}
+}
+
+// TestReportRoundTrip writes a report through JSON and back — the
+// path every BENCH_*.json takes — and checks the schema stamp and
+// validation survive the trip.
+func TestReportRoundTrip(t *testing.T) {
+	r := NewReport()
+	r.Results = append(r.Results, Result{
+		Suite: "kernel", Name: "Output32", Samples: 2, Iters: 100,
+		NsPerOp: 6.5, MinNsPerOp: 6.4,
+		Metrics: map[string]float64{"sim-cycles/sec": 7.5e6},
+	})
+	buf, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != ReportSchema {
+		t.Errorf("schema = %d, want %d", back.Schema, ReportSchema)
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("round-tripped report invalid: %v", err)
+	}
+	got := back.Find("kernel", "Output32")
+	if got == nil || got.NsPerOp != 6.5 || got.Metrics["sim-cycles/sec"] != 7.5e6 {
+		t.Errorf("result lost in round trip: %+v", got)
+	}
+}
+
+func TestValidateReport(t *testing.T) {
+	ok := Result{Suite: "kernel", Name: "Output32", NsPerOp: 1}
+	cases := []struct {
+		name string
+		r    Report
+		want string // substring of the error; empty = must pass
+	}{
+		// Pre-versioning trajectory files (e.g. the committed
+		// BENCH_pr3.json) have no schema field: version 0 must load.
+		{"legacy v0", Report{Results: []Result{ok}}, ""},
+		{"current", Report{Schema: ReportSchema, Results: []Result{ok}}, ""},
+		{"future schema", Report{Schema: ReportSchema + 1, Results: []Result{ok}}, "schema"},
+		{"no results", Report{Schema: ReportSchema}, "no results"},
+		{"empty name", Report{Results: []Result{{Suite: "kernel", NsPerOp: 1}}}, "empty suite/name"},
+		{"zero ns/op", Report{Results: []Result{{Suite: "kernel", Name: "X"}}}, "non-positive"},
+	}
+	for _, tc := range cases {
+		err := tc.r.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
 		}
 	}
 }

@@ -88,6 +88,45 @@ func corePool() *runner.Pool {
 	})
 }
 
+// JobRecord describes one completed simulation job for manifest
+// emission: the cache key identifying its full configuration, which
+// benchmark it ran, whether the result came from the cache, and the
+// result itself (exactly one of Run/Confusion is set, by Kind).
+type JobRecord struct {
+	// Key is the content-addressed cache key ("timing" jobs) or an
+	// equivalent canonical configuration string ("functional" jobs).
+	Key string
+	// Kind is "timing" (full pipeline model) or "functional"
+	// (predictor+estimator state machines only).
+	Kind string
+	// Bench is the benchmark name.
+	Bench string
+	// Cached reports whether the result was served from the result
+	// cache rather than freshly simulated.
+	Cached bool
+	// Run is the timing result (nil for functional jobs).
+	Run *metrics.Run
+	// Confusion is the functional result (nil for timing jobs).
+	Confusion *metrics.Confusion
+}
+
+// jobObserver, when set, is called once per completed simulation job.
+// Sweeps fan out over the worker pool, so the observer is invoked from
+// multiple goroutines concurrently and must synchronize internally
+// (manifest.Builder does). Set it once at startup, like the other
+// execution knobs.
+var jobObserver func(JobRecord)
+
+// SetJobObserver installs the per-job observer manifest emission uses;
+// nil disables. The observer must be safe for concurrent use.
+func SetJobObserver(fn func(JobRecord)) { jobObserver = fn }
+
+func observeJob(rec JobRecord) {
+	if jobObserver != nil {
+		jobObserver(rec)
+	}
+}
+
 // mapBench runs fn for every benchmark on the shared pool and returns
 // the per-benchmark results in workload.Names() order, regardless of
 // completion order. Errors are tagged with the benchmark name; a
@@ -239,7 +278,7 @@ func timingKey(spec TimingSpec, sz Sizes, speculativeTrain bool) string {
 		est = spec.Estimator().Name()
 	}
 	return runner.KeyOf(
-		"timing", 1, // schema version: bump when Run or the sim semantics change
+		"timing", 2, // schema version: bump when Run or the sim semantics change (2: Run.Segments)
 		spec.Bench,
 		fmt.Sprintf("%+v", spec.Machine),
 		spec.Predictor,

@@ -17,6 +17,7 @@ import (
 	"bce/internal/confidence"
 	"bce/internal/metrics"
 	"bce/internal/predictor"
+	"bce/internal/runner"
 	"bce/internal/workload"
 )
 
@@ -104,6 +105,12 @@ func RunFunctional(cfg FunctionalConfig) (FunctionalResult, error) {
 	if segs < 1 {
 		segs = 1
 	}
+	if cfg.WarmupUops == 0 {
+		cfg.WarmupUops = 100_000
+	}
+	if cfg.MeasureUops == 0 {
+		cfg.MeasureUops = 300_000
+	}
 	var total FunctionalResult
 	for seg := 0; seg < segs; seg++ {
 		r, err := runFunctionalSegment(cfg, seg)
@@ -112,7 +119,32 @@ func RunFunctional(cfg FunctionalConfig) (FunctionalResult, error) {
 		}
 		total.Merge(r)
 	}
+	if jobObserver != nil {
+		c := total.Confusion
+		observeJob(JobRecord{
+			Key: functionalKey(cfg, segs), Kind: "functional",
+			Bench: cfg.Bench, Confusion: &c,
+		})
+	}
 	return total, nil
+}
+
+// functionalKey canonicalizes a functional run's configuration the way
+// timingKey does for timing runs. Functional runs are not cached, so
+// the key exists purely to identify the job in run manifests; the
+// estimator is identified by building one throwaway instance (cheap
+// next to the run itself).
+func functionalKey(cfg FunctionalConfig, segs int) string {
+	est := cfg.Estimator
+	if cfg.MakeEstimator != nil {
+		est = cfg.MakeEstimator()
+	}
+	name := "none"
+	if est != nil {
+		name = est.Name()
+	}
+	return runner.KeyOf("functional", 1, cfg.Bench, name,
+		cfg.WarmupUops, cfg.MeasureUops, segs, cfg.HistRange, cfg.HistBin)
 }
 
 func runFunctionalSegment(cfg FunctionalConfig, segment int) (FunctionalResult, error) {
@@ -121,12 +153,6 @@ func runFunctionalSegment(cfg FunctionalConfig, segment int) (FunctionalResult, 
 		return FunctionalResult{}, err
 	}
 	prof.Segment = segment
-	if cfg.WarmupUops == 0 {
-		cfg.WarmupUops = 100_000
-	}
-	if cfg.MeasureUops == 0 {
-		cfg.MeasureUops = 300_000
-	}
 	pred := cfg.Predictor
 	if cfg.MakePredictor != nil {
 		pred = cfg.MakePredictor()

@@ -102,8 +102,9 @@ func runTiming(ctx context.Context, spec TimingSpec, sz Sizes) (metrics.Run, err
 // runTimingSpecTrain is runTiming with control over the confidence
 // training site (retire vs speculative fetch-time, an ablation knob).
 func runTimingSpecTrain(ctx context.Context, spec TimingSpec, sz Sizes, speculativeTrain bool) (metrics.Run, error) {
+	key := timingKey(spec, sz, speculativeTrain)
 	fresh := false
-	r, err := resultCache.Do(timingKey(spec, sz, speculativeTrain), func() (metrics.Run, error) {
+	r, err := resultCache.Do(key, func() (metrics.Run, error) {
 		fresh = true
 		return runTimingUncached(spec, sz, speculativeTrain)
 	})
@@ -113,6 +114,10 @@ func runTimingSpecTrain(ctx context.Context, spec TimingSpec, sz Sizes, speculat
 		runner.MarkComputed(ctx)
 	} else {
 		runner.MarkCached(ctx)
+	}
+	if err == nil {
+		run := r
+		observeJob(JobRecord{Key: key, Kind: "timing", Bench: spec.Bench, Cached: !fresh, Run: &run})
 	}
 	return r, err
 }

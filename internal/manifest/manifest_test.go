@@ -1,0 +1,174 @@
+package manifest
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"bce/internal/metrics"
+)
+
+func TestBuilderRoundTrip(t *testing.T) {
+	b := NewBuilder("bcetest", []string{"-exp", "table2"})
+	b.SetSizes(Sizes{Warmup: 10, Measure: 20, FuncWarmup: 30, FuncMeasure: 40, Segments: 2})
+	b.SetSeeds(map[string]int64{"gzip": 1, "vpr": 2})
+	b.Note("quick", "true")
+	b.AddJob(Job{Key: "k2", Kind: "timing", Bench: "vpr", Run: &metrics.Run{Cycles: 7}})
+	b.AddJob(Job{Key: "k1", Kind: "timing", Bench: "gzip", Cached: true, Run: &metrics.Run{Cycles: 5}})
+	b.AddJob(Job{Key: "k1", Kind: "timing", Bench: "gzip"}) // repeat: counts as a hit
+	if err := b.AddResult("table2", map[string]float64{"avg": 3.5}); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := b.WriteFile(path, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if m.Schema != SchemaVersion || m.Tool != "bcetest" {
+		t.Errorf("header = %d/%q", m.Schema, m.Tool)
+	}
+	if m.GitRevision == "" || m.GoVersion == "" || m.Start == "" {
+		t.Errorf("missing environment stamp: %+v", m)
+	}
+	if len(m.Jobs) != 2 || m.Jobs[0].Key != "k1" || m.Jobs[1].Key != "k2" {
+		t.Fatalf("jobs not deduped+sorted: %+v", m.Jobs)
+	}
+	if m.Jobs[0].Hits != 1 || m.Jobs[1].Hits != 0 {
+		t.Errorf("hits = %d, %d; want 1, 0", m.Jobs[0].Hits, m.Jobs[1].Hits)
+	}
+	if m.Jobs[0].Run == nil || m.Jobs[0].Run.Cycles != 5 {
+		t.Errorf("job run lost: %+v", m.Jobs[0].Run)
+	}
+	if m.Cache == nil || m.Cache.Hits != 3 || m.Cache.Misses != 4 {
+		t.Errorf("cache = %+v", m.Cache)
+	}
+	if m.ConfigFingerprint == "" || len(m.ConfigFingerprint) != 16 {
+		t.Errorf("fingerprint = %q", m.ConfigFingerprint)
+	}
+	var table2 map[string]float64
+	ok, err := m.Result("table2", &table2)
+	if err != nil || !ok || table2["avg"] != 3.5 {
+		t.Errorf("result table2 = %v %v %v", table2, ok, err)
+	}
+	if ok, _ := m.Result("absent", &table2); ok {
+		t.Error("absent result reported present")
+	}
+}
+
+// TestFingerprintTracksConfig checks equal configurations fingerprint
+// equally and any config change moves the fingerprint.
+func TestFingerprintTracksConfig(t *testing.T) {
+	base := func(args ...string) *Builder {
+		b := NewBuilder("tool", args)
+		b.SetSizes(Sizes{Warmup: 1})
+		b.SetSeeds(map[string]int64{"x": 1})
+		b.SetConfig("exp", "table2")
+		return b
+	}
+	f1 := base("-a").Finish(0, 0).ConfigFingerprint
+	f2 := base("-a").Finish(0, 0).ConfigFingerprint
+	if f1 != f2 {
+		t.Errorf("identical configs fingerprint differently: %q vs %q", f1, f2)
+	}
+	// Args carry operational noise (output paths, -workers); they must
+	// NOT move the fingerprint.
+	if f := base("-manifest", "other.json").Finish(0, 0).ConfigFingerprint; f != f1 {
+		t.Error("args changed the fingerprint (output paths are not configuration)")
+	}
+	b := base("-a")
+	b.SetSizes(Sizes{Warmup: 2})
+	if f3 := b.Finish(0, 0).ConfigFingerprint; f3 == f1 {
+		t.Error("changed sizes did not change fingerprint")
+	}
+	b = base("-a")
+	b.SetConfig("exp", "table3")
+	if f4 := b.Finish(0, 0).ConfigFingerprint; f4 == f1 {
+		t.Error("changed config did not change fingerprint")
+	}
+}
+
+func TestBuilderConcurrentAddJob(t *testing.T) {
+	b := NewBuilder("tool", nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.AddJob(Job{Key: strings.Repeat("k", i%10+1), Kind: "timing"})
+			}
+		}(g)
+	}
+	wg.Wait()
+	m := b.Finish(0, 0)
+	if len(m.Jobs) != 10 {
+		t.Fatalf("got %d unique jobs, want 10", len(m.Jobs))
+	}
+	hits := 0
+	for _, j := range m.Jobs {
+		hits += j.Hits
+	}
+	if hits != 8*100-10 {
+		t.Errorf("total hits = %d, want %d", hits, 8*100-10)
+	}
+}
+
+func TestValidateRejectsBadManifests(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Manifest
+		want string
+	}{
+		{"future schema", Manifest{Schema: SchemaVersion + 1, Tool: "t"}, "schema"},
+		{"zero schema", Manifest{Tool: "t"}, "schema"},
+		{"no tool", Manifest{Schema: 1}, "tool"},
+		{"empty key", Manifest{Schema: 1, Tool: "t", Jobs: []Job{{Kind: "timing"}}}, "empty key"},
+		{"dup key", Manifest{Schema: 1, Tool: "t", Jobs: []Job{
+			{Key: "k", Kind: "timing"}, {Key: "k", Kind: "timing"}}}, "duplicate"},
+		{"no kind", Manifest{Schema: 1, Tool: "t", Jobs: []Job{{Key: "k"}}}, "kind"},
+	}
+	for _, tc := range cases {
+		err := tc.m.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	ok := Manifest{Schema: 1, Tool: "t", Jobs: []Job{{Key: "k", Kind: "timing"}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid manifest rejected: %v", err)
+	}
+}
+
+// TestManifestJSONDeterministic checks two manifests built from the
+// same inputs marshal identically once volatile fields are cleared —
+// the property the fidelity scorecard's byte-stability rests on.
+func TestManifestJSONDeterministic(t *testing.T) {
+	build := func() []byte {
+		b := NewBuilder("tool", []string{"-exp", "all"})
+		b.SetSeeds(map[string]int64{"gzip": 3, "mcf": 9, "vpr": 5})
+		b.AddJob(Job{Key: "b", Kind: "timing", Bench: "mcf"})
+		b.AddJob(Job{Key: "a", Kind: "timing", Bench: "gzip"})
+		if err := b.AddResult("t", map[string]int{"z": 1, "a": 2}); err != nil {
+			t.Fatal(err)
+		}
+		m := b.Finish(1, 2)
+		m.Start, m.WallSeconds, m.CPUSeconds = "", 0, 0
+		m.Runner = nil
+		buf, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	a, bb := build(), build()
+	if string(a) != string(bb) {
+		t.Errorf("manifest JSON not deterministic:\n%s\n%s", a, bb)
+	}
+}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"reflect"
 	"testing"
 )
@@ -69,6 +70,31 @@ func TestMergeEqualsFieldwiseSum(t *testing.T) {
 				path, g.Uint(), v.Uint())
 		}
 	})
+}
+
+// TestRunJSONCoversEveryField checks that the canonical JSON encoding
+// round-trips every counter field, including any added later: a field
+// tagged `json:"-"` (or shadowed by a duplicate key) would silently
+// drop out of run manifests and the on-disk result cache, and this
+// test is what fails first.
+func TestRunJSONCoversEveryField(t *testing.T) {
+	var r Run
+	i := uint64(0)
+	walkCounters(t, "Run", reflect.ValueOf(&r).Elem(), func(path string, v reflect.Value) {
+		i++
+		v.SetUint(1000 + i)
+	})
+	buf, err := r.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Run
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Errorf("JSON round trip lost fields:\n  in  %+v\n  out %+v", r, back)
+	}
 }
 
 func splitPath(path string) []string {

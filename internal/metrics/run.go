@@ -36,6 +36,11 @@ type Run struct {
 	GatedCycles uint64
 	// GateEvents counts distinct fetch-stall episodes.
 	GateEvents uint64
+	// Segments counts the independently simulated trace segments merged
+	// into this Run: 1 for a single simulation, summed by Merge. Run
+	// manifests use it to tell a merged multi-segment result from a
+	// single-segment one without out-of-band context.
+	Segments uint64
 	// Confusion is the confidence confusion matrix over retired
 	// conditional branches (pre-reversal prediction vs estimate).
 	Confusion Confusion
@@ -116,6 +121,7 @@ func (r *Run) Merge(o Run) {
 	r.ReversalsGood += o.ReversalsGood
 	r.GatedCycles += o.GatedCycles
 	r.GateEvents += o.GateEvents
+	r.Segments += o.Segments
 	r.Confusion.Merge(o.Confusion)
 }
 

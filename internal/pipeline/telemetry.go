@@ -89,6 +89,7 @@ func (c *runCounters) snapshot(cycles, gatedCycles, gateEvents uint64) metrics.R
 		ReversalsGood:     c.reversalsGood.Value(),
 		GatedCycles:       gatedCycles,
 		GateEvents:        gateEvents,
+		Segments:          1,
 		Confusion: metrics.Confusion{
 			CorrectHigh: c.confCorrectHigh.Value(),
 			CorrectLow:  c.confCorrectLow.Value(),

@@ -1,0 +1,103 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"bce/internal/manifest"
+)
+
+// Drift is one metric whose measured value moved between two runs
+// beyond the tolerance, or a metric present in only one of them.
+type Drift struct {
+	Metric string  `json:"metric"` // "experiment/metric"
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	Delta  float64 `json:"delta"`
+	// Missing marks a metric that exists in only one run ("old" or
+	// "new"); Old/New carry the side that has it.
+	Missing string `json:"missing,omitempty"`
+}
+
+// CompareScorecards diffs the measured values of two scorecards,
+// returning every metric that drifted more than tol (absolute, in the
+// metric's own unit) or disappeared/appeared. The simulator is
+// deterministic, so on identical configurations any drift at all is a
+// behavior change; tol exists for cross-configuration comparisons.
+func CompareScorecards(old, new *Scorecard, tol float64) []Drift {
+	type key struct{ exp, metric string }
+	oldRows := make(map[key]Row, len(old.Rows))
+	for _, r := range old.Rows {
+		oldRows[key{r.Experiment, r.Metric}] = r
+	}
+	var drifts []Drift
+	seen := make(map[key]bool, len(new.Rows))
+	for _, r := range new.Rows {
+		k := key{r.Experiment, r.Metric}
+		seen[k] = true
+		o, ok := oldRows[k]
+		if !ok {
+			drifts = append(drifts, Drift{Metric: k.exp + "/" + k.metric, New: r.Measured, Missing: "old"})
+			continue
+		}
+		if d := r.Measured - o.Measured; math.Abs(d) > tol {
+			drifts = append(drifts, Drift{
+				Metric: k.exp + "/" + k.metric,
+				Old:    o.Measured, New: r.Measured, Delta: round4(d),
+			})
+		}
+	}
+	for _, r := range old.Rows {
+		k := key{r.Experiment, r.Metric}
+		if !seen[k] {
+			drifts = append(drifts, Drift{Metric: k.exp + "/" + k.metric, Old: r.Measured, Missing: "new"})
+		}
+	}
+	return drifts
+}
+
+// CompareManifests builds a scorecard from each manifest and diffs
+// them, prefixing the report with a configuration-identity note when
+// the fingerprints differ (drift between different configurations is
+// expected, not a regression).
+func CompareManifests(old, new *manifest.Manifest, tol float64) (drifts []Drift, notes []string, err error) {
+	so, err := Build(old)
+	if err != nil {
+		return nil, nil, fmt.Errorf("old manifest: %w", err)
+	}
+	sn, err := Build(new)
+	if err != nil {
+		return nil, nil, fmt.Errorf("new manifest: %w", err)
+	}
+	if old.ConfigFingerprint != new.ConfigFingerprint {
+		notes = append(notes, fmt.Sprintf(
+			"configurations differ (old %s, new %s): deltas reflect the config change, not drift",
+			old.ConfigFingerprint, new.ConfigFingerprint))
+	}
+	if lo, ln := len(old.Jobs), len(new.Jobs); lo != ln {
+		notes = append(notes, fmt.Sprintf("job counts differ: old ran %d simulations, new %d", lo, ln))
+	}
+	return CompareScorecards(so, sn, tol), notes, nil
+}
+
+// RenderDrift formats a drift list for the terminal; empty input
+// renders the all-clear line.
+func RenderDrift(drifts []Drift, tol float64) string {
+	if len(drifts) == 0 {
+		return fmt.Sprintf("no metric drift beyond ±%g\n", tol)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d metric(s) drifted beyond ±%g:\n", len(drifts), tol)
+	for _, d := range drifts {
+		switch d.Missing {
+		case "old":
+			fmt.Fprintf(&b, "  %-36s only in new run (%.4f)\n", d.Metric, d.New)
+		case "new":
+			fmt.Fprintf(&b, "  %-36s only in old run (%.4f)\n", d.Metric, d.Old)
+		default:
+			fmt.Fprintf(&b, "  %-36s %.4f -> %.4f (%+.4f)\n", d.Metric, d.Old, d.New, d.Delta)
+		}
+	}
+	return b.String()
+}

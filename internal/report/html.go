@@ -1,0 +1,334 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strings"
+
+	"bce/internal/manifest"
+)
+
+// html.go renders the scorecard as a single self-contained HTML file:
+// stat tiles, the PVN/coverage curve (Table 3), the gating trade-off
+// curve (Table 4), and the full scorecard table. No external assets or
+// scripts — the file works offline and in CI artifact viewers.
+//
+// Chart conventions: color identifies the estimator (fixed assignment,
+// never cycled), line style identifies the source — measured solid,
+// paper dashed — and every point carries a <title> tooltip. Series
+// colors are CSS custom properties with a prefers-color-scheme dark
+// variant, validated against both surfaces.
+
+// chartPoint is one mark on a chart.
+type chartPoint struct {
+	X, Y  float64
+	Label string
+}
+
+// chartSeries is one line+markers series. Color is a palette slot
+// (1-4); Dashed marks paper reference series.
+type chartSeries struct {
+	Name   string
+	Color  int
+	Dashed bool
+	Points []chartPoint
+}
+
+// WriteHTML renders the dashboard. The manifests supply the curve
+// data (Table 3 and Table 4 results); charts whose experiment is
+// absent are omitted.
+func WriteHTML(sc *Scorecard, manifests ...*manifest.Manifest) string {
+	var b strings.Builder
+	b.WriteString(htmlHead)
+	b.WriteString("<h1>Paper-fidelity scorecard</h1>\n")
+	fmt.Fprintf(&b, "<p class=\"sub\">Reproduction vs. <em>Perceptron-Based Branch Confidence Estimation</em> (HPCA 2004)")
+	for _, s := range sc.Sources {
+		fmt.Fprintf(&b, " &middot; %s <code>%s</code>", html.EscapeString(s.Tool), html.EscapeString(s.Fingerprint))
+	}
+	b.WriteString("</p>\n")
+
+	// Headline tiles.
+	b.WriteString("<div class=\"tiles\">\n")
+	tile := func(value, label string) {
+		fmt.Fprintf(&b, "<div class=\"tile\"><div class=\"v\">%s</div><div class=\"l\">%s</div></div>\n",
+			value, html.EscapeString(label))
+	}
+	tile(fmt.Sprintf("%d", sc.Summary.Rows), "metrics scored")
+	tile(fmt.Sprintf("%.3f", sc.Summary.MeanAbsRelErr), "mean |relative error|")
+	tile(fmt.Sprintf("%.3f", sc.Summary.WorstRelErr), "worst: "+sc.Summary.WorstMetric)
+	b.WriteString("</div>\n")
+
+	if s := pvnCoverageSeries(manifests); len(s) > 0 {
+		b.WriteString(svgChart("PVN vs. coverage (Table 3)",
+			"Spec — fraction of branches flagged low-confidence (%)", "PVN — flag accuracy (%)", s))
+	}
+	if s := gatingSeries(manifests); len(s) > 0 {
+		b.WriteString(svgChart("Gating trade-off (Table 4, 40c4w)",
+			"U — uop reduction (%)", "P — performance loss (%)", s))
+	}
+
+	// Table view (the accessible fallback for every chart).
+	b.WriteString("<h2>All metrics</h2>\n<table>\n<tr><th>experiment</th><th>metric</th><th class=\"n\">measured</th><th class=\"n\">paper</th><th class=\"n\">delta</th><th class=\"n\">rel err</th><th>95% CI</th></tr>\n")
+	for _, r := range sc.Rows {
+		ci := ""
+		if r.CILo != nil && r.CIHi != nil {
+			ci = fmt.Sprintf("[%.2f, %.2f]", *r.CILo, *r.CIHi)
+		}
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td class=\"n\">%.2f</td><td class=\"n\">%.2f</td><td class=\"n\">%+.2f</td><td class=\"n\">%.3f</td><td>%s</td></tr>\n",
+			html.EscapeString(r.Experiment), html.EscapeString(r.Metric),
+			r.Measured, r.Paper, r.Delta, r.RelErr, ci)
+	}
+	b.WriteString("</table>\n</body>\n</html>\n")
+	return b.String()
+}
+
+// pvnCoverageSeries extracts the Table 3 curves: measured and paper
+// (PVN, Spec) trajectories for both estimators. X is Spec (coverage),
+// Y is PVN.
+func pvnCoverageSeries(manifests []*manifest.Manifest) []chartSeries {
+	var t table3Result
+	if !findResult(manifests, "table3", &t) {
+		return nil
+	}
+	var out []chartSeries
+	mk := func(name string, color int, dashed bool) chartSeries {
+		return chartSeries{Name: name, Color: color, Dashed: dashed}
+	}
+	jrs, cic := mk("JRS measured", 1, false), mk("Perceptron measured", 2, false)
+	for _, r := range t.JRS {
+		jrs.Points = append(jrs.Points, chartPoint{X: r.Spec, Y: r.PVN,
+			Label: fmt.Sprintf("JRS λ=%d: PVN %.0f%%, Spec %.0f%%", r.Lambda, r.PVN, r.Spec)})
+	}
+	for _, r := range t.Perceptron {
+		cic.Points = append(cic.Points, chartPoint{X: r.Spec, Y: r.PVN,
+			Label: fmt.Sprintf("Perceptron λ=%d: PVN %.0f%%, Spec %.0f%%", r.Lambda, r.PVN, r.Spec)})
+	}
+	jrsP, cicP := mk("JRS paper", 1, true), mk("Perceptron paper", 2, true)
+	for _, r := range paperTable3JRS {
+		jrsP.Points = append(jrsP.Points, chartPoint{X: r.Spec, Y: r.PVN,
+			Label: fmt.Sprintf("paper JRS λ=%d: PVN %.0f%%, Spec %.0f%%", r.Lambda, r.PVN, r.Spec)})
+	}
+	for _, r := range paperTable3Perceptron {
+		cicP.Points = append(cicP.Points, chartPoint{X: r.Spec, Y: r.PVN,
+			Label: fmt.Sprintf("paper perceptron λ=%d: PVN %.0f%%, Spec %.0f%%", r.Lambda, r.PVN, r.Spec)})
+	}
+	return append(out, jrs, jrsP, cic, cicP)
+}
+
+// gatingSeries extracts the Table 4 PL1 trade-off curves (U, P) for
+// both estimators, measured and paper.
+func gatingSeries(manifests []*manifest.Manifest) []chartSeries {
+	var t table4Result
+	if !findResult(manifests, "table4", &t) {
+		return nil
+	}
+	curve := func(name string, color int, dashed bool, rows []gatingRow, match string) chartSeries {
+		s := chartSeries{Name: name, Color: color, Dashed: dashed}
+		for _, r := range rows {
+			if match != "" && !strings.Contains(r.Label, match) {
+				continue
+			}
+			s.Points = append(s.Points, chartPoint{X: r.U, Y: r.P,
+				Label: fmt.Sprintf("%s: U %.1f%%, P %.1f%%", r.Label, r.U, r.P)})
+		}
+		return s
+	}
+	paperRows := func(refs []paperUP) []gatingRow {
+		out := make([]gatingRow, len(refs))
+		for i, r := range refs {
+			out[i] = gatingRow{Label: r.Label, U: r.U, P: r.P}
+		}
+		return out
+	}
+	series := []chartSeries{
+		curve("JRS PL1 measured", 1, false, t.JRS, "PL1"),
+		curve("JRS PL1 paper", 1, true, paperRows(paperTable4JRS), "PL1"),
+		curve("Perceptron PL1 measured", 2, false, t.Perceptron, "PL1"),
+		curve("Perceptron PL1 paper", 2, true, paperRows(paperTable4Perceptron), "PL1"),
+	}
+	var out []chartSeries
+	for _, s := range series {
+		if len(s.Points) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// findResult decodes the named result from the first manifest that
+// carries it (searching last-to-first, matching Build's later-wins
+// merge).
+func findResult(manifests []*manifest.Manifest, name string, out any) bool {
+	for i := len(manifests) - 1; i >= 0; i-- {
+		if ok, err := manifests[i].Result(name, out); ok && err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Chart geometry (viewBox units).
+const (
+	chartW, chartH                     = 640, 360
+	marginL, marginR, marginT, marginB = 56, 16, 20, 48
+)
+
+// svgChart renders one line+marker chart with grid, ticks, a legend
+// and per-point tooltips.
+func svgChart(title, xLabel, yLabel string, series []chartSeries) string {
+	xmin, xmax, ymin, ymax := math.Inf(1), math.Inf(-1), math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			xmin, xmax = math.Min(xmin, p.X), math.Max(xmax, p.X)
+			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+		}
+	}
+	if xmin > xmax {
+		return ""
+	}
+	xmin, xmax = pad(xmin, xmax)
+	ymin, ymax = pad(ymin, ymax)
+	px := func(x float64) float64 {
+		return marginL + (x-xmin)/(xmax-xmin)*(chartW-marginL-marginR)
+	}
+	py := func(y float64) float64 {
+		return chartH - marginB - (y-ymin)/(ymax-ymin)*(chartH-marginT-marginB)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "<figure>\n<figcaption>%s</figcaption>\n", html.EscapeString(title))
+	fmt.Fprintf(&b, "<svg viewBox=\"0 0 %d %d\" role=\"img\" aria-label=\"%s\">\n",
+		chartW, chartH, html.EscapeString(title))
+
+	// Grid and ticks (recessive), axis labels in text ink.
+	for _, t := range ticks(xmin, xmax) {
+		x := px(t)
+		fmt.Fprintf(&b, "<line class=\"grid\" x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\"/>\n",
+			x, marginT, x, chartH-marginB)
+		fmt.Fprintf(&b, "<text class=\"tick\" x=\"%.1f\" y=\"%d\" text-anchor=\"middle\">%g</text>\n",
+			x, chartH-marginB+16, t)
+	}
+	for _, t := range ticks(ymin, ymax) {
+		y := py(t)
+		fmt.Fprintf(&b, "<line class=\"grid\" x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\"/>\n",
+			marginL, y, chartW-marginR, y)
+		fmt.Fprintf(&b, "<text class=\"tick\" x=\"%d\" y=\"%.1f\" text-anchor=\"end\">%g</text>\n",
+			marginL-6, y+4, t)
+	}
+	fmt.Fprintf(&b, "<text class=\"axis\" x=\"%d\" y=\"%d\" text-anchor=\"middle\">%s</text>\n",
+		(marginL+chartW-marginR)/2, chartH-10, html.EscapeString(xLabel))
+	fmt.Fprintf(&b, "<text class=\"axis\" transform=\"rotate(-90)\" x=\"%d\" y=\"14\" text-anchor=\"middle\">%s</text>\n",
+		-(marginT+chartH-marginB)/2, html.EscapeString(yLabel))
+
+	for _, s := range series {
+		stroke := fmt.Sprintf("var(--s%d)", s.Color)
+		dash := ""
+		if s.Dashed {
+			dash = " stroke-dasharray=\"6 4\""
+		}
+		var pts []string
+		for _, p := range s.Points {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(p.X), py(p.Y)))
+		}
+		fmt.Fprintf(&b, "<polyline fill=\"none\" stroke=\"%s\" stroke-width=\"2\"%s points=\"%s\"/>\n",
+			stroke, dash, strings.Join(pts, " "))
+		for _, p := range s.Points {
+			// The 2px surface ring separates overlapping markers.
+			fmt.Fprintf(&b, "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"4\" fill=\"%s\" stroke=\"var(--surface)\" stroke-width=\"2\"><title>%s</title></circle>\n",
+				px(p.X), py(p.Y), stroke, html.EscapeString(p.Label))
+		}
+	}
+	b.WriteString("</svg>\n<div class=\"legend\">\n")
+	for _, s := range series {
+		cls := "sw"
+		if s.Dashed {
+			cls = "sw dash"
+		}
+		fmt.Fprintf(&b, "<span><svg viewBox=\"0 0 22 10\" class=\"%s\"><line x1=\"1\" y1=\"5\" x2=\"21\" y2=\"5\" stroke=\"var(--s%d)\" stroke-width=\"2\"%s/></svg>%s</span>\n",
+			cls, s.Color, map[bool]string{true: " stroke-dasharray=\"4 3\""}[s.Dashed], html.EscapeString(s.Name))
+	}
+	b.WriteString("</div>\n</figure>\n")
+	return b.String()
+}
+
+// pad widens a degenerate or tight range by 5% so marks never sit on
+// the chart frame.
+func pad(lo, hi float64) (float64, float64) {
+	if lo == hi {
+		return lo - 1, hi + 1
+	}
+	d := (hi - lo) * 0.05
+	return lo - d, hi + d
+}
+
+// ticks returns ~5 round tick positions covering [lo, hi].
+func ticks(lo, hi float64) []float64 {
+	step := niceStep((hi - lo) / 5)
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+step/1e6; t += step {
+		out = append(out, math.Round(t*1e6)/1e6)
+	}
+	return out
+}
+
+func niceStep(raw float64) float64 {
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	switch {
+	case raw/mag >= 5:
+		return 10 * mag
+	case raw/mag >= 2:
+		return 5 * mag
+	default:
+		return 2 * mag
+	}
+}
+
+// htmlHead carries the page scaffold: palette slots as CSS custom
+// properties (series 1-4, surface, inks, grid) with a
+// prefers-color-scheme dark variant — both validated against their
+// surfaces.
+const htmlHead = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Paper-fidelity scorecard</title>
+<style>
+:root {
+  --surface: #fcfcfb; --ink: #0b0b0b; --ink2: #52514e; --muted: #898781;
+  --grid: #e1e0d9;
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a; --s4: #eda100;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --ink: #f3f2ef; --ink2: #b5b3ac; --muted: #898781;
+    --grid: #3a3936;
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70; --s4: #c98500;
+  }
+}
+body { background: var(--surface); color: var(--ink);
+  font: 15px/1.5 system-ui, sans-serif; max-width: 720px; margin: 2rem auto; padding: 0 1rem; }
+h1 { font-size: 1.4rem; margin-bottom: .2rem; }
+h2 { font-size: 1.1rem; margin-top: 2rem; }
+.sub { color: var(--ink2); margin-top: 0; }
+code { color: var(--ink2); }
+.tiles { display: flex; gap: 1rem; flex-wrap: wrap; margin: 1.2rem 0; }
+.tile { border: 1px solid var(--grid); border-radius: 8px; padding: .7rem 1rem; min-width: 9rem; }
+.tile .v { font-size: 1.5rem; font-variant-numeric: tabular-nums; }
+.tile .l { color: var(--ink2); font-size: .82rem; }
+figure { margin: 2rem 0 1rem; }
+figcaption { font-weight: 600; margin-bottom: .4rem; }
+svg { width: 100%; height: auto; }
+.grid { stroke: var(--grid); stroke-width: 1; }
+.tick { fill: var(--muted); font-size: 11px; }
+.axis { fill: var(--ink2); font-size: 12px; }
+.legend { display: flex; gap: 1.2rem; flex-wrap: wrap; color: var(--ink2); font-size: .85rem; }
+.legend .sw { width: 22px; height: 10px; vertical-align: middle; margin-right: .35rem; }
+table { border-collapse: collapse; width: 100%; font-variant-numeric: tabular-nums; }
+th, td { text-align: left; padding: .25rem .6rem; border-bottom: 1px solid var(--grid); }
+th.n, td.n { text-align: right; }
+th { color: var(--ink2); font-weight: 600; }
+</style>
+</head>
+<body>
+`

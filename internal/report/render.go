@@ -1,0 +1,44 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the scorecard as an aligned terminal table grouped by
+// experiment, with the summary line last.
+func (sc *Scorecard) String() string {
+	var b strings.Builder
+	b.WriteString("Paper-fidelity scorecard (HPCA 2004 reference values)\n")
+	for _, s := range sc.Sources {
+		fmt.Fprintf(&b, "  source: %s (config %s)\n", s.Tool, s.Fingerprint)
+	}
+	if len(sc.Rows) == 0 {
+		b.WriteString("  no scored experiments in the ingested manifests\n")
+		return b.String()
+	}
+	width := 0
+	for _, r := range sc.Rows {
+		if len(r.Metric) > width {
+			width = len(r.Metric)
+		}
+	}
+	fmt.Fprintf(&b, "\n%-8s %-*s %9s %9s %9s %8s  %s\n",
+		"exper.", width, "metric", "measured", "paper", "delta", "relerr", "95% CI")
+	prev := ""
+	for _, r := range sc.Rows {
+		if r.Experiment != prev && prev != "" {
+			b.WriteString("\n")
+		}
+		prev = r.Experiment
+		ci := ""
+		if r.CILo != nil && r.CIHi != nil {
+			ci = fmt.Sprintf("[%.2f, %.2f]", *r.CILo, *r.CIHi)
+		}
+		fmt.Fprintf(&b, "%-8s %-*s %9.2f %9.2f %+9.2f %8.3f  %s\n",
+			r.Experiment, width, r.Metric, r.Measured, r.Paper, r.Delta, r.RelErr, ci)
+	}
+	fmt.Fprintf(&b, "\n%d metrics; mean |rel err| %.3f; worst %s (%.3f)\n",
+		sc.Summary.Rows, sc.Summary.MeanAbsRelErr, sc.Summary.WorstMetric, sc.Summary.WorstRelErr)
+	return b.String()
+}

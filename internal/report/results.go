@@ -1,0 +1,60 @@
+package report
+
+// results.go mirrors the experiment-result shapes core marshals into
+// run manifests. The mirrors list only the fields the scorecard
+// consumes; Go's JSON decoding by field name tolerates extra fields,
+// so core can grow results without breaking older reports.
+
+// table2Result mirrors core.Table2Result.
+type table2Result struct {
+	Rows []struct {
+		Bench          string
+		MispPer1K      float64
+		PaperMispPer1K float64
+	}
+	AvgMispPer1K float64
+}
+
+// table3Result mirrors core.Table3Result.
+type table3Result struct {
+	JRS, Perceptron []struct {
+		Estimator string
+		Lambda    int
+		PVN, Spec float64
+	}
+}
+
+// gatingRow mirrors core.GatingResult.
+type gatingRow struct {
+	Label string
+	U, P  float64
+}
+
+// table4Result mirrors core.Table4Result.
+type table4Result struct {
+	JRS        []gatingRow
+	Perceptron []gatingRow
+}
+
+// table5Result mirrors core.Table5Result.
+type table5Result struct {
+	BimodalGshare    []gatingRow
+	GsharePerceptron []gatingRow
+}
+
+// table6Result mirrors core.Table6Result.
+type table6Result struct {
+	Rows []gatingRow
+}
+
+// combinedResult mirrors core.CombinedResult (Figures 8 and 9).
+type combinedResult struct {
+	Machine string
+	Rows    []struct {
+		Bench           string
+		SpeedupPct      float64
+		UopReductionPct float64
+	}
+	AvgSpeedupPct   float64
+	AvgUopReduction float64
+}

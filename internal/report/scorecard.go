@@ -1,0 +1,368 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"bce/internal/manifest"
+	"bce/internal/stats"
+)
+
+// Bootstrap parameters for the per-benchmark confidence intervals.
+// Fixed (not flags) so the scorecard JSON is byte-stable across runs
+// and machines — the property the CI drift gate depends on.
+const (
+	bootstrapLevel  = 0.95
+	bootstrapRounds = 1000
+	bootstrapSeed   = 1
+)
+
+// ScorecardSchema versions the scorecard JSON layout.
+const ScorecardSchema = 1
+
+// Row is one metric of the fidelity scorecard: the reproduced value
+// beside its published one.
+type Row struct {
+	// Experiment names the producing experiment ("table2", "fig8", ...).
+	Experiment string `json:"experiment"`
+	// Metric names the measurement within the experiment.
+	Metric string `json:"metric"`
+	// Measured is this reproduction's value; Paper the published one.
+	Measured float64 `json:"measured"`
+	Paper    float64 `json:"paper"`
+	// Delta is Measured − Paper in the metric's own unit.
+	Delta float64 `json:"delta"`
+	// RelErr is |Delta| / max(|Paper|, 1): the 1-floor keeps
+	// near-zero paper values (e.g. "no performance loss") from
+	// exploding the ratio, at the price of reading as absolute error
+	// there. Units are percentage points or misp/Kuop throughout, so
+	// the floor is one unit of the metric.
+	RelErr float64 `json:"rel_err"`
+	// CILo/CIHi bound the measured mean at 95% (percentile bootstrap
+	// over per-benchmark values) for metrics that average over the
+	// benchmark suite; nil when no per-benchmark samples exist.
+	CILo *float64 `json:"ci_lo,omitempty"`
+	CIHi *float64 `json:"ci_hi,omitempty"`
+}
+
+// Source identifies one ingested manifest.
+type Source struct {
+	Tool        string `json:"tool"`
+	Fingerprint string `json:"config_fingerprint"`
+}
+
+// Summary aggregates the scorecard.
+type Summary struct {
+	Rows int `json:"rows"`
+	// MeanAbsRelErr averages RelErr over all rows; the single headline
+	// fidelity number.
+	MeanAbsRelErr float64 `json:"mean_abs_rel_err"`
+	// WorstMetric is the row with the largest RelErr.
+	WorstMetric string  `json:"worst_metric"`
+	WorstRelErr float64 `json:"worst_rel_err"`
+}
+
+// Scorecard is the full fidelity report. Its JSON encoding is
+// canonical: rows sorted, floats rounded to 4 decimals, no
+// timestamps or revisions — two identical sweeps marshal to identical
+// bytes.
+type Scorecard struct {
+	Schema  int      `json:"schema"`
+	Sources []Source `json:"sources"`
+	Rows    []Row    `json:"rows"`
+	Summary Summary  `json:"summary"`
+}
+
+// Build assembles the scorecard from one or more run manifests. Later
+// manifests win when two carry the same experiment. Manifests with no
+// scored experiments contribute nothing but still appear in Sources.
+func Build(manifests ...*manifest.Manifest) (*Scorecard, error) {
+	if len(manifests) == 0 {
+		return nil, fmt.Errorf("report: no manifests")
+	}
+	sc := &Scorecard{Schema: ScorecardSchema}
+	merged := make(map[string]json.RawMessage)
+	for _, m := range manifests {
+		sc.Sources = append(sc.Sources, Source{Tool: m.Tool, Fingerprint: m.ConfigFingerprint})
+		for name, raw := range m.Results {
+			merged[name] = raw
+		}
+	}
+	sort.Slice(sc.Sources, func(i, j int) bool {
+		if sc.Sources[i].Tool != sc.Sources[j].Tool {
+			return sc.Sources[i].Tool < sc.Sources[j].Tool
+		}
+		return sc.Sources[i].Fingerprint < sc.Sources[j].Fingerprint
+	})
+
+	decode := func(name string, out any) (bool, error) {
+		raw, ok := merged[name]
+		if !ok {
+			return false, nil
+		}
+		if err := json.Unmarshal(raw, out); err != nil {
+			return false, fmt.Errorf("report: result %q: %w", name, err)
+		}
+		return true, nil
+	}
+
+	if err := scoreTable2(decode, sc); err != nil {
+		return nil, err
+	}
+	if err := scoreTable3(decode, sc); err != nil {
+		return nil, err
+	}
+	if err := scoreGating(decode, sc, "table4", func(t *table4Result) [][2]any {
+		return [][2]any{{t.JRS, paperTable4JRS}, {t.Perceptron, paperTable4Perceptron}}
+	}); err != nil {
+		return nil, err
+	}
+	if err := scoreGating(decode, sc, "table5", func(t *table5Result) [][2]any {
+		return [][2]any{
+			{t.BimodalGshare, paperTable5BimodalGshare},
+			{t.GsharePerceptron, paperTable5GsharePerceptron},
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if err := scoreTable6(decode, sc); err != nil {
+		return nil, err
+	}
+	for _, fig := range []struct {
+		name   string
+		paperU float64
+	}{{"fig8", paperFig8AvgUopReduction}, {"fig9", paperFig9AvgUopReduction}} {
+		if err := scoreCombined(decode, sc, fig.name, fig.paperU); err != nil {
+			return nil, err
+		}
+	}
+
+	sort.Slice(sc.Rows, func(i, j int) bool {
+		if sc.Rows[i].Experiment != sc.Rows[j].Experiment {
+			return sc.Rows[i].Experiment < sc.Rows[j].Experiment
+		}
+		return sc.Rows[i].Metric < sc.Rows[j].Metric
+	})
+	summarize(sc)
+	return sc, nil
+}
+
+func scoreTable2(decode func(string, any) (bool, error), sc *Scorecard) error {
+	var t table2Result
+	ok, err := decode("table2", &t)
+	if !ok || err != nil {
+		return err
+	}
+	var misps []float64
+	for _, r := range t.Rows {
+		misps = append(misps, r.MispPer1K)
+		paper, known := paperTable2MispPerKuop[r.Bench]
+		if !known {
+			// A benchmark the paper does not list (suite extension):
+			// no reference to score against.
+			continue
+		}
+		sc.Rows = append(sc.Rows, newRow("table2", r.Bench+"_misp_per_kuop", r.MispPer1K, paper))
+	}
+	row := newRow("table2", "avg_misp_per_kuop", t.AvgMispPer1K, paperTable2AvgMisp)
+	row.CILo, row.CIHi = bootstrapCI(misps)
+	sc.Rows = append(sc.Rows, row)
+	return nil
+}
+
+func scoreTable3(decode func(string, any) (bool, error), sc *Scorecard) error {
+	var t table3Result
+	ok, err := decode("table3", &t)
+	if !ok || err != nil {
+		return err
+	}
+	score := func(rows []struct {
+		Estimator string
+		Lambda    int
+		PVN, Spec float64
+	}, refs []paperPVNSpec, prefix string) {
+		for i, r := range rows {
+			if i >= len(refs) || r.Lambda != refs[i].Lambda {
+				continue // sweep shape changed; nothing to score against
+			}
+			name := prefix + "_" + lambdaName(r.Lambda)
+			sc.Rows = append(sc.Rows,
+				newRow("table3", name+"_pvn", r.PVN, refs[i].PVN),
+				newRow("table3", name+"_spec", r.Spec, refs[i].Spec))
+		}
+	}
+	score(t.JRS, paperTable3JRS, "jrs")
+	score(t.Perceptron, paperTable3Perceptron, "cic")
+	return nil
+}
+
+// scoreGating scores label-matched (U, P) sweeps; pairs returns
+// ([]gatingRow, []paperUP) tuples.
+func scoreGating[T any](decode func(string, any) (bool, error), sc *Scorecard, exp string, pairs func(*T) [][2]any) error {
+	var t T
+	ok, err := decode(exp, &t)
+	if !ok || err != nil {
+		return err
+	}
+	for _, pair := range pairs(&t) {
+		rows := pair[0].([]gatingRow)
+		refs := pair[1].([]paperUP)
+		byLabel := make(map[string]paperUP, len(refs))
+		for _, ref := range refs {
+			byLabel[ref.Label] = ref
+		}
+		for _, r := range rows {
+			ref, known := byLabel[r.Label]
+			if !known {
+				continue
+			}
+			name := metricName(r.Label)
+			sc.Rows = append(sc.Rows,
+				newRow(exp, name+"_u", r.U, ref.U),
+				newRow(exp, name+"_p", r.P, ref.P))
+		}
+	}
+	return nil
+}
+
+func scoreTable6(decode func(string, any) (bool, error), sc *Scorecard) error {
+	return scoreGating(decode, sc, "table6", func(t *table6Result) [][2]any {
+		return [][2]any{{t.Rows, paperTable6}}
+	})
+}
+
+func scoreCombined(decode func(string, any) (bool, error), sc *Scorecard, name string, paperU float64) error {
+	var c combinedResult
+	ok, err := decode(name, &c)
+	if !ok || err != nil {
+		return err
+	}
+	var us, sps []float64
+	for _, r := range c.Rows {
+		us = append(us, r.UopReductionPct)
+		sps = append(sps, r.SpeedupPct)
+	}
+	u := newRow(name, "avg_uop_reduction_pct", c.AvgUopReduction, paperU)
+	u.CILo, u.CIHi = bootstrapCI(us)
+	s := newRow(name, "avg_speedup_pct", c.AvgSpeedupPct, paperCombinedSpeedup)
+	s.CILo, s.CIHi = bootstrapCI(sps)
+	sc.Rows = append(sc.Rows, u, s)
+	return nil
+}
+
+func newRow(exp, metric string, measured, paper float64) Row {
+	delta := measured - paper
+	denom := math.Abs(paper)
+	if denom < 1 {
+		denom = 1
+	}
+	return Row{
+		Experiment: exp, Metric: metric,
+		Measured: round4(measured), Paper: paper,
+		Delta: round4(delta), RelErr: round4(math.Abs(delta) / denom),
+	}
+}
+
+func bootstrapCI(xs []float64) (lo, hi *float64) {
+	if len(xs) < 2 {
+		return nil, nil
+	}
+	iv := stats.BootstrapMeanCI(xs, bootstrapLevel, bootstrapRounds, bootstrapSeed)
+	l, h := round4(iv.Lo), round4(iv.Hi)
+	return &l, &h
+}
+
+func summarize(sc *Scorecard) {
+	sc.Summary.Rows = len(sc.Rows)
+	var sum float64
+	for _, r := range sc.Rows {
+		sum += r.RelErr
+		if r.RelErr > sc.Summary.WorstRelErr {
+			sc.Summary.WorstRelErr = r.RelErr
+			sc.Summary.WorstMetric = r.Experiment + "/" + r.Metric
+		}
+	}
+	if len(sc.Rows) > 0 {
+		sc.Summary.MeanAbsRelErr = round4(sum / float64(len(sc.Rows)))
+	}
+}
+
+// Canonical returns the scorecard's canonical JSON encoding (indented,
+// trailing newline). Identical sweeps produce identical bytes.
+func (sc *Scorecard) Canonical() ([]byte, error) {
+	buf, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// LoadScorecard reads a scorecard JSON file (the committed fidelity
+// baseline).
+func LoadScorecard(path string) (*Scorecard, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sc Scorecard
+	if err := json.Unmarshal(buf, &sc); err != nil {
+		return nil, fmt.Errorf("scorecard %s: %w", path, err)
+	}
+	if sc.Schema < 1 || sc.Schema > ScorecardSchema {
+		return nil, fmt.Errorf("scorecard %s: schema %d not in [1, %d]", path, sc.Schema, ScorecardSchema)
+	}
+	return &sc, nil
+}
+
+// round4 rounds to 4 decimals — enough resolution for percentages and
+// rates, coarse enough that the canonical JSON never prints
+// float-noise digits.
+func round4(v float64) float64 {
+	return math.Round(v*1e4) / 1e4
+}
+
+// lambdaName renders a λ threshold as a metric-name fragment: l3,
+// l25, lm25 (m for minus — '-' would read as a range in a metric id).
+func lambdaName(lambda int) string {
+	if lambda < 0 {
+		return fmt.Sprintf("lm%d", -lambda)
+	}
+	return fmt.Sprintf("l%d", lambda)
+}
+
+// metricName flattens a gating label ("jrs λ=3 PL1") into a metric
+// identifier ("jrs_l3_pl1").
+func metricName(label string) string {
+	out := make([]rune, 0, len(label))
+	lastUnderscore := true
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			out = append(out, r)
+			lastUnderscore = false
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+'a'-'A')
+			lastUnderscore = false
+		case r == 'λ':
+			out = append(out, 'l')
+			lastUnderscore = false
+		case r == '-':
+			out = append(out, 'm') // λ=-25 → lm25: '-' would read as a range
+			lastUnderscore = false
+		case r == '=':
+			// λ=3 → l3: the joint is readable without a separator.
+		default:
+			if !lastUnderscore {
+				out = append(out, '_')
+				lastUnderscore = true
+			}
+		}
+	}
+	for len(out) > 0 && out[len(out)-1] == '_' {
+		out = out[:len(out)-1]
+	}
+	return string(out)
+}

@@ -114,3 +114,32 @@ func TestGeoMean(t *testing.T) {
 		t.Error("invalid inputs must yield NaN")
 	}
 }
+
+// TestBootstrapGoldenValues pins the exact intervals the bootstrap
+// produces for fixed inputs. The fidelity scorecard commits CIs
+// computed with (level 0.95, rounds 1000, seed 1) to a byte-stable
+// baseline, so any change to the resampling sequence — a different
+// RNG, a different resample loop order — must show up here first, not
+// as unexplained drift in CI.
+func TestBootstrapGoldenValues(t *testing.T) {
+	cases := []struct {
+		xs     []float64
+		level  float64
+		rounds int
+		seed   int64
+		want   Interval
+	}{
+		// The paper's Table 2 misp/Kuop column under the scorecard's
+		// bootstrap parameters.
+		{[]float64{5.2, 6.6, 2.3, 16, 3.4, 4.6, 0.5, 0.7, 1.7, 0.2, 1.1, 6.3},
+			0.95, 1000, 1, Interval{Lo: 1.96666666666667, Hi: 6.725}},
+		{[]float64{1, 2, 3, 4, 5}, 0.9, 200, 42, Interval{Lo: 2, Hi: 4}},
+	}
+	for i, tc := range cases {
+		got := BootstrapMeanCI(tc.xs, tc.level, tc.rounds, tc.seed)
+		if math.Abs(got.Lo-tc.want.Lo) > 1e-9 || math.Abs(got.Hi-tc.want.Hi) > 1e-9 {
+			t.Errorf("case %d: CI = [%.15g, %.15g], want [%.15g, %.15g]",
+				i, got.Lo, got.Hi, tc.want.Lo, tc.want.Hi)
+		}
+	}
+}

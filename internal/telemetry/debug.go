@@ -13,7 +13,8 @@ import (
 // DebugServer is the opt-in live-introspection endpoint (-debug-addr):
 // net/http/pprof profiling, expvar counters, and caller-registered
 // live variables (sweep progress, cache hit rates, worker utilization)
-// under /debug/vars and /debug/live. It runs beside a simulation or
+// under /debug/vars and /debug/live, plus a Prometheus text-format
+// rendering of the same vars under /metrics. It runs beside a simulation or
 // sweep and dies with the process; it holds no simulator state itself,
 // only the closures handed to Publish.
 type DebugServer struct {
@@ -49,6 +50,7 @@ func StartDebug(addr string, vars map[string]func() any) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/live", d.serveLive)
+	mux.HandleFunc("/metrics", d.servePrometheus)
 	d.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go d.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
 	return d, nil

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// prometheus.go renders the debug server's live vars in the Prometheus
+// text exposition format (version 0.0.4), so a live sweep can be
+// scraped by any Prometheus-compatible collector with zero extra
+// dependencies: the same closures that feed /debug/live feed /metrics.
+//
+// The mapping is mechanical. Every numeric leaf becomes one gauge
+// sample named <var>_<path...> (sanitized); registry Snapshots get
+// first-class treatment (counters by name, histograms as
+// _count/_sum/_max/_mean). Strings and arrays have no Prometheus
+// representation and are skipped. Everything is emitted in sorted
+// order, so scrapes diff cleanly.
+
+// servePrometheus renders every registered var as Prometheus text.
+func (d *DebugServer) servePrometheus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	names := make([]string, 0, len(d.vars))
+	for name := range d.vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		WritePrometheus(w, name, d.vars[name]())
+	}
+}
+
+// WritePrometheus writes v's numeric leaves as Prometheus gauge
+// samples prefixed with prefix. Snapshot values (by value or pointer)
+// expand into their counters and histogram summaries; other values are
+// flattened structurally through their JSON encoding, so anything the
+// JSON debug endpoint can serve, this can scrape.
+func WritePrometheus(w io.Writer, prefix string, v any) {
+	switch s := v.(type) {
+	case Snapshot:
+		writeSnapshot(w, prefix, s)
+		return
+	case *Snapshot:
+		if s != nil {
+			writeSnapshot(w, prefix, *s)
+		}
+		return
+	}
+	// Structural flatten via JSON: numbers become float64, structs and
+	// maps become map[string]any, and unexported or unserializable
+	// detail drops out — exactly the visibility /debug/live has.
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	var generic any
+	if err := json.Unmarshal(buf, &generic); err != nil {
+		return
+	}
+	flat := make(map[string]float64)
+	flatten(sanitizeMetricName(prefix), generic, flat)
+	writeGauges(w, flat)
+}
+
+func writeSnapshot(w io.Writer, prefix string, s Snapshot) {
+	flat := make(map[string]float64, len(s.Counters)+4*len(s.Histograms))
+	p := sanitizeMetricName(prefix)
+	for _, c := range s.Counters {
+		flat[p+"_"+sanitizeMetricName(c.Name)] = float64(c.Value)
+	}
+	for _, h := range s.Histograms {
+		hp := p + "_" + sanitizeMetricName(h.Name)
+		flat[hp+"_count"] = float64(h.Count)
+		flat[hp+"_sum"] = float64(h.Sum)
+		flat[hp+"_max"] = float64(h.Max)
+		flat[hp+"_mean"] = h.Mean
+	}
+	writeGauges(w, flat)
+}
+
+// flatten walks a generic JSON value, recording every numeric leaf
+// under an underscore-joined path. Booleans count as 0/1; strings,
+// arrays and nulls are skipped.
+func flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case float64:
+		out[prefix] = x
+	case bool:
+		if x {
+			out[prefix] = 1
+		} else {
+			out[prefix] = 0
+		}
+	case map[string]any:
+		for k, sub := range x {
+			flatten(prefix+"_"+sanitizeMetricName(k), sub, out)
+		}
+	}
+}
+
+// writeGauges emits the samples sorted by name, each preceded by its
+// TYPE line.
+func writeGauges(w io.Writer, flat map[string]float64) {
+	names := make([]string, 0, len(flat))
+	for name := range flat {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatPromValue(flat[name]))
+	}
+}
+
+// formatPromValue renders a sample value: integers without an
+// exponent, everything else in Go's shortest float form (Prometheus
+// accepts both).
+func formatPromValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// sanitizeMetricName maps an arbitrary var name into the Prometheus
+// metric-name alphabet [a-zA-Z0-9_:]; runs of other characters
+// collapse to one underscore, and a leading digit gets one prefixed.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	lastUnderscore := false
+	for i, r := range name {
+		ok := r == ':' || r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if !ok {
+			if !lastUnderscore {
+				b.WriteByte('_')
+				lastUnderscore = true
+			}
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+		lastUnderscore = r == '_'
+	}
+	return strings.TrimSuffix(b.String(), "_")
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFlattensStructs(t *testing.T) {
+	type stats struct {
+		JobsDone  uint64  `json:"jobs_done"`
+		Busy      int     `json:"busy_workers"`
+		SweepDone bool    `json:"sweep_done"`
+		Rate      float64 `json:"rate"`
+		Name      string  `json:"name"` // non-numeric: skipped
+	}
+	var b strings.Builder
+	WritePrometheus(&b, "bce_runner", stats{JobsDone: 7, Busy: 2, SweepDone: true, Rate: 0.5, Name: "x"})
+	got := b.String()
+	for _, want := range []string{
+		"# TYPE bce_runner_jobs_done gauge\nbce_runner_jobs_done 7\n",
+		"bce_runner_busy_workers 2\n",
+		"bce_runner_sweep_done 1\n",
+		"bce_runner_rate 0.5\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "name") {
+		t.Errorf("string field leaked into exposition:\n%s", got)
+	}
+}
+
+func TestWritePrometheusSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fetch.uops").Add(42)
+	h := r.Histogram("flush.depth")
+	h.Observe(3)
+	h.Observe(5)
+	var b strings.Builder
+	WritePrometheus(&b, "bce_sim", r.Snapshot())
+	got := b.String()
+	for _, want := range []string{
+		"bce_sim_fetch_uops 42\n",
+		"bce_sim_flush_depth_count 2\n",
+		"bce_sim_flush_depth_sum 8\n",
+		"bce_sim_flush_depth_max 5\n",
+		"bce_sim_flush_depth_mean 4\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministicOrder(t *testing.T) {
+	v := map[string]any{"b": 2, "a": 1, "c": map[string]any{"z": 9, "y": 8}}
+	render := func() string {
+		var b strings.Builder
+		WritePrometheus(&b, "m", v)
+		return b.String()
+	}
+	first := render()
+	for i := 0; i < 10; i++ {
+		if got := render(); got != first {
+			t.Fatalf("exposition order unstable:\n%s\nvs\n%s", first, got)
+		}
+	}
+	ia, ib := strings.Index(first, "m_a"), strings.Index(first, "m_b")
+	if ia == -1 || ib == -1 || ia > ib {
+		t.Errorf("samples not sorted:\n%s", first)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"bce_runner":     "bce_runner",
+		"flush.depth":    "flush_depth",
+		"9lives":         "_9lives",
+		"a--b":           "a_b",
+		"trailing.":      "trailing",
+		"rate (percent)": "rate_percent",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// promLine matches the exposition format: TYPE comments and
+// "name value" samples only.
+var promLine = regexp.MustCompile(`^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* gauge|[a-zA-Z_:][a-zA-Z0-9_:]* -?[0-9].*)$`)
+
+func TestMetricsEndpointServesValidExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("uops.executed").Add(11)
+	srv, err := StartDebug("127.0.0.1:0", map[string]func() any{
+		"test_prom_runner": func() any { return map[string]int{"jobs_done": 3} },
+		"test_prom_sim":    func() any { return r.Snapshot() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(body)
+	for _, line := range strings.Split(strings.TrimRight(got, "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid exposition line %q", line)
+		}
+	}
+	for _, want := range []string{
+		"test_prom_runner_jobs_done 3\n",
+		"test_prom_sim_uops_executed 11\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -27,12 +27,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"bce/internal/config"
 	"bce/internal/core"
+	"bce/internal/dist"
 	"bce/internal/manifest"
+	"bce/internal/metrics"
 	"bce/internal/runner"
 	"bce/internal/telemetry"
 	"bce/internal/workload"
@@ -66,6 +70,8 @@ func main() {
 		retries    = flag.Int("retries", 0, "retries per job for transient failures, with exponential backoff")
 		debugAddr  = flag.String("debug-addr", "", "serve pprof + expvar + live sweep stats on this address (e.g. localhost:6060); Prometheus text format on /metrics")
 		manifestTo = flag.String("manifest", "", "write a run manifest (provenance + per-job results) to this file")
+		remote     = flag.String("workers-remote", "", "comma-separated bceworker base URLs (e.g. http://127.0.0.1:8371); shard the sweep's timing simulations across them, then aggregate locally — output is byte-identical to a single-process run")
+		distBatch  = flag.Int("dist-batch", 0, "jobs per batch request to remote workers (0 = default)")
 	)
 	flag.Parse()
 
@@ -76,6 +82,7 @@ func main() {
 				hits, misses := core.ResultCacheStats()
 				return map[string]uint64{"hits": hits, "misses": misses}
 			},
+			"bce_dist": func() any { return dist.Snapshot() },
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bcetables:", err)
@@ -145,13 +152,33 @@ func main() {
 		})
 	}
 
-	if err := run(*exp, *bench, *csv, sz, mb); err != nil {
+	fail := func(err error) {
 		if errors.Is(err, context.Canceled) {
 			interrupted()
 		}
 		core.CloseCheckpoint(false)
 		fmt.Fprintln(os.Stderr, "bcetables:", err)
 		os.Exit(1)
+	}
+
+	// Distributed execution: enumerate the sweep's job space, shard it
+	// across the remote workers, and merge every result into the local
+	// cache/store. The aggregation pass below then runs fully
+	// cache-hit, so its stdout is byte-identical to a single-process
+	// sweep by construction.
+	if *remote != "" {
+		urls := splitList(*remote)
+		if len(urls) == 0 {
+			fmt.Fprintln(os.Stderr, "bcetables: -workers-remote lists no worker URLs")
+			os.Exit(2)
+		}
+		if err := distribute(ctx, urls, *exp, *bench, *csv, sz, mb, *distBatch, *jobTimeout, *retries); err != nil {
+			fail(err)
+		}
+	}
+
+	if err := run(*exp, *bench, *csv, sz, mb, os.Stdout); err != nil {
+		fail(err)
 	}
 	if err := core.CloseCheckpoint(true); err != nil {
 		fmt.Fprintln(os.Stderr, "bcetables: checkpoint:", err)
@@ -182,9 +209,82 @@ func interrupted() {
 	}
 }
 
-func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder) error {
+// splitList parses a comma-separated flag value, trimming whitespace
+// and dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// distribute runs the remote leg of a distributed sweep: plan the job
+// space with a silent recording pass, ping the workers, shard and
+// dispatch, and inject every remote result into the local cache (and
+// any attached store/journal) under its cache key. Jobs whose results
+// are already stored — a resumed coordinator — are excluded from the
+// plan, so only missing work is dispatched.
+func distribute(ctx context.Context, urls []string, exp, bench string, csv bool,
+	sz core.Sizes, mb *manifest.Builder, batch int, jobTimeout time.Duration, retries int) error {
+	coord, err := dist.NewCoordinator(dist.Options{
+		Workers:    urls,
+		BatchSize:  batch,
+		JobTimeout: jobTimeout,
+		Retries:    retries,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "bcetables: "+format+"\n", args...)
+		},
+		OnResult: func(worker string, job dist.Job, run metrics.Run) {
+			core.InjectResult(job.Key, run)
+			if mb != nil {
+				r := run
+				mb.AddJob(manifest.Job{
+					Key: job.Key, Kind: "timing", Bench: job.Spec.Bench,
+					Worker: worker, Run: &r,
+				})
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := coord.Ping(ctx); err != nil {
+		return err
+	}
+	plan, err := core.CollectJobs(func() error {
+		return run(exp, bench, csv, sz, nil, io.Discard)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bcetables: plan: %d simulations to distribute over %d workers (%d already stored, %d local-only)\n",
+		len(plan.Jobs), len(urls), plan.Stored, plan.Local)
+	if len(plan.Jobs) == 0 {
+		return nil
+	}
+	start := time.Now()
+	if err := coord.Run(ctx, plan.Jobs, plan.Keys); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bcetables: %d remote simulations merged in %.1fs\n",
+		len(plan.Jobs), time.Since(start).Seconds())
+	return nil
+}
+
+func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder, out io.Writer) error {
+	// A planning pass (distribute) runs this function against
+	// io.Discard purely to enumerate jobs; keep its stderr decoration
+	// quiet too.
+	errOut := io.Writer(os.Stderr)
+	if out == io.Discard {
+		errOut = io.Discard
+	}
 	// record stores an experiment's structured result in the manifest;
-	// a nil builder (no -manifest) makes it a no-op.
+	// a nil builder (no -manifest, or the planning pass) makes it a
+	// no-op.
 	record := func(name string, v any) error {
 		if mb == nil {
 			return nil
@@ -199,11 +299,11 @@ func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder) error
 		if err := record("density-"+scheme, d); err != nil {
 			return err
 		}
-		fmt.Printf("== %s (%s estimator output density, benchmark %s)\n", figs, scheme, bench)
+		fmt.Fprintf(out, "== %s (%s estimator output density, benchmark %s)\n", figs, scheme, bench)
 		if csv {
-			fmt.Print(d.CSV())
+			fmt.Fprint(out, d.CSV())
 		} else {
-			fmt.Print(d.String())
+			fmt.Fprint(out, d.String())
 		}
 		return nil
 	}
@@ -220,8 +320,8 @@ func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder) error
 		// Wall-clock decoration goes to stderr so stdout carries only
 		// the deterministic results — a resumed run's stdout is
 		// byte-identical to an uninterrupted one.
-		fmt.Fprintf(os.Stderr, "[%s regenerated in %.1fs]\n", name, time.Since(start).Seconds())
-		fmt.Println()
+		fmt.Fprintf(errOut, "[%s regenerated in %.1fs]\n", name, time.Since(start).Seconds())
+		fmt.Fprintln(out)
 		ran = true
 		return nil
 	}
@@ -235,7 +335,7 @@ func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder) error
 			if err := record("table2", t); err != nil {
 				return err
 			}
-			fmt.Print(t)
+			fmt.Fprint(out, t)
 			return nil
 		}); err != nil {
 			return err
@@ -250,7 +350,7 @@ func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder) error
 			if err := record("table3", t); err != nil {
 				return err
 			}
-			fmt.Print(t)
+			fmt.Fprint(out, t)
 			return nil
 		}); err != nil {
 			return err
@@ -265,7 +365,7 @@ func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder) error
 			if err := record("table4", t); err != nil {
 				return err
 			}
-			fmt.Print(t)
+			fmt.Fprint(out, t)
 			return nil
 		}); err != nil {
 			return err
@@ -280,7 +380,7 @@ func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder) error
 			if err := record("table5", t); err != nil {
 				return err
 			}
-			fmt.Print(t)
+			fmt.Fprint(out, t)
 			return nil
 		}); err != nil {
 			return err
@@ -295,7 +395,7 @@ func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder) error
 			if err := record("table6", t); err != nil {
 				return err
 			}
-			fmt.Print(t)
+			fmt.Fprint(out, t)
 			return nil
 		}); err != nil {
 			return err
@@ -320,7 +420,7 @@ func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder) error
 			if err := record("fig8", c); err != nil {
 				return err
 			}
-			fmt.Print(c)
+			fmt.Fprint(out, c)
 			return nil
 		}); err != nil {
 			return err
@@ -335,7 +435,7 @@ func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder) error
 			if err := record("fig9", c); err != nil {
 				return err
 			}
-			fmt.Print(c)
+			fmt.Fprint(out, c)
 			return nil
 		}); err != nil {
 			return err
@@ -350,7 +450,7 @@ func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder) error
 			if err := record("latency", l); err != nil {
 				return err
 			}
-			fmt.Print(l)
+			fmt.Fprint(out, l)
 			return nil
 		}); err != nil {
 			return err
@@ -363,7 +463,7 @@ func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder) error
 			if err != nil {
 				return err
 			}
-			fmt.Print(a)
+			fmt.Fprint(out, a)
 			return nil
 		}); err != nil {
 			return err
@@ -375,7 +475,7 @@ func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder) error
 			if err != nil {
 				return err
 			}
-			fmt.Print(a)
+			fmt.Fprint(out, a)
 			return nil
 		}); err != nil {
 			return err
@@ -387,7 +487,7 @@ func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder) error
 			if err != nil {
 				return err
 			}
-			fmt.Print(a)
+			fmt.Fprint(out, a)
 			return nil
 		}); err != nil {
 			return err
@@ -399,7 +499,7 @@ func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder) error
 			if err != nil {
 				return err
 			}
-			fmt.Print(a)
+			fmt.Fprint(out, a)
 			return nil
 		}); err != nil {
 			return err
@@ -411,7 +511,7 @@ func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder) error
 			if err != nil {
 				return err
 			}
-			fmt.Print(a)
+			fmt.Fprint(out, a)
 			return nil
 		}); err != nil {
 			return err
@@ -423,7 +523,7 @@ func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder) error
 			if err != nil {
 				return err
 			}
-			fmt.Print(a)
+			fmt.Fprint(out, a)
 			return nil
 		}); err != nil {
 			return err
@@ -435,7 +535,7 @@ func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder) error
 			if err != nil {
 				return err
 			}
-			fmt.Print(v)
+			fmt.Fprint(out, v)
 			return nil
 		}); err != nil {
 			return err

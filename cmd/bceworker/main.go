@@ -1,0 +1,95 @@
+// Command bceworker is the worker half of a distributed sweep: it
+// serves batches of timing simulations over HTTP for a coordinating
+// bcetables -workers-remote invocation (see docs/distributed.md).
+//
+// Usage:
+//
+//	bceworker -addr 127.0.0.1:8371                  # serve
+//	bceworker -addr 127.0.0.1:8371 -cache .cache/w1 # with a persistent result cache
+//	bceworker -addr 127.0.0.1:8371 -debug-addr localhost:6061
+//
+// A worker is stateless between batches apart from its result cache:
+// killing one mid-sweep loses only in-flight work, and the coordinator
+// reassigns the unfinished batches to surviving workers. Re-delivered
+// jobs whose results are already in the worker's cache are served, not
+// re-simulated.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"bce/internal/core"
+	"bce/internal/dist"
+	"bce/internal/runner"
+	"bce/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8371", "address to serve the worker API on (host:port; port 0 picks a free one, printed on stderr)")
+		name      = flag.String("name", "", "worker name stamped on replies and manifests (default: the listen address)")
+		workers   = flag.Int("workers", 0, "parallel simulations per batch (0 = GOMAXPROCS)")
+		cacheDir  = flag.String("cache", "", "directory for this worker's on-disk timing-result cache (empty = in-memory only)")
+		debugAddr = flag.String("debug-addr", "", "serve pprof + expvar + live stats on this address; Prometheus text format on /metrics")
+	)
+	flag.Parse()
+
+	if *cacheDir != "" {
+		if err := core.SetResultCacheDir(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "bceworker:", err)
+			os.Exit(1)
+		}
+	}
+	if *debugAddr != "" {
+		srv, err := telemetry.StartDebug(*debugAddr, map[string]func() any{
+			"bce_runner": func() any { return runner.LiveSnapshot() },
+			"bce_dist":   func() any { return dist.Snapshot() },
+			"bce_result_cache": func() any {
+				hits, misses := core.ResultCacheStats()
+				return map[string]uint64{"hits": hits, "misses": misses}
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bceworker:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "bceworker: debug endpoint on http://%s/debug/\n", srv.Addr())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bceworker:", err)
+		os.Exit(1)
+	}
+	if *name == "" {
+		*name = ln.Addr().String()
+	}
+	w := dist.NewWorker(dist.WorkerOptions{
+		Name: *name,
+		Pool: runner.New(runner.Options{Workers: *workers}),
+	})
+	srv := &http.Server{Handler: w.Handler()}
+
+	// First SIGINT/SIGTERM drains in-flight batches and exits; a second
+	// kills the process (runner.ShutdownContext semantics).
+	ctx, stop := runner.ShutdownContext(context.Background())
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		srv.Shutdown(context.Background()) //nolint:errcheck // exiting anyway
+	}()
+
+	fmt.Fprintf(os.Stderr, "bceworker: %q serving on http://%s (schema v%d)\n",
+		*name, ln.Addr(), dist.SchemaVersion)
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "bceworker:", err)
+		os.Exit(1)
+	}
+}

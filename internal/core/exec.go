@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"bce/internal/confidence"
 	"bce/internal/metrics"
 	"bce/internal/runner"
 	"bce/internal/workload"
@@ -252,6 +253,33 @@ func installResultStore() {
 		})
 }
 
+// haveResult reports whether a timing result for key is already on
+// hand — in the in-memory cache, the checkpoint journal, or the
+// on-disk store — without computing anything. The distributed planner
+// uses it to exclude already-finished simulations from remote
+// dispatch, so a resumed coordinator reassigns only missing work.
+func haveResult(key string) bool {
+	if resultCache.Contains(key) {
+		return true
+	}
+	if store := runner.Tiered(journalStore(), dirStoreOrNil()); store != nil {
+		if _, ok := store.Load(key); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// InjectResult seeds the timing-result cache with an externally
+// computed run — a result a remote worker produced — under its cache
+// key. The write goes through the normal compute path, so an attached
+// store and checkpoint journal persist it exactly as a local
+// simulation would be. A key already present keeps its existing value
+// (simulations are pure, so both values are identical anyway).
+func InjectResult(key string, r metrics.Run) {
+	resultCache.Do(key, func() (metrics.Run, error) { return r, nil }) //nolint:errcheck // compute cannot fail
+}
+
 // journalStore and dirStoreOrNil exist because a nil *T in an
 // interface value is not a nil interface; Tiered drops true nils only.
 func journalStore() runner.Store {
@@ -271,11 +299,13 @@ func dirStoreOrNil() runner.Store {
 // timingKey canonicalizes a timing run's full configuration into its
 // cache key. The estimator is identified by constructing one instance
 // and taking its Name(), which encodes geometry and thresholds;
-// estimator constructors are cheap next to a timing simulation.
-func timingKey(spec TimingSpec, sz Sizes, speculativeTrain bool) string {
+// estimator constructors are cheap next to a timing simulation. mkEst
+// is the resolved factory from TimingSpec.makeEstimator, so a
+// declarative spec and the equivalent closure produce the same key.
+func timingKey(spec TimingSpec, mkEst func() confidence.Estimator, sz Sizes, speculativeTrain bool) string {
 	est := "none"
-	if spec.Estimator != nil {
-		est = spec.Estimator().Name()
+	if mkEst != nil {
+		est = mkEst().Name()
 	}
 	return runner.KeyOf(
 		"timing", 2, // schema version: bump when Run or the sim semantics change (2: Run.Segments)

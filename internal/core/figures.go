@@ -173,12 +173,10 @@ func Combined(m config.Machine, sz Sizes) (*CombinedResult, error) {
 	// workloads the MB/CB crossover sits near +50 rather than the
 	// paper's 0 (Figure 5 analysis), so the same methodology yields
 	// (reversal=50, gate band [-75, 50)).
-	mkEst := func() confidence.Estimator {
-		return confidence.NewCICWith(confidence.CICConfig{
-			Lambda:   -75, // weakly-low band starts here (§5.5)
-			Reversal: 50,  // strongly-low band: reverse above the MB/CB crossover
-		})
-	}
+	estSpec := confidence.SpecCICWith(confidence.CICConfig{
+		Lambda:   -75, // weakly-low band starts here (§5.5)
+		Reversal: 50,  // strongly-low band: reverse above the MB/CB crossover
+	})
 	rows, err := mapBench(func(ctx context.Context, bench string) (CombinedRow, error) {
 		base, err := runTiming(ctx, TimingSpec{Bench: bench, Machine: m}, sz)
 		if err != nil {
@@ -186,9 +184,9 @@ func Combined(m config.Machine, sz Sizes) (*CombinedResult, error) {
 		}
 		r, err := runTiming(ctx, TimingSpec{
 			Bench: bench, Machine: m,
-			Estimator: mkEst,
-			Gating:    gating.PL(2),
-			Reversal:  true,
+			EstSpec:  estSpec,
+			Gating:   gating.PL(2),
+			Reversal: true,
 		}, sz)
 		if err != nil {
 			return CombinedRow{}, err
@@ -261,8 +259,8 @@ func Latency(sz Sizes) (*LatencyResult, error) {
 			Of: func(bench string) TimingSpec {
 				return TimingSpec{
 					Bench: bench, Machine: config.Baseline40x4(),
-					Estimator: func() confidence.Estimator { return confidence.NewCIC(0) },
-					Gating:    gating.Policy{Threshold: 1, Latency: latency},
+					EstSpec: confidence.SpecCIC(0),
+					Gating:  gating.Policy{Threshold: 1, Latency: latency},
 				}
 			},
 		}

@@ -101,6 +101,23 @@ type FunctionalConfig struct {
 // what the timing pipeline converges to for retired branches, without
 // timing.
 func RunFunctional(cfg FunctionalConfig) (FunctionalResult, error) {
+	// A plan-mode (CollectJobs) pass skips functional work entirely:
+	// functional runs are cheap, never distributed, and the planner
+	// discards every result. Empty histograms stand in for requested
+	// densities so downstream shaping code finds the structure it
+	// expects.
+	if planRecording() {
+		var res FunctionalResult
+		if cfg.HistRange > 0 {
+			bin := cfg.HistBin
+			if bin == 0 {
+				bin = 10
+			}
+			res.CorrectHist = metrics.NewHistogram(-cfg.HistRange, cfg.HistRange, bin)
+			res.WrongHist = metrics.NewHistogram(-cfg.HistRange, cfg.HistRange, bin)
+		}
+		return res, nil
+	}
 	segs := cfg.Segments
 	if segs < 1 {
 		segs = 1

@@ -131,14 +131,19 @@ func TestResultCacheServesRepeats(t *testing.T) {
 func TestDistinctTrainThresholdsDistinctKeys(t *testing.T) {
 	sz := QuickSizes()
 	keyFor := func(T int) string {
-		return timingKey(TimingSpec{
+		spec := TimingSpec{
 			Bench: "gzip", Machine: config.Baseline40x4(),
 			Estimator: func() confidence.Estimator {
 				return confidence.NewCICWith(confidence.CICConfig{
 					Lambda: 0, Reversal: confidence.DisableReversal, TrainThreshold: T,
 				})
 			},
-		}, sz, false)
+		}
+		mkEst, err := spec.makeEstimator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return timingKey(spec, mkEst, sz, false)
 	}
 	if keyFor(5) == keyFor(200) {
 		t.Error("timing keys collide for distinct CIC training thresholds")

@@ -191,8 +191,8 @@ func Table4(sz Sizes) (*Table4Result, error) {
 				Of: func(bench string) TimingSpec {
 					return TimingSpec{
 						Bench: bench, Machine: config.Baseline40x4(),
-						Estimator: func() confidence.Estimator { return confidence.NewEnhancedJRS(lam) },
-						Gating:    gating.PL(pl),
+						EstSpec: confidence.SpecJRS(lam),
+						Gating:  gating.PL(pl),
 					}
 				},
 			})
@@ -205,8 +205,8 @@ func Table4(sz Sizes) (*Table4Result, error) {
 			Of: func(bench string) TimingSpec {
 				return TimingSpec{
 					Bench: bench, Machine: config.Baseline40x4(),
-					Estimator: func() confidence.Estimator { return confidence.NewCIC(lam) },
-					Gating:    gating.PL(1),
+					EstSpec: confidence.SpecCIC(lam),
+					Gating:  gating.PL(1),
 				}
 			},
 		})
@@ -269,8 +269,8 @@ func Table5(sz Sizes) (*Table5Result, error) {
 				Of: func(bench string) TimingSpec {
 					return TimingSpec{
 						Bench: bench, Machine: config.Baseline40x4(), Predictor: kind,
-						Estimator: func() confidence.Estimator { return confidence.NewCIC(lam) },
-						Gating:    gating.PL(1),
+						EstSpec: confidence.SpecCIC(lam),
+						Gating:  gating.PL(1),
 					}
 				},
 			})
@@ -353,15 +353,13 @@ func Table6(sz Sizes) (*Table6Result, error) {
 			Of: func(bench string) TimingSpec {
 				return TimingSpec{
 					Bench: bench, Machine: config.Baseline40x4(),
-					Estimator: func() confidence.Estimator {
-						return confidence.NewCICWith(confidence.CICConfig{
-							Entries:    cfg.Entries,
-							WeightBits: cfg.WeightBits,
-							HistoryLen: cfg.HistLen,
-							Lambda:     0,
-							Reversal:   confidence.DisableReversal,
-						})
-					},
+					EstSpec: confidence.SpecCICWith(confidence.CICConfig{
+						Entries:    cfg.Entries,
+						WeightBits: cfg.WeightBits,
+						HistoryLen: cfg.HistLen,
+						Lambda:     0,
+						Reversal:   confidence.DisableReversal,
+					}),
 					Gating: gating.PL(1),
 				}
 			},

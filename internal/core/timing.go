@@ -83,11 +83,43 @@ type TimingSpec struct {
 	Bench     string
 	Machine   config.Machine
 	Predictor PredictorKind
-	// Estimator builds the confidence estimator (nil = none).
+	// EstSpec declaratively describes the confidence estimator. It is
+	// the preferred form: a spec is JSON-serializable, so the job can
+	// cross a process boundary (internal/dist ships sweeps to remote
+	// workers). Nil with a nil Estimator means no estimator.
+	EstSpec *confidence.Spec
+	// Estimator builds the confidence estimator (nil = none). A
+	// closure-built estimator cannot be distributed; prefer EstSpec.
+	// When both are set, EstSpec wins.
 	Estimator func() confidence.Estimator
 	Gating    gating.Policy
 	Reversal  bool
 	Perfect   bool
+}
+
+// makeEstimator resolves the spec's estimator factory: the declarative
+// EstSpec when present, else the Estimator closure, else none. An
+// invalid EstSpec fails here, before any simulation runs.
+func (s TimingSpec) makeEstimator() (func() confidence.Estimator, error) {
+	if s.EstSpec != nil {
+		if _, err := s.EstSpec.Build(); err != nil {
+			return nil, err
+		}
+		if s.EstSpec.Kind == confidence.KindNone {
+			return nil, nil
+		}
+		spec := s.EstSpec
+		return func() confidence.Estimator {
+			est, err := spec.Build()
+			if err != nil {
+				// Unreachable: the spec validated above and Build is
+				// deterministic.
+				panic(err)
+			}
+			return est
+		}, nil
+	}
+	return s.Estimator, nil
 }
 
 // runTiming executes one spec and returns the measured-span counters.
@@ -102,11 +134,22 @@ func runTiming(ctx context.Context, spec TimingSpec, sz Sizes) (metrics.Run, err
 // runTimingSpecTrain is runTiming with control over the confidence
 // training site (retire vs speculative fetch-time, an ablation knob).
 func runTimingSpecTrain(ctx context.Context, spec TimingSpec, sz Sizes, speculativeTrain bool) (metrics.Run, error) {
-	key := timingKey(spec, sz, speculativeTrain)
+	mkEst, err := spec.makeEstimator()
+	if err != nil {
+		return metrics.Run{}, err
+	}
+	key := timingKey(spec, mkEst, sz, speculativeTrain)
+	// A collecting (plan-mode) sweep records the job instead of running
+	// it; the zero result it returns feeds aggregation arithmetic whose
+	// output the planner discards.
+	if planRecording() {
+		planRecord(spec, sz, speculativeTrain, key)
+		return metrics.Run{}, nil
+	}
 	fresh := false
 	r, err := resultCache.Do(key, func() (metrics.Run, error) {
 		fresh = true
-		return runTimingUncached(spec, sz, speculativeTrain)
+		return runTimingUncached(spec, mkEst, sz, speculativeTrain)
 	})
 	// A job is "cached" only if every simulation it asked for was
 	// served from the cache; one fresh run re-latches it as computed.
@@ -129,7 +172,7 @@ func runTimingSpecTrain(ctx context.Context, spec TimingSpec, sz Sizes, speculat
 // (config, segment) job draws deterministic, order-independent
 // randomness — and the counters are merged (the paper's
 // two-segments-per-benchmark methodology, §4).
-func runTimingUncached(spec TimingSpec, sz Sizes, speculativeTrain bool) (metrics.Run, error) {
+func runTimingUncached(spec TimingSpec, mkEst func() confidence.Estimator, sz Sizes, speculativeTrain bool) (metrics.Run, error) {
 	prof, err := workload.ByName(spec.Bench)
 	if err != nil {
 		return metrics.Run{}, err
@@ -146,8 +189,8 @@ func runTimingUncached(spec TimingSpec, sz Sizes, speculativeTrain bool) (metric
 		if !spec.Perfect {
 			opt.Predictor = spec.Predictor.make()
 		}
-		if spec.Estimator != nil {
-			opt.Estimator = spec.Estimator()
+		if mkEst != nil {
+			opt.Estimator = mkEst()
 		}
 		opt.Gating = spec.Gating
 		opt.SpeculativeCETrain = speculativeTrain

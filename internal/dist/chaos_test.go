@@ -1,0 +1,69 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"bce/internal/faults"
+)
+
+// faultyTransport drops whole responses while its injector has trips
+// left: the connection-reset / proxy-glitch class of failure the
+// coordinator's in-place retry exists for.
+type faultyTransport struct {
+	inject *faults.Injector
+	next   http.RoundTripper
+}
+
+func (f *faultyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if strings.HasSuffix(req.URL.Path, PathExec) && f.inject.Trip() {
+		return nil, errors.New("injected: connection reset by peer")
+	}
+	return f.next.RoundTrip(req)
+}
+
+// TestCoordinatorSurvivesTransportFaults drives a sweep through a
+// transport that fails several requests outright. Every job must merge
+// exactly once and the retry counters must show the faults were
+// absorbed, not ignored.
+func TestCoordinatorSurvivesTransportFaults(t *testing.T) {
+	ResetStats()
+	w1 := testWorkerServer("w1", nil)
+	defer w1.Close()
+	w2 := testWorkerServer("w2", nil)
+	defer w2.Close()
+
+	jobs, keys := jobSet(t, 10)
+	sink := newMergeSink()
+	inject := faults.NewInjector(3)
+	coord, err := NewCoordinator(Options{
+		Workers:      []string{w1.URL, w2.URL},
+		BatchSize:    2,
+		Retries:      3,
+		RetryBackoff: time.Millisecond,
+		Client:       &http.Client{Transport: &faultyTransport{inject: inject, next: http.DefaultTransport}},
+		OnResult:     sink.OnResult,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Run(context.Background(), jobs, keys); err != nil {
+		t.Fatalf("sweep must absorb %d injected transport faults: %v", 3, err)
+	}
+	if sink.len() != len(jobs) {
+		t.Errorf("merged %d of %d jobs", sink.len(), len(jobs))
+	}
+	if sink.dups != 0 {
+		t.Errorf("%d duplicate merges", sink.dups)
+	}
+	if inject.Remaining() != 0 {
+		t.Errorf("only %d of 3 faults fired; the test exercised nothing", 3-inject.Remaining())
+	}
+	if got := Snapshot().BatchRetries; got == 0 {
+		t.Error("BatchRetries counter not bumped despite injected faults")
+	}
+}

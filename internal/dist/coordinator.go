@@ -1,0 +1,467 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bce/internal/core"
+	"bce/internal/metrics"
+	"bce/internal/runner"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Workers is the list of worker base URLs (e.g.
+	// "http://127.0.0.1:8371"). Required, at least one.
+	Workers []string
+	// Client issues the HTTP requests; nil means a default client with
+	// no global timeout (batches legitimately run for minutes — the
+	// per-job deadline and the Run context bound them instead).
+	Client *http.Client
+	// BatchSize is the number of jobs per request (default 8). Smaller
+	// batches rebalance better when workers are uneven; larger ones
+	// amortize request overhead.
+	BatchSize int
+	// JobTimeout bounds each job's execution on the worker; zero means
+	// none. Expiry is a transient failure (runner.Transient semantics):
+	// the job is retried, eventually on another worker.
+	JobTimeout time.Duration
+	// Retries is how many times a failed batch request is retried
+	// in place against the same worker before the worker is declared
+	// dead (default 2). RetryBackoff is the initial backoff, doubled
+	// per retry (default 250ms).
+	Retries      int
+	RetryBackoff time.Duration
+	// OnResult is called once per successful job with the worker's name
+	// and the result. Workers execute concurrently, so OnResult must be
+	// safe for concurrent use. Required.
+	OnResult func(worker string, job Job, run metrics.Run)
+	// Logf, when set, receives progress and rebalancing notes (worker
+	// death, batch reassignment). Nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Coordinator shards a planned job space across worker processes and
+// merges the results. Failure policy: transport errors and
+// worker-reported transient failures are retried — first in place with
+// backoff, then by reassigning the work to surviving workers — while
+// deterministic job failures (validation, key-recompute mismatch,
+// simulation error) abort the sweep, because they would fail
+// identically everywhere. A sweep completes when every job has merged
+// or errors when jobs remain and no worker can take them.
+type Coordinator struct {
+	opts        Options
+	client      *http.Client
+	maxAttempts int
+
+	mu       sync.Mutex
+	firstErr error
+
+	pending  atomic.Int64
+	alive    atomic.Int64
+	doneCh   chan struct{}
+	doneOnce sync.Once
+	cancel   context.CancelFunc
+}
+
+// task is one batch plus its delivery-attempt count. Attempts increment
+// on every reassignment; a task exceeding the coordinator's attempt
+// budget aborts the sweep rather than cycling forever.
+type task struct {
+	batch    Batch
+	attempts int
+}
+
+// NewCoordinator validates opts and builds a Coordinator.
+func NewCoordinator(opts Options) (*Coordinator, error) {
+	if len(opts.Workers) == 0 {
+		return nil, errors.New("dist: coordinator needs at least one worker URL")
+	}
+	for _, w := range opts.Workers {
+		if w == "" {
+			return nil, errors.New("dist: empty worker URL")
+		}
+	}
+	if opts.OnResult == nil {
+		return nil, errors.New("dist: coordinator needs an OnResult sink")
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 8
+	}
+	if opts.Retries <= 0 {
+		opts.Retries = 2
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 250 * time.Millisecond
+	}
+	c := &Coordinator{
+		opts:   opts,
+		client: opts.Client,
+		// In-place retries plus one reassignment per worker: enough for
+		// any survivable failure pattern, finite under total loss.
+		maxAttempts: opts.Retries + len(opts.Workers),
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	return c, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// Ping checks every worker for liveness and schema agreement. Callers
+// run it before a sweep so misconfiguration fails in milliseconds, not
+// after the plan executes.
+func (c *Coordinator) Ping(ctx context.Context) error {
+	for _, w := range c.opts.Workers {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, w+PathPing, nil)
+		if err != nil {
+			return fmt.Errorf("dist: ping %s: %w", w, err)
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			return fmt.Errorf("dist: ping %s: %w", w, err)
+		}
+		body, rerr := readAllLimited(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return fmt.Errorf("dist: ping %s: %w", w, rerr)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("dist: ping %s: HTTP %d: %s", w, resp.StatusCode, bytes.TrimSpace(body))
+		}
+		var reply struct {
+			Schema int    `json:"schema"`
+			Worker string `json:"worker"`
+		}
+		if err := decodeStrict(body, &reply); err != nil {
+			return fmt.Errorf("dist: ping %s: %w", w, err)
+		}
+		if reply.Schema != SchemaVersion {
+			return fmt.Errorf("dist: ping %s (%s): %w: worker speaks %d, this build speaks %d",
+				w, reply.Worker, ErrSchema, reply.Schema, SchemaVersion)
+		}
+	}
+	return nil
+}
+
+// Run executes the planned jobs across the workers. jobs and keys are
+// parallel slices, sorted by key (core.CollectJobs guarantees this),
+// which makes the sharding deterministic: job i goes to shard
+// i mod len(Workers), shards are cut into BatchSize batches in order.
+// Run returns once every job has been merged through OnResult, or with
+// the first deterministic failure, or when undeliverable work remains.
+func (c *Coordinator) Run(ctx context.Context, jobs []core.JobSpec, keys []string) error {
+	if len(jobs) != len(keys) {
+		return fmt.Errorf("dist: %d jobs with %d keys", len(jobs), len(keys))
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	nw := len(c.opts.Workers)
+
+	// Deterministic sharding: round-robin over the key-sorted job list
+	// balances every benchmark mix across workers regardless of where
+	// the expensive configurations cluster in key order.
+	shards := make([][]Job, nw)
+	for i := range jobs {
+		w := i % nw
+		shards[w] = append(shards[w], Job{Key: keys[i], Spec: jobs[i]})
+	}
+	var tasks [][]*task
+	total := 0
+	for si, shard := range shards {
+		var own []*task
+		for seq := 0; len(shard) > 0; seq++ {
+			n := min(c.opts.BatchSize, len(shard))
+			own = append(own, &task{batch: Batch{
+				Schema:       SchemaVersion,
+				Shard:        si,
+				Seq:          seq,
+				JobTimeoutMS: c.opts.JobTimeout.Milliseconds(),
+				Jobs:         shard[:n],
+			}})
+			shard = shard[n:]
+			total++
+		}
+		tasks = append(tasks, own)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	c.cancel = cancel
+	c.doneCh = make(chan struct{})
+	c.doneOnce = sync.Once{}
+	c.firstErr = nil
+	c.pending.Store(int64(total))
+	c.alive.Store(int64(nw))
+	live.jobsDispatched.Add(uint64(len(jobs)))
+
+	// Orphan queue: batches whose worker died, awaiting reassignment.
+	// Sized so every task can be requeued at its full attempt budget
+	// without a push ever blocking.
+	orphans := make(chan *task, total*(c.maxAttempts+1)+nw)
+
+	var wg sync.WaitGroup
+	for wi, url := range c.opts.Workers {
+		wg.Add(1)
+		go func(url string, own []*task) {
+			defer wg.Done()
+			c.workerLoop(runCtx, url, own, orphans)
+		}(url, tasks[wi])
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	err := c.firstErr
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	if n := c.pending.Load(); n != 0 {
+		return fmt.Errorf("dist: %d batches undelivered: every worker failed", n)
+	}
+	return nil
+}
+
+// abort records the sweep's first fatal error and cancels everything.
+func (c *Coordinator) abort(err error) {
+	c.mu.Lock()
+	if c.firstErr == nil {
+		c.firstErr = err
+	}
+	c.mu.Unlock()
+	c.cancel()
+}
+
+// finish retires one task; the last one releases every worker loop.
+func (c *Coordinator) finish() {
+	if c.pending.Add(-1) == 0 {
+		c.doneOnce.Do(func() { close(c.doneCh) })
+	}
+}
+
+// requeue puts a task back up for grabs by surviving workers, aborting
+// if its attempt budget is spent or the queue is impossibly full.
+func (c *Coordinator) requeue(t *task, orphans chan *task) bool {
+	t.attempts++
+	if t.attempts > c.maxAttempts {
+		c.abort(fmt.Errorf("dist: shard %d batch %d undeliverable after %d attempts",
+			t.batch.Shard, t.batch.Seq, t.attempts))
+		return false
+	}
+	select {
+	case orphans <- t:
+		live.jobsRequeued.Add(uint64(len(t.batch.Jobs)))
+		return true
+	default:
+		c.abort(fmt.Errorf("dist: orphan queue overflow (shard %d batch %d)", t.batch.Shard, t.batch.Seq))
+		return false
+	}
+}
+
+// workerLoop drains the worker's own shard, then steals orphaned
+// batches from dead workers until the sweep completes. On transport
+// death it requeues all its unfinished work and exits; the last loop
+// to die with work still pending aborts the sweep.
+func (c *Coordinator) workerLoop(ctx context.Context, url string, own []*task, orphans chan *task) {
+	died := func(t *task, err error) {
+		live.workersLost.Add(1)
+		c.logf("dist: worker %s lost (%v); reassigning %d batch(es)", url, err, 1+len(own))
+		c.requeue(t, orphans)
+		for _, rest := range own {
+			c.requeue(rest, orphans)
+		}
+		if c.alive.Add(-1) == 0 && c.pending.Load() > 0 {
+			c.abort(errors.New("dist: all workers failed"))
+		}
+	}
+	for len(own) > 0 {
+		if ctx.Err() != nil {
+			return
+		}
+		t := own[0]
+		own = own[1:]
+		if !c.handle(ctx, url, t, orphans) {
+			died(t, errLastTransport)
+			return
+		}
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.doneCh:
+			return
+		case t := <-orphans:
+			if !c.handle(ctx, url, t, orphans) {
+				died(t, errLastTransport)
+				return
+			}
+		}
+	}
+}
+
+// errLastTransport is a placeholder for logging; the real error was
+// already logged by runTask's retry loop.
+var errLastTransport = errors.New("transport failure after retries")
+
+// handle runs one task to completion on this worker. It returns false
+// when the worker must be declared dead (the caller requeues t);
+// fatal errors abort the whole sweep and return true so the loop winds
+// down via context cancellation.
+func (c *Coordinator) handle(ctx context.Context, url string, t *task, orphans chan *task) bool {
+	requeueJobs, err := c.runTask(ctx, url, t)
+	if err != nil {
+		if ctx.Err() != nil {
+			return true // sweep is being torn down, not a worker problem
+		}
+		if runner.IsTransient(err) {
+			return false // worker unreachable after in-place retries
+		}
+		c.abort(err)
+		return true
+	}
+	if len(requeueJobs) > 0 {
+		// Worker-side transient failures (per-job deadline expiry):
+		// spin the survivors into a fresh task before retiring this one
+		// so the pending count never momentarily hits zero.
+		nt := &task{
+			batch: Batch{
+				Schema:       SchemaVersion,
+				Shard:        t.batch.Shard,
+				Seq:          t.batch.Seq,
+				JobTimeoutMS: t.batch.JobTimeoutMS,
+				Jobs:         requeueJobs,
+			},
+			attempts: t.attempts,
+		}
+		c.pending.Add(1)
+		if c.requeue(nt, orphans) {
+			c.logf("dist: %d transient job failure(s) on %s requeued", len(requeueJobs), url)
+		}
+	}
+	c.finish()
+	return true
+}
+
+// runTask POSTs one batch, retrying transient transport failures in
+// place with exponential backoff. On success it merges every job
+// result through OnResult and returns the jobs the worker flagged as
+// transiently failed. Deterministic failures — malformed batch
+// (HTTP 400), schema skew, a job error the worker marked permanent —
+// come back as non-transient errors.
+func (c *Coordinator) runTask(ctx context.Context, url string, t *task) ([]Job, error) {
+	payload, err := EncodeBatch(t.batch)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encode batch: %w", err)
+	}
+	backoff := c.opts.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			live.batchRetries.Add(1)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		var reply BatchResult
+		reply, lastErr = c.post(ctx, url, payload)
+		if lastErr == nil {
+			return c.merge(t, reply)
+		}
+		if !runner.IsTransient(lastErr) || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		c.logf("dist: batch to %s failed (attempt %d/%d): %v", url, attempt+1, c.opts.Retries+1, lastErr)
+	}
+	return nil, lastErr
+}
+
+// post sends one batch request and decodes the reply, classifying
+// failures: transport errors and 5xx are transient, HTTP 400 and
+// schema mismatches are deterministic.
+func (c *Coordinator) post(ctx context.Context, url string, payload []byte) (BatchResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+PathExec, bytes.NewReader(payload))
+	if err != nil {
+		return BatchResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	live.batchesSent.Add(1)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return BatchResult{}, runner.Transient(err)
+	}
+	defer resp.Body.Close()
+	body, err := readAllLimited(resp.Body)
+	if err != nil {
+		return BatchResult{}, runner.Transient(err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode >= 500:
+		return BatchResult{}, runner.Transient(fmt.Errorf("dist: %s: HTTP %d: %s", url, resp.StatusCode, bytes.TrimSpace(body)))
+	default:
+		// 4xx: the worker understood us and said no — deterministic.
+		return BatchResult{}, fmt.Errorf("dist: %s: HTTP %d: %s", url, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	reply, err := DecodeBatchResult(body)
+	if err != nil {
+		if errors.Is(err, ErrSchema) {
+			return BatchResult{}, err
+		}
+		// A garbled reply body could be a proxy or truncation artifact;
+		// let the in-place retry take another look.
+		return BatchResult{}, runner.Transient(err)
+	}
+	return reply, nil
+}
+
+// merge folds a worker's reply into the sweep: successes through
+// OnResult, transient job failures into the requeue list, permanent
+// job failures into a fatal error. A reply that does not cover the
+// batch exactly is treated as transient (retry re-serves cached
+// results cheaply on the worker).
+func (c *Coordinator) merge(t *task, reply BatchResult) ([]Job, error) {
+	byKey := make(map[string]Job, len(t.batch.Jobs))
+	for _, j := range t.batch.Jobs {
+		byKey[j.Key] = j
+	}
+	if len(reply.Results) != len(t.batch.Jobs) {
+		return nil, runner.Transient(fmt.Errorf("dist: worker %q answered %d of %d jobs",
+			reply.Worker, len(reply.Results), len(t.batch.Jobs)))
+	}
+	var requeue []Job
+	for _, jr := range reply.Results {
+		job, ok := byKey[jr.Key]
+		if !ok {
+			return nil, runner.Transient(fmt.Errorf("dist: worker %q answered unknown key %q", reply.Worker, jr.Key))
+		}
+		switch {
+		case jr.Run != nil:
+			c.opts.OnResult(reply.Worker, job, *jr.Run)
+			live.jobsMerged.Add(1)
+		case jr.Transient:
+			requeue = append(requeue, job)
+		default:
+			return nil, fmt.Errorf("dist: job %s failed on worker %q: %s", jr.Key, reply.Worker, jr.Err)
+		}
+	}
+	return requeue, nil
+}

@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"bce/internal/core"
+	"bce/internal/metrics"
+	"bce/internal/runner"
+)
+
+// WorkerOptions configures a batch-execution worker.
+type WorkerOptions struct {
+	// Name identifies the worker in replies, manifests and logs
+	// (default "worker").
+	Name string
+	// Exec executes one job; nil means core.ExecJob, which runs the
+	// simulation through the worker's local result cache (and any
+	// attached store), so re-delivered jobs are served, not re-run.
+	Exec func(ctx context.Context, j core.JobSpec) (metrics.Run, error)
+	// Pool bounds batch-internal parallelism; nil means a default pool
+	// at GOMAXPROCS.
+	Pool *runner.Pool
+}
+
+// Worker executes job batches delivered over HTTP. It is stateless
+// between batches apart from the result cache its Exec function
+// maintains — killing a worker loses nothing but in-flight work.
+type Worker struct {
+	name string
+	exec func(ctx context.Context, j core.JobSpec) (metrics.Run, error)
+	pool *runner.Pool
+}
+
+// NewWorker builds a Worker from opts.
+func NewWorker(opts WorkerOptions) *Worker {
+	w := &Worker{name: opts.Name, exec: opts.Exec, pool: opts.Pool}
+	if w.name == "" {
+		w.name = "worker"
+	}
+	if w.exec == nil {
+		w.exec = core.ExecJob
+	}
+	if w.pool == nil {
+		w.pool = runner.New(runner.Options{})
+	}
+	return w
+}
+
+// Handler returns the worker's HTTP surface: PathExec (batch
+// execution) and PathPing (liveness + schema handshake). Mount it on
+// any mux; cmd/bceworker serves it alongside the debug endpoints.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathExec, w.handleExec)
+	mux.HandleFunc(PathPing, w.handlePing)
+	return mux
+}
+
+func (w *Worker) handlePing(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(rw, "ping is GET", http.StatusMethodNotAllowed)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(rw, `{"schema":%d,"worker":%q}`+"\n", SchemaVersion, w.name)
+}
+
+func (w *Worker) handleExec(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(rw, "exec is POST", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := readAllLimited(req.Body)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	batch, err := DecodeBatch(body)
+	if err != nil {
+		// A malformed or version-skewed batch is deterministic: the
+		// coordinator must not retry it here.
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	live.batchStart(len(batch.Jobs))
+
+	// Execute every job; per-job failures become per-job results, so
+	// Map's fn never errors and the batch always completes (unless the
+	// coordinator hangs up, cancelling req.Context()).
+	results, err := runner.Map(req.Context(), w.pool, batch.Jobs,
+		func(ctx context.Context, _ int, job Job) (JobResult, error) {
+			return w.runJob(ctx, job, batch.JobTimeoutMS), nil
+		})
+	if err != nil {
+		live.batchEnd(false)
+		// Client gone; nothing useful to write.
+		http.Error(rw, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	reply, err := EncodeBatchResult(BatchResult{
+		Schema:  SchemaVersion,
+		Worker:  w.name,
+		Results: results,
+	})
+	if err != nil {
+		live.batchEnd(false)
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	live.batchEnd(true)
+	rw.Header().Set("Content-Type", "application/json")
+	rw.Write(reply) //nolint:errcheck // client hangup only
+}
+
+// runJob executes one job and folds any failure into the JobResult.
+func (w *Worker) runJob(ctx context.Context, job Job, timeoutMS int64) JobResult {
+	// Recompute the cache key from the spec. A mismatch means this
+	// build derives different identities than the coordinator's —
+	// merging the result would corrupt byte-reproducibility, so the job
+	// fails deterministically instead.
+	key, err := job.Spec.Key()
+	if err != nil {
+		live.jobDone(false)
+		return JobResult{Key: job.Key, Err: fmt.Sprintf("invalid job spec: %v", err)}
+	}
+	if key != job.Key {
+		live.jobDone(false)
+		return JobResult{Key: job.Key, Err: fmt.Sprintf(
+			"cache-key mismatch: coordinator sent %q, this worker derives %q (version skew?)", job.Key, key)}
+	}
+	if timeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	run, err := w.exec(ctx, job.Spec)
+	if err != nil {
+		live.jobDone(false)
+		return JobResult{Key: job.Key, Err: err.Error(), Transient: runner.IsTransient(err)}
+	}
+	live.jobDone(true)
+	return JobResult{Key: job.Key, Run: &run}
+}

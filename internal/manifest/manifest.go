@@ -108,6 +108,11 @@ type Job struct {
 	Bench string `json:"bench,omitempty"`
 	// Cached reports the result came from the result cache.
 	Cached bool `json:"cached,omitempty"`
+	// Worker names the remote worker that executed the job, for
+	// distributed sweeps (empty for in-process execution). Operational
+	// provenance only: it never feeds the config fingerprint, and
+	// result comparisons ignore it.
+	Worker string `json:"worker,omitempty"`
 	// Hits counts how many additional times the sweep requested this
 	// key after the recorded execution (cache reuse within the run).
 	Hits int `json:"hits,omitempty"`

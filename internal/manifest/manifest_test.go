@@ -94,6 +94,72 @@ func TestFingerprintTracksConfig(t *testing.T) {
 	}
 }
 
+// TestFingerprintGolden pins the fingerprint algorithm itself. The
+// hashes below are part of the manifest contract: bcereport compares
+// fingerprints across runs from different builds, so an accidental
+// change to the hash inputs or encoding would silently mark every
+// historical manifest as "different configuration". If this test fails
+// because the algorithm changed on purpose, bump the manifest
+// SchemaVersion and regenerate the goldens.
+func TestFingerprintGolden(t *testing.T) {
+	cfg := map[string]string{"experiment": "table4", "bench": "all", "predictor": "bimodal-gshare"}
+	sz := &Sizes{Warmup: 10000, Measure: 30000, FuncWarmup: 20000, FuncMeasure: 60000, Segments: 2}
+	seeds := map[string]int64{"gzip": 42, "gcc": 43, "vortex": 44}
+
+	if got, want := fingerprint("bcetables", cfg, sz, seeds), "ad928e4acb7e3e3a"; got != want {
+		t.Errorf("fingerprint = %q, want golden %q", got, want)
+	}
+	if got, want := fingerprint("bcetables", nil, nil, nil), "c3c06b1cc94dae67"; got != want {
+		t.Errorf("nil-field fingerprint = %q, want golden %q", got, want)
+	}
+
+	// Map insertion order must not matter (Go's JSON encoder sorts
+	// keys; this pins that the implementation keeps relying on an
+	// order-canonicalizing encoding).
+	reordered := map[string]string{"predictor": "bimodal-gshare", "bench": "all", "experiment": "table4"}
+	reseeds := map[string]int64{"vortex": 44, "gcc": 43, "gzip": 42}
+	if got := fingerprint("bcetables", reordered, sz, reseeds); got != "ad928e4acb7e3e3a" {
+		t.Errorf("field reordering moved the fingerprint: %q", got)
+	}
+
+	// Every identity field must feed the hash.
+	if fingerprint("bcereport", cfg, sz, seeds) == "ad928e4acb7e3e3a" {
+		t.Error("tool does not feed the fingerprint")
+	}
+	cfg2 := map[string]string{"experiment": "table4", "bench": "all", "predictor": "gshare-perceptron"}
+	if fingerprint("bcetables", cfg2, sz, seeds) == "ad928e4acb7e3e3a" {
+		t.Error("config does not feed the fingerprint")
+	}
+	sz2 := *sz
+	sz2.Segments = 1
+	if fingerprint("bcetables", cfg, &sz2, seeds) == "ad928e4acb7e3e3a" {
+		t.Error("sizes do not feed the fingerprint")
+	}
+	seeds2 := map[string]int64{"gzip": 42, "gcc": 43, "vortex": 45}
+	if fingerprint("bcetables", cfg, sz, seeds2) == "ad928e4acb7e3e3a" {
+		t.Error("seeds do not feed the fingerprint")
+	}
+}
+
+// TestFingerprintIgnoresOperationalFields: job-level provenance (the
+// executing worker, cache flags) and invocation args describe how a
+// sweep ran, not what it measured — two runs differing only there must
+// fingerprint identically.
+func TestFingerprintIgnoresOperationalFields(t *testing.T) {
+	build := func(args []string, worker string) string {
+		b := NewBuilder("tool", args)
+		b.SetSizes(Sizes{Warmup: 100, Measure: 200})
+		b.SetConfig("exp", "table4")
+		b.AddJob(Job{Key: "k", Kind: "timing", Bench: "gzip", Worker: worker})
+		return b.Finish(0, 0).ConfigFingerprint
+	}
+	local := build([]string{"-quick"}, "")
+	remote := build([]string{"-quick", "-workers-remote", "http://a:1,http://b:2"}, "worker-1")
+	if local != remote {
+		t.Errorf("distributed execution moved the fingerprint: %q vs %q", local, remote)
+	}
+}
+
 func TestBuilderConcurrentAddJob(t *testing.T) {
 	b := NewBuilder("tool", nil)
 	var wg sync.WaitGroup

@@ -106,6 +106,16 @@ func (c *Cache[V]) Reset() {
 	c.hits, c.misses = 0, 0
 }
 
+// Contains reports whether key is present in memory (computed, being
+// computed, or injected) without touching the hit/miss counters or the
+// backing store.
+func (c *Cache[V]) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.m[key]
+	return ok
+}
+
 // Len returns the number of cached keys.
 func (c *Cache[V]) Len() int {
 	c.mu.Lock()

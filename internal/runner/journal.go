@@ -63,6 +63,19 @@ func OpenJournal(path string) (*Journal, error) {
 // replayLog loads every complete, decodable record and returns the
 // byte offset of the end of the last good line.
 func (j *Journal) replayLog() (int64, error) {
+	info, err := j.f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("runner: journal: %w", err)
+	}
+	size := info.Size()
+	terminated := size == 0
+	if size > 0 {
+		var last [1]byte
+		if _, err := j.f.ReadAt(last[:], size-1); err != nil {
+			return 0, fmt.Errorf("runner: journal: %w", err)
+		}
+		terminated = last[0] == '\n'
+	}
 	if _, err := j.f.Seek(0, 0); err != nil {
 		return 0, fmt.Errorf("runner: journal: %w", err)
 	}
@@ -72,6 +85,15 @@ func (j *Journal) replayLog() (int64, error) {
 	for sc.Scan() {
 		line := sc.Bytes()
 		lineLen := int64(len(line)) + 1 // +1 for the newline Scan strips
+		// A final line missing its terminating newline is the record a
+		// crash interrupted mid-write. Even when the bytes on disk
+		// happen to decode, replaying it and appending after it would
+		// glue the next record onto the same line — corrupting both at
+		// the following replay — so treat it as torn and let Open
+		// truncate it away.
+		if !terminated && end+int64(len(line)) == size {
+			break
+		}
 		trimmed := bytes.TrimSpace(line)
 		if len(trimmed) == 0 {
 			end += lineLen
@@ -89,11 +111,6 @@ func (j *Journal) replayLog() (int64, error) {
 	}
 	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
 		return 0, fmt.Errorf("runner: journal: replay: %w", err)
-	}
-	// A file not ending in a newline means the last line may itself be
-	// torn; Scan still returns it, so cap end at the real size.
-	if info, err := j.f.Stat(); err == nil && end > info.Size() {
-		end = info.Size()
 	}
 	return end, nil
 }

@@ -2,6 +2,9 @@ package runner
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
+	"sync"
 	"testing"
 	"time"
 )
@@ -78,6 +81,69 @@ func TestMarkComputedWins(t *testing.T) {
 func TestMarkCachedOutsideJob(t *testing.T) {
 	MarkCached(context.Background())
 	MarkComputed(context.Background())
+}
+
+// TestLiveSnapshotScrapedMidSweep is the debug-endpoint race audit:
+// scraper goroutines hammer LiveSnapshot (and JSON-encode it, exactly
+// as the expvar endpoint does) while a sweep with retries and mixed
+// cache classification runs. Under -race this proves the snapshot path
+// is synchronization-clean; in any build it checks the invariants a
+// torn snapshot would break.
+func TestLiveSnapshotScrapedMidSweep(t *testing.T) {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := LiveSnapshot()
+				if _, err := json.Marshal(s); err != nil {
+					t.Errorf("snapshot not JSON-encodable: %v", err)
+					return
+				}
+				if s.BusyWorkers < 0 {
+					t.Errorf("BusyWorkers = %d mid-sweep", s.BusyWorkers)
+					return
+				}
+				if s.JobsDone+s.JobsFailed > s.JobsStarted {
+					t.Errorf("finished %d+%d jobs but started only %d",
+						s.JobsDone, s.JobsFailed, s.JobsStarted)
+					return
+				}
+			}
+		}()
+	}
+
+	p := New(Options{Workers: 4, Retries: 2, RetryBackoff: time.Microsecond})
+	var once sync.Once
+	_, err := Map(context.Background(), p, make([]int, 64), func(ctx context.Context, i int, _ int) (int, error) {
+		switch i % 3 {
+		case 0:
+			MarkCached(ctx)
+		case 1:
+			MarkComputed(ctx)
+		}
+		var flaked bool
+		once.Do(func() { flaked = true })
+		if flaked {
+			return 0, Transient(errors.New("scrape-audit flake"))
+		}
+		return i, nil
+	})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy := LiveSnapshot().BusyWorkers; busy != 0 {
+		t.Errorf("BusyWorkers = %d after sweep, want 0", busy)
+	}
 }
 
 // TestLiveSnapshot checks the process-wide counters advance across a

@@ -18,12 +18,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"bce/internal/bench"
 	"bce/internal/manifest"
 	"bce/internal/runner"
+	"bce/internal/telemetry"
 )
 
 func main() {
@@ -38,8 +40,17 @@ func main() {
 		maxRegress = flag.Float64("max-regress", 10, "fail the comparison when any shared benchmark slows down by more than this percent")
 		progress   = flag.Bool("progress", false, "report per-suite progress on stderr")
 		verbose    = flag.Bool("v", false, "stream raw go test output to stderr")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
+	logger, err := telemetry.InitLogging(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcebench:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger.With("bin", "bcebench"))
+	telemetry.RegisterBuildLabel("revision", manifest.ShortRevision())
 	// First SIGINT/SIGTERM cancels remaining suites (the in-flight
 	// `go test -bench` child sees its context die); a second kills.
 	ctx, stop := runner.ShutdownContext(context.Background())

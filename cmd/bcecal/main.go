@@ -17,6 +17,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -38,8 +39,19 @@ func main() {
 		resume     = flag.Bool("resume", false, "replay the checkpoint journal from a killed run (needs -cache)")
 		debugAddr  = flag.String("debug-addr", "", "serve pprof + expvar on this address (e.g. localhost:6060); Prometheus text format on /metrics")
 		manifestTo = flag.String("manifest", "", "write a run manifest (provenance + per-benchmark rates) to this file")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
+	logger, err := telemetry.InitLogging(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcecal:", err)
+		os.Exit(2)
+	}
+	logger = logger.With("bin", "bcecal")
+	slog.SetDefault(logger)
+	telemetry.RegisterBuildLabel("revision", manifest.ShortRevision())
+	telemetry.RegisterBuildLabel("manifest_schema", fmt.Sprint(manifest.SchemaVersion))
 	if *debugAddr != "" {
 		srv, err := telemetry.StartDebug(*debugAddr, nil)
 		if err != nil {
@@ -47,7 +59,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "bcecal: debug endpoint on http://%s/debug/\n", srv.Addr())
+		logger.Info("debug endpoint up", "url", "http://"+srv.Addr()+"/debug/")
 	}
 	if *resume && *cacheDir == "" {
 		fmt.Fprintln(os.Stderr, "bcecal: -resume needs -cache (the journal lives next to the result store)")

@@ -20,22 +20,34 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"bce/internal/manifest"
 	"bce/internal/report"
+	"bce/internal/telemetry"
 )
 
 func main() {
 	var (
-		jsonOut  = flag.String("json", "", "write the canonical scorecard JSON to this file")
-		htmlOut  = flag.String("html", "", "write the self-contained HTML dashboard to this file")
-		baseline = flag.String("baseline", "", "scorecard JSON to gate against: exit 1 if any metric drifts beyond -tol")
-		compare  = flag.Bool("compare", false, "diff two manifests (old new) instead of rendering a scorecard")
-		tol      = flag.Float64("tol", 1e-9, "drift tolerance in the metric's own unit (simulations are deterministic, so near-zero is exact)")
-		quiet    = flag.Bool("quiet", false, "suppress the text scorecard on stdout")
+		jsonOut   = flag.String("json", "", "write the canonical scorecard JSON to this file")
+		htmlOut   = flag.String("html", "", "write the self-contained HTML dashboard to this file")
+		baseline  = flag.String("baseline", "", "scorecard JSON to gate against: exit 1 if any metric drifts beyond -tol")
+		compare   = flag.Bool("compare", false, "diff two manifests (old new) instead of rendering a scorecard")
+		tol       = flag.Float64("tol", 1e-9, "drift tolerance in the metric's own unit (simulations are deterministic, so near-zero is exact)")
+		quiet     = flag.Bool("quiet", false, "suppress the text scorecard on stdout")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
+	logger, err := telemetry.InitLogging(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcereport:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger.With("bin", "bcereport"))
+	telemetry.RegisterBuildLabel("revision", manifest.ShortRevision())
+	telemetry.RegisterBuildLabel("manifest_schema", fmt.Sprint(manifest.SchemaVersion))
 	if err := run(flag.Args(), *jsonOut, *htmlOut, *baseline, *compare, *tol, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "bcereport:", err)
 		os.Exit(1)

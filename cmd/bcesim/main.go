@@ -25,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -32,6 +33,7 @@ import (
 	"bce/internal/confidence"
 	"bce/internal/config"
 	"bce/internal/gating"
+	"bce/internal/manifest"
 	"bce/internal/pipeline"
 	"bce/internal/predictor"
 	"bce/internal/runner"
@@ -60,8 +62,20 @@ func main() {
 		auditOut  = flag.String("audit", "", "write the per-branch-PC confidence audit CSV (single benchmark or -replay only)")
 		stats     = flag.Bool("stats", false, "print the telemetry counter/histogram registry after the run")
 		debugAddr = flag.String("debug-addr", "", "serve pprof + expvar + live sweep stats on this address (e.g. localhost:6060)")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
+
+	logger, err := telemetry.InitLogging(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcesim:", err)
+		os.Exit(2)
+	}
+	logger = logger.With("bin", "bcesim")
+	slog.SetDefault(logger)
+	telemetry.RegisterBuildLabel("revision", manifest.ShortRevision())
+	telemetry.RegisterBuildLabel("trace_format", fmt.Sprint(trace.FormatVersion))
 
 	if *debugAddr != "" {
 		srv, err := telemetry.StartDebug(*debugAddr, map[string]func() any{
@@ -72,7 +86,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "bcesim: debug endpoint on http://%s/debug/\n", srv.Addr())
+		logger.Info("debug endpoint up", "url", "http://"+srv.Addr()+"/debug/")
 	}
 
 	cfg := simConfig{

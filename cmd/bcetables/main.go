@@ -28,8 +28,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"bce/internal/config"
@@ -41,6 +43,15 @@ import (
 	"bce/internal/telemetry"
 	"bce/internal/workload"
 )
+
+// fleetMon holds the coordinator-side fleet monitor once a distributed
+// sweep starts. The debug server's var map is registered before the
+// coordinator exists, so the vars sample through this holder.
+var fleetMon atomic.Pointer[dist.Fleet]
+
+// coordMon likewise exposes the live coordinator's shard-latency
+// statistics.
+var coordMon atomic.Pointer[dist.Coordinator]
 
 // workloadSeeds maps every benchmark to its deterministic base seed,
 // recorded in run manifests so a result can be traced to its exact
@@ -72,8 +83,27 @@ func main() {
 		manifestTo = flag.String("manifest", "", "write a run manifest (provenance + per-job results) to this file")
 		remote     = flag.String("workers-remote", "", "comma-separated bceworker base URLs (e.g. http://127.0.0.1:8371); shard the sweep's timing simulations across them, then aggregate locally — output is byte-identical to a single-process run")
 		distBatch  = flag.Int("dist-batch", 0, "jobs per batch request to remote workers (0 = default)")
+		traceSpans = flag.String("trace-spans", "", "write the distributed sweep's merged cross-process span timeline (Chrome trace_event JSON, needs -workers-remote) to this file")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
+
+	logger, err := telemetry.InitLogging(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcetables:", err)
+		os.Exit(2)
+	}
+	logger = logger.With("bin", "bcetables")
+	slog.SetDefault(logger)
+	telemetry.RegisterBuildLabel("revision", manifest.ShortRevision())
+	telemetry.RegisterBuildLabel("dist_schema", fmt.Sprint(dist.SchemaVersion))
+	telemetry.RegisterBuildLabel("manifest_schema", fmt.Sprint(manifest.SchemaVersion))
+
+	if *traceSpans != "" && *remote == "" {
+		fmt.Fprintln(os.Stderr, "bcetables: -trace-spans needs -workers-remote (spans trace the distributed sweep)")
+		os.Exit(2)
+	}
 
 	if *debugAddr != "" {
 		srv, err := telemetry.StartDebug(*debugAddr, map[string]func() any{
@@ -83,13 +113,25 @@ func main() {
 				return map[string]uint64{"hits": hits, "misses": misses}
 			},
 			"bce_dist": func() any { return dist.Snapshot() },
+			"bce_fleet": func() any {
+				if f := fleetMon.Load(); f != nil {
+					return f.Snapshot()
+				}
+				return nil
+			},
+			"bce_dist_coordinator": func() any {
+				if c := coordMon.Load(); c != nil {
+					return c.Stats()
+				}
+				return nil
+			},
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bcetables:", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "bcetables: debug endpoint on http://%s/debug/\n", srv.Addr())
+		logger.Info("debug endpoint up", "url", "http://"+srv.Addr()+"/debug/")
 	}
 
 	core.SetParallelism(*workers)
@@ -116,8 +158,8 @@ func main() {
 			os.Exit(1)
 		}
 		if *resume {
-			fmt.Fprintf(os.Stderr, "bcetables: resumed from %s (%d checkpointed simulations)\n",
-				core.CheckpointPath(), replayed)
+			logger.Info("resumed from checkpoint",
+				"path", core.CheckpointPath(), "simulations", replayed)
 		}
 	}
 
@@ -172,7 +214,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bcetables: -workers-remote lists no worker URLs")
 			os.Exit(2)
 		}
-		if err := distribute(ctx, urls, *exp, *bench, *csv, sz, mb, *distBatch, *jobTimeout, *retries); err != nil {
+		if err := distribute(ctx, urls, *exp, *bench, *csv, sz, mb, *distBatch, *jobTimeout, *retries, *traceSpans); err != nil {
 			fail(err)
 		}
 	}
@@ -189,12 +231,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bcetables:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "bcetables: run manifest written to %s\n", *manifestTo)
+		logger.Info("run manifest written", "path", *manifestTo)
 	}
 	if *progress {
 		hits, misses := core.ResultCacheStats()
-		fmt.Fprintf(os.Stderr, "bcetables: result cache: %d hits, %d misses (%d simulations avoided)\n",
-			hits, misses, hits)
+		logger.Info("result cache summary", "hits", hits, "misses", misses, "avoided", hits)
 	}
 }
 
@@ -202,10 +243,10 @@ func main() {
 // shutdown: what completed, and how to pick the sweep back up.
 func interrupted() {
 	ls := runner.LiveSnapshot()
-	fmt.Fprintf(os.Stderr, "bcetables: interrupted: %d simulations finished (%d cached, %d retried) before shutdown\n",
-		ls.JobsDone, ls.JobsCached, ls.JobsRetried)
+	slog.Warn("interrupted before completion",
+		"finished", ls.JobsDone, "cached", ls.JobsCached, "retried", ls.JobsRetried)
 	if path := core.CheckpointPath(); path != "" {
-		fmt.Fprintf(os.Stderr, "bcetables: completed work is checkpointed in %s; rerun with -resume to continue\n", path)
+		slog.Info("completed work is checkpointed; rerun with -resume to continue", "path", path)
 	}
 }
 
@@ -228,15 +269,20 @@ func splitList(s string) []string {
 // are already stored — a resumed coordinator — are excluded from the
 // plan, so only missing work is dispatched.
 func distribute(ctx context.Context, urls []string, exp, bench string, csv bool,
-	sz core.Sizes, mb *manifest.Builder, batch int, jobTimeout time.Duration, retries int) error {
+	sz core.Sizes, mb *manifest.Builder, batch int, jobTimeout time.Duration, retries int,
+	traceSpans string) error {
+	log := slog.Default().With("component", "coordinator")
+	var tracer *telemetry.Tracer
+	if traceSpans != "" {
+		tracer = telemetry.NewTracer("coordinator")
+	}
 	coord, err := dist.NewCoordinator(dist.Options{
 		Workers:    urls,
 		BatchSize:  batch,
 		JobTimeout: jobTimeout,
 		Retries:    retries,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "bcetables: "+format+"\n", args...)
-		},
+		Logger:     log,
+		Tracer:     tracer,
 		OnResult: func(worker string, job dist.Job, run metrics.Run) {
 			core.InjectResult(job.Key, run)
 			if mb != nil {
@@ -251,27 +297,68 @@ func distribute(ctx context.Context, urls []string, exp, bench string, csv bool,
 	if err != nil {
 		return err
 	}
+	coordMon.Store(coord)
+	defer coordMon.Store(nil)
 	if err := coord.Ping(ctx); err != nil {
 		return err
 	}
+
+	// The fleet monitor is observational: it polls worker /metrics and
+	// /readyz for the debug endpoint's bce_fleet var and stops when the
+	// sweep ends. Its failures never affect job routing.
+	fleetCtx, stopFleet := context.WithCancel(ctx)
+	fleet := dist.NewFleet(dist.FleetOptions{Workers: urls, Logger: log})
+	fleet.Start(fleetCtx)
+	fleetMon.Store(fleet)
+	defer func() {
+		fleetMon.Store(nil)
+		stopFleet()
+		fleet.Wait()
+	}()
+
 	plan, err := core.CollectJobs(func() error {
 		return run(exp, bench, csv, sz, nil, io.Discard)
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "bcetables: plan: %d simulations to distribute over %d workers (%d already stored, %d local-only)\n",
-		len(plan.Jobs), len(urls), plan.Stored, plan.Local)
+	log.Info("plan ready",
+		"jobs", len(plan.Jobs), "workers", len(urls), "stored", plan.Stored, "local_only", plan.Local)
 	if len(plan.Jobs) == 0 {
 		return nil
 	}
 	start := time.Now()
-	if err := coord.Run(ctx, plan.Jobs, plan.Keys); err != nil {
+	runErr := coord.Run(ctx, plan.Jobs, plan.Keys)
+	if tracer != nil {
+		// Write whatever spans were collected even on failure — a partial
+		// timeline is exactly what debugs a failed sweep.
+		if werr := writeSpanFile(traceSpans, tracer); werr != nil {
+			log.Warn("span trace not written", "path", traceSpans, "err", werr)
+		} else {
+			started, ended := tracer.Counts()
+			log.Info("span trace written", "path", traceSpans, "spans", ended, "started", started)
+		}
+	}
+	if runErr != nil {
+		return runErr
+	}
+	log.Info("remote simulations merged",
+		"jobs", len(plan.Jobs), "elapsed", time.Since(start).Round(100*time.Millisecond).String())
+	return nil
+}
+
+// writeSpanFile drains the tracer and writes the merged cross-process
+// Chrome trace (coordinator + worker spans in one timeline).
+func writeSpanFile(path string, tracer *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "bcetables: %d remote simulations merged in %.1fs\n",
-		len(plan.Jobs), time.Since(start).Seconds())
-	return nil
+	if err := telemetry.WriteSpanTrace(f, tracer.Drain()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(exp, bench string, csv bool, sz core.Sizes, mb *manifest.Builder, out io.Writer) error {

@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
+	"bce/internal/manifest"
 	"bce/internal/runner"
 	"bce/internal/telemetry"
 	"bce/internal/trace"
@@ -23,16 +25,40 @@ import (
 
 func main() {
 	args := os.Args[1:]
-	// Global option, before the subcommand: -debug-addr <addr>.
-	if len(args) >= 2 && args[0] == "-debug-addr" {
-		srv, err := telemetry.StartDebug(args[1], nil)
+	// Global options, before the subcommand: -debug-addr <addr>,
+	// -log-level <level>, -log-format <format>.
+	debugAddr, logLevel, logFormat := "", "info", "text"
+globals:
+	for len(args) >= 2 {
+		switch args[0] {
+		case "-debug-addr":
+			debugAddr = args[1]
+		case "-log-level":
+			logLevel = args[1]
+		case "-log-format":
+			logFormat = args[1]
+		default:
+			break globals
+		}
+		args = args[2:]
+	}
+	logger, err := telemetry.InitLogging(logLevel, logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcetrace:", err)
+		os.Exit(2)
+	}
+	logger = logger.With("bin", "bcetrace")
+	slog.SetDefault(logger)
+	telemetry.RegisterBuildLabel("revision", manifest.ShortRevision())
+	telemetry.RegisterBuildLabel("trace_format", fmt.Sprint(trace.FormatVersion))
+	if debugAddr != "" {
+		srv, err := telemetry.StartDebug(debugAddr, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bcetrace:", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "bcetrace: debug endpoint on http://%s/debug/\n", srv.Addr())
-		args = args[2:]
+		logger.Info("debug endpoint up", "url", "http://"+srv.Addr()+"/debug/")
 	}
 	if len(args) < 1 {
 		usage()
@@ -42,7 +68,6 @@ func main() {
 	// removes the partial (footerless, hence unreadable) output file.
 	ctx, stop := runner.ShutdownContext(context.Background())
 	defer stop()
-	var err error
 	switch args[0] {
 	case "gen":
 		err = cmdGen(ctx, args[1:])
@@ -62,7 +87,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  bcetrace [-debug-addr <addr>] <command>
+  bcetrace [-debug-addr <addr>] [-log-level <level>] [-log-format <fmt>] <command>
   bcetrace gen  -bench <name> -n <uops> -o <file>   generate a trace
   bcetrace dump -i <file> [-n <uops>] [-skip <uops>] print uops
   bcetrace stat -i <file>                            summarize a trace`)

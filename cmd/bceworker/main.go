@@ -13,6 +13,10 @@
 // reassigns the unfinished batches to surviving workers. Re-delivered
 // jobs whose results are already in the worker's cache are served, not
 // re-simulated.
+//
+// The API port also answers /healthz (liveness), /readyz (flips to 503
+// once shutdown begins, so fleet monitors stop routing to a draining
+// worker), and /metrics (Prometheus text format).
 package main
 
 import (
@@ -20,12 +24,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	"bce/internal/core"
 	"bce/internal/dist"
+	"bce/internal/manifest"
 	"bce/internal/runner"
 	"bce/internal/telemetry"
 )
@@ -37,12 +44,24 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel simulations per batch (0 = GOMAXPROCS)")
 		cacheDir  = flag.String("cache", "", "directory for this worker's on-disk timing-result cache (empty = in-memory only)")
 		debugAddr = flag.String("debug-addr", "", "serve pprof + expvar + live stats on this address; Prometheus text format on /metrics")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
 
+	logger, err := telemetry.InitLogging(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bceworker:", err)
+		os.Exit(2)
+	}
+	logger = logger.With("bin", "bceworker")
+	slog.SetDefault(logger)
+	telemetry.RegisterBuildLabel("revision", manifest.ShortRevision())
+	telemetry.RegisterBuildLabel("dist_schema", fmt.Sprint(dist.SchemaVersion))
+
 	if *cacheDir != "" {
 		if err := core.SetResultCacheDir(*cacheDir); err != nil {
-			fmt.Fprintln(os.Stderr, "bceworker:", err)
+			logger.Error("result cache setup failed", "err", err)
 			os.Exit(1)
 		}
 	}
@@ -56,26 +75,29 @@ func main() {
 			},
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bceworker:", err)
+			logger.Error("debug endpoint failed", "err", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "bceworker: debug endpoint on http://%s/debug/\n", srv.Addr())
+		logger.Info("debug endpoint up", "url", "http://"+srv.Addr()+"/debug/")
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bceworker:", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
 	if *name == "" {
 		*name = ln.Addr().String()
 	}
+	logger = logger.With("worker", *name)
 	w := dist.NewWorker(dist.WorkerOptions{
-		Name: *name,
-		Pool: runner.New(runner.Options{Workers: *workers}),
+		Name:   *name,
+		Pool:   runner.New(runner.Options{Workers: *workers}),
+		Logger: logger,
 	})
 	srv := &http.Server{Handler: w.Handler()}
+	start := time.Now()
 
 	// First SIGINT/SIGTERM drains in-flight batches and exits; a second
 	// kills the process (runner.ShutdownContext semantics).
@@ -83,13 +105,32 @@ func main() {
 	defer stop()
 	go func() {
 		<-ctx.Done()
+		// Fail /readyz first so fleet monitors and load balancers stop
+		// routing here while in-flight batches drain.
+		w.SetReady(false)
+		logger.Info("shutdown requested; draining in-flight batches")
 		srv.Shutdown(context.Background()) //nolint:errcheck // exiting anyway
 	}()
 
+	logger.Info("serving", "url", "http://"+ln.Addr().String(), "schema", dist.SchemaVersion)
+	// The plain-print line below keeps the startup address greppable in
+	// smoke scripts regardless of -log-format.
 	fmt.Fprintf(os.Stderr, "bceworker: %q serving on http://%s (schema v%d)\n",
 		*name, ln.Addr(), dist.SchemaVersion)
-	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "bceworker:", err)
+	err = srv.Serve(ln)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("serve failed", "err", err)
 		os.Exit(1)
 	}
+	// Final structured summary: what this worker did over its lifetime.
+	snap := dist.Snapshot()
+	hits, misses := core.ResultCacheStats()
+	logger.Info("worker shutdown complete",
+		"batches_served", snap.BatchesServed,
+		"jobs_received", snap.JobsReceived,
+		"jobs_ok", snap.JobsOK,
+		"jobs_failed", snap.JobsFailed,
+		"cache_hits", hits,
+		"cache_misses", misses,
+		"uptime", time.Since(start).Round(time.Second).String())
 }

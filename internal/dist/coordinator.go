@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 	"bce/internal/core"
 	"bce/internal/metrics"
 	"bce/internal/runner"
+	"bce/internal/telemetry"
 )
 
 // Options configures a Coordinator.
@@ -42,9 +44,14 @@ type Options struct {
 	// and the result. Workers execute concurrently, so OnResult must be
 	// safe for concurrent use. Required.
 	OnResult func(worker string, job Job, run metrics.Run)
-	// Logf, when set, receives progress and rebalancing notes (worker
-	// death, batch reassignment). Nil discards.
-	Logf func(format string, args ...any)
+	// Logger receives structured progress and rebalancing records
+	// (worker death, batch reassignment, retries). Nil means
+	// slog.Default(); records inside the sweep trace carry trace_id.
+	Logger *slog.Logger
+	// Tracer, when set, opens a sweep-level trace: one root span, one
+	// span per shard, one per batch request, merged with the spans
+	// workers ship back. Nil disables tracing (zero overhead).
+	Tracer *telemetry.Tracer
 }
 
 // Coordinator shards a planned job space across worker processes and
@@ -58,6 +65,7 @@ type Options struct {
 type Coordinator struct {
 	opts        Options
 	client      *http.Client
+	log         *slog.Logger
 	maxAttempts int
 
 	mu       sync.Mutex
@@ -68,6 +76,32 @@ type Coordinator struct {
 	doneCh   chan struct{}
 	doneOnce sync.Once
 	cancel   context.CancelFunc
+
+	// Sweep trace state (nil/empty when Options.Tracer is nil).
+	sweepSpan *telemetry.Span
+	shards    []*shardTrace
+
+	// statsMu guards stats: telemetry histograms are unsynchronized by
+	// design, and batch completions observe from many worker loops.
+	statsMu sync.Mutex
+	stats   *telemetry.Registry
+}
+
+// shardTrace tracks one shard's span and how many of its tasks are
+// still outstanding; the last task to finish ends the span, wherever
+// it ended up executing after rebalancing.
+type shardTrace struct {
+	span    *telemetry.Span
+	pending atomic.Int64
+}
+
+func (s *shardTrace) taskDone() {
+	if s == nil {
+		return
+	}
+	if s.pending.Add(-1) == 0 {
+		s.span.End()
+	}
 }
 
 // task is one batch plus its delivery-attempt count. Attempts increment
@@ -103,6 +137,8 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 	c := &Coordinator{
 		opts:   opts,
 		client: opts.Client,
+		log:    opts.Logger,
+		stats:  telemetry.NewRegistry(),
 		// In-place retries plus one reassignment per worker: enough for
 		// any survivable failure pattern, finite under total loss.
 		maxAttempts: opts.Retries + len(opts.Workers),
@@ -110,13 +146,35 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 	if c.client == nil {
 		c.client = &http.Client{}
 	}
+	if c.log == nil {
+		c.log = slog.Default()
+	}
 	return c, nil
 }
 
-func (c *Coordinator) logf(format string, args ...any) {
-	if c.opts.Logf != nil {
-		c.opts.Logf(format, args...)
+// Stats snapshots the coordinator's sweep statistics (per-shard batch
+// latency histograms, in milliseconds). Safe during a running sweep.
+func (c *Coordinator) Stats() telemetry.Snapshot {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats.Snapshot()
+}
+
+// observeBatch records one completed batch request's latency under its
+// shard's histogram.
+func (c *Coordinator) observeBatch(shard int, d time.Duration) {
+	c.statsMu.Lock()
+	c.stats.Histogram(fmt.Sprintf("shard%d.batch_ms", shard)).Observe(uint64(d.Milliseconds()))
+	c.statsMu.Unlock()
+}
+
+// shardFor returns the trace bookkeeping for a task's shard (nil when
+// tracing is off).
+func (c *Coordinator) shardFor(t *task) *shardTrace {
+	if t.batch.Shard < len(c.shards) {
+		return c.shards[t.batch.Shard]
 	}
+	return nil
 }
 
 // Ping checks every worker for liveness and schema agreement. Callers
@@ -207,6 +265,34 @@ func (c *Coordinator) Run(ctx context.Context, jobs []core.JobSpec, keys []strin
 	c.alive.Store(int64(nw))
 	live.jobsDispatched.Add(uint64(len(jobs)))
 
+	// Open the sweep trace: a root span plus one span per shard. Shard
+	// spans end when their last task retires — possibly on a different
+	// worker than the shard was cut for — and any span still open when
+	// Run returns (abort paths) is closed below; End is idempotent.
+	if tr := c.opts.Tracer; tr != nil {
+		c.sweepSpan = tr.StartTrace("sweep")
+		c.sweepSpan.SetAttr("jobs", fmt.Sprint(len(jobs)))
+		c.sweepSpan.SetAttr("workers", fmt.Sprint(nw))
+		c.shards = make([]*shardTrace, nw)
+		for si := range c.shards {
+			st := &shardTrace{span: tr.StartSpan("shard", c.sweepSpan.Context())}
+			st.span.SetAttr("shard", fmt.Sprint(si))
+			st.span.SetAttr("worker", c.opts.Workers[si])
+			st.pending.Store(int64(len(tasks[si])))
+			if len(tasks[si]) == 0 {
+				st.span.End()
+			}
+			c.shards[si] = st
+		}
+		defer func() {
+			for _, st := range c.shards {
+				st.span.End()
+			}
+			c.sweepSpan.End()
+			c.shards, c.sweepSpan = nil, nil
+		}()
+	}
+
 	// Orphan queue: batches whose worker died, awaiting reassignment.
 	// Sized so every task can be requeued at its full attempt budget
 	// without a push ever blocking.
@@ -280,7 +366,8 @@ func (c *Coordinator) requeue(t *task, orphans chan *task) bool {
 func (c *Coordinator) workerLoop(ctx context.Context, url string, own []*task, orphans chan *task) {
 	died := func(t *task, err error) {
 		live.workersLost.Add(1)
-		c.logf("dist: worker %s lost (%v); reassigning %d batch(es)", url, err, 1+len(own))
+		c.log.WarnContext(telemetry.ContextWithSpan(ctx, c.sweepSpan), "worker lost; reassigning batches",
+			"url", url, "batches", 1+len(own), "err", err)
 		c.requeue(t, orphans)
 		for _, rest := range own {
 			c.requeue(rest, orphans)
@@ -338,7 +425,9 @@ func (c *Coordinator) handle(ctx context.Context, url string, t *task, orphans c
 	if len(requeueJobs) > 0 {
 		// Worker-side transient failures (per-job deadline expiry):
 		// spin the survivors into a fresh task before retiring this one
-		// so the pending count never momentarily hits zero.
+		// so the pending count never momentarily hits zero. The shard's
+		// trace pending count moves in lockstep so its span outlives the
+		// retried work.
 		nt := &task{
 			batch: Batch{
 				Schema:       SchemaVersion,
@@ -350,10 +439,15 @@ func (c *Coordinator) handle(ctx context.Context, url string, t *task, orphans c
 			attempts: t.attempts,
 		}
 		c.pending.Add(1)
+		if st := c.shardFor(nt); st != nil {
+			st.pending.Add(1)
+		}
 		if c.requeue(nt, orphans) {
-			c.logf("dist: %d transient job failure(s) on %s requeued", len(requeueJobs), url)
+			c.log.InfoContext(telemetry.ContextWithSpan(ctx, c.sweepSpan), "transient job failures requeued",
+				"jobs", len(requeueJobs), "url", url)
 		}
 	}
+	c.shardFor(t).taskDone()
 	c.finish()
 	return true
 }
@@ -369,11 +463,27 @@ func (c *Coordinator) runTask(ctx context.Context, url string, t *task) ([]Job, 
 	if err != nil {
 		return nil, fmt.Errorf("dist: encode batch: %w", err)
 	}
+	// One batch span covers the task on this worker, in-place retries
+	// included; its context rides the request headers so the worker's
+	// spans become its children.
+	var parent telemetry.SpanContext
+	if st := c.shardFor(t); st != nil {
+		parent = st.span.Context()
+	}
+	span := c.opts.Tracer.StartSpan("batch", parent)
+	span.SetAttr("shard", fmt.Sprint(t.batch.Shard))
+	span.SetAttr("seq", fmt.Sprint(t.batch.Seq))
+	span.SetAttr("jobs", fmt.Sprint(len(t.batch.Jobs)))
+	span.SetAttr("url", url)
+	defer span.End()
+	logCtx := telemetry.ContextWithSpan(ctx, span)
+
 	backoff := c.opts.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		if attempt > 0 {
 			live.batchRetries.Add(1)
+			span.SetAttr("retries", fmt.Sprint(attempt))
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
@@ -381,15 +491,18 @@ func (c *Coordinator) runTask(ctx context.Context, url string, t *task) ([]Job, 
 			}
 			backoff *= 2
 		}
+		start := time.Now()
 		var reply BatchResult
-		reply, lastErr = c.post(ctx, url, payload)
+		reply, lastErr = c.post(ctx, url, payload, span.Context())
 		if lastErr == nil {
+			c.observeBatch(t.batch.Shard, time.Since(start))
 			return c.merge(t, reply)
 		}
 		if !runner.IsTransient(lastErr) || ctx.Err() != nil {
 			return nil, lastErr
 		}
-		c.logf("dist: batch to %s failed (attempt %d/%d): %v", url, attempt+1, c.opts.Retries+1, lastErr)
+		c.log.WarnContext(logCtx, "batch attempt failed",
+			"url", url, "attempt", attempt+1, "attempts", c.opts.Retries+1, "err", lastErr)
 	}
 	return nil, lastErr
 }
@@ -397,12 +510,16 @@ func (c *Coordinator) runTask(ctx context.Context, url string, t *task) ([]Job, 
 // post sends one batch request and decodes the reply, classifying
 // failures: transport errors and 5xx are transient, HTTP 400 and
 // schema mismatches are deterministic.
-func (c *Coordinator) post(ctx context.Context, url string, payload []byte) (BatchResult, error) {
+func (c *Coordinator) post(ctx context.Context, url string, payload []byte, sc telemetry.SpanContext) (BatchResult, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+PathExec, bytes.NewReader(payload))
 	if err != nil {
 		return BatchResult{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if sc.Valid() {
+		req.Header.Set(HeaderTraceID, sc.TraceID)
+		req.Header.Set(HeaderSpanID, sc.SpanID)
+	}
 	live.batchesSent.Add(1)
 	resp, err := c.client.Do(req)
 	if err != nil {
@@ -439,6 +556,9 @@ func (c *Coordinator) post(ctx context.Context, url string, payload []byte) (Bat
 // batch exactly is treated as transient (retry re-serves cached
 // results cheaply on the worker).
 func (c *Coordinator) merge(t *task, reply BatchResult) ([]Job, error) {
+	// Worker spans merge into the sweep's tracer regardless of job
+	// outcomes — a failed batch's timing is exactly what a trace is for.
+	c.opts.Tracer.Import(reply.Spans)
 	byKey := make(map[string]Job, len(t.batch.Jobs))
 	for _, j := range t.batch.Jobs {
 		byKey[j.Key] = j

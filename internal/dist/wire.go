@@ -17,6 +17,18 @@ import (
 
 	"bce/internal/core"
 	"bce/internal/metrics"
+	"bce/internal/telemetry"
+)
+
+// Trace-context propagation headers. Trace identity rides HTTP headers,
+// not message bodies, so the wire schema (and therefore v1 payload
+// compatibility) is untouched: an old worker ignores the headers, an
+// old coordinator never sends them. A worker attaches spans to its
+// reply only when the request carried these headers, which keeps new
+// workers compatible with old coordinators' strict decoders too.
+const (
+	HeaderTraceID = "Bce-Trace-Id"
+	HeaderSpanID  = "Bce-Span-Id"
 )
 
 // SchemaVersion is the wire-schema version stamped on every Batch and
@@ -96,6 +108,11 @@ type BatchResult struct {
 	Worker string `json:"worker,omitempty"`
 	// Results holds one entry per job in the batch.
 	Results []JobResult `json:"results"`
+	// Spans carries the worker's completed trace spans for this batch,
+	// present only when the request carried trace-context headers. The
+	// coordinator imports them into the sweep's tracer, which is how
+	// one merged cross-process timeline exists at all.
+	Spans []telemetry.SpanData `json:"spans,omitempty"`
 }
 
 // EncodeBatch serializes b to wire form.
@@ -161,6 +178,14 @@ func DecodeBatchResult(data []byte) (BatchResult, error) {
 		}
 		if jr.Transient && jr.Err == "" {
 			return BatchResult{}, fmt.Errorf("dist: batch result: entry %d: transient without error", i)
+		}
+	}
+	for i, sp := range r.Spans {
+		if sp.TraceID == "" || sp.SpanID == "" || sp.Name == "" {
+			return BatchResult{}, fmt.Errorf("dist: batch result: span %d: missing trace_id/span_id/name", i)
+		}
+		if sp.Dur < 0 {
+			return BatchResult{}, fmt.Errorf("dist: batch result: span %d: negative duration", i)
 		}
 	}
 	return r, nil

@@ -3,12 +3,15 @@ package dist
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"bce/internal/core"
 	"bce/internal/metrics"
 	"bce/internal/runner"
+	"bce/internal/telemetry"
 )
 
 // WorkerOptions configures a batch-execution worker.
@@ -23,20 +26,25 @@ type WorkerOptions struct {
 	// Pool bounds batch-internal parallelism; nil means a default pool
 	// at GOMAXPROCS.
 	Pool *runner.Pool
+	// Logger receives structured request/shutdown logs; nil means
+	// slog.Default().
+	Logger *slog.Logger
 }
 
 // Worker executes job batches delivered over HTTP. It is stateless
 // between batches apart from the result cache its Exec function
 // maintains — killing a worker loses nothing but in-flight work.
 type Worker struct {
-	name string
-	exec func(ctx context.Context, j core.JobSpec) (metrics.Run, error)
-	pool *runner.Pool
+	name  string
+	exec  func(ctx context.Context, j core.JobSpec) (metrics.Run, error)
+	pool  *runner.Pool
+	log   *slog.Logger
+	ready atomic.Bool
 }
 
 // NewWorker builds a Worker from opts.
 func NewWorker(opts WorkerOptions) *Worker {
-	w := &Worker{name: opts.Name, exec: opts.Exec, pool: opts.Pool}
+	w := &Worker{name: opts.Name, exec: opts.Exec, pool: opts.Pool, log: opts.Logger}
 	if w.name == "" {
 		w.name = "worker"
 	}
@@ -46,17 +54,55 @@ func NewWorker(opts WorkerOptions) *Worker {
 	if w.pool == nil {
 		w.pool = runner.New(runner.Options{})
 	}
+	if w.log == nil {
+		w.log = slog.Default()
+	}
+	w.ready.Store(true)
 	return w
 }
 
+// SetReady flips the /readyz answer. cmd/bceworker marks the worker
+// unready when shutdown begins, so a fleet monitor (or load balancer)
+// stops handing it new sweeps while in-flight batches drain.
+func (w *Worker) SetReady(ready bool) { w.ready.Store(ready) }
+
 // Handler returns the worker's HTTP surface: PathExec (batch
-// execution) and PathPing (liveness + schema handshake). Mount it on
-// any mux; cmd/bceworker serves it alongside the debug endpoints.
+// execution), PathPing (liveness + schema handshake), and — because
+// the coordinator's fleet monitor knows only this base URL — /healthz,
+// /readyz, and a Prometheus /metrics page. Mount it on any mux;
+// cmd/bceworker serves it alongside the debug endpoints.
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathExec, w.handleExec)
 	mux.HandleFunc(PathPing, w.handlePing)
+	mux.Handle("/healthz", telemetry.GetOnly(func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(rw, "ok")
+	}))
+	mux.Handle("/readyz", telemetry.GetOnly(func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !w.ready.Load() {
+			rw.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(rw, "not ready")
+			return
+		}
+		fmt.Fprintln(rw, "ok")
+	}))
+	mux.Handle("/metrics", telemetry.GetOnly(w.serveMetrics))
 	return mux
+}
+
+// serveMetrics renders the worker's counters in Prometheus text form
+// on the API port, so the fleet monitor scrapes the URL it already
+// has instead of needing a second per-worker debug address.
+func (w *Worker) serveMetrics(rw http.ResponseWriter, _ *http.Request) {
+	rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.WriteBuildInfo(rw)
+	telemetry.WritePrometheus(rw, "bce_dist", Snapshot())
+	telemetry.WritePrometheus(rw, "bce_runner", runner.LiveSnapshot())
+	hits, misses := core.ResultCacheStats()
+	telemetry.WritePrometheus(rw, "bce_result_cache",
+		map[string]uint64{"hits": hits, "misses": misses})
 }
 
 func (w *Worker) handlePing(rw http.ResponseWriter, req *http.Request) {
@@ -73,38 +119,80 @@ func (w *Worker) handleExec(rw http.ResponseWriter, req *http.Request) {
 		http.Error(rw, "exec is POST", http.StatusMethodNotAllowed)
 		return
 	}
+	// Trace context, if the coordinator sent any, arrives as headers.
+	// Only then does this request get a tracer — replies to untraced
+	// (or pre-tracing) coordinators never grow a spans field.
+	var tracer *telemetry.Tracer
+	remote := telemetry.SpanContext{
+		TraceID: req.Header.Get(HeaderTraceID),
+		SpanID:  req.Header.Get(HeaderSpanID),
+	}
+	if remote.Valid() {
+		tracer = telemetry.NewTracer(w.name)
+	}
+	execSpan := tracer.StartSpan("exec", remote)
+	ctx := telemetry.ContextWithSpan(req.Context(), execSpan)
+
+	decSpan := tracer.StartSpan("decode", execSpan.Context())
 	body, err := readAllLimited(req.Body)
 	if err != nil {
+		decSpan.End()
+		execSpan.End()
 		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
 	}
 	batch, err := DecodeBatch(body)
+	decSpan.End()
 	if err != nil {
 		// A malformed or version-skewed batch is deterministic: the
 		// coordinator must not retry it here.
+		execSpan.End()
+		w.log.WarnContext(ctx, "rejected batch", "worker", w.name, "err", err)
 		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
 	}
+	execSpan.SetAttr("shard", fmt.Sprint(batch.Shard))
+	execSpan.SetAttr("seq", fmt.Sprint(batch.Seq))
+	execSpan.SetAttr("jobs", fmt.Sprint(len(batch.Jobs)))
 	live.batchStart(len(batch.Jobs))
+	w.log.DebugContext(ctx, "batch accepted",
+		"worker", w.name, "shard", batch.Shard, "seq", batch.Seq, "jobs", len(batch.Jobs))
 
 	// Execute every job; per-job failures become per-job results, so
 	// Map's fn never errors and the batch always completes (unless the
 	// coordinator hangs up, cancelling req.Context()).
-	results, err := runner.Map(req.Context(), w.pool, batch.Jobs,
+	results, err := runner.Map(ctx, w.pool, batch.Jobs,
 		func(ctx context.Context, _ int, job Job) (JobResult, error) {
-			return w.runJob(ctx, job, batch.JobTimeoutMS), nil
+			jobSpan := tracer.StartSpan("job", execSpan.Context())
+			jobSpan.SetAttr("key", job.Key)
+			jobSpan.SetAttr("bench", job.Spec.Bench)
+			r := w.runJob(telemetry.ContextWithSpan(ctx, jobSpan), job, batch.JobTimeoutMS)
+			if r.Err != "" {
+				jobSpan.SetAttr("err", r.Err)
+			}
+			jobSpan.End()
+			return r, nil
 		})
 	if err != nil {
 		live.batchEnd(false)
+		execSpan.End()
 		// Client gone; nothing useful to write.
 		http.Error(rw, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
-	reply, err := EncodeBatchResult(BatchResult{
+	// The encode span times reply assembly; the final JSON marshal is
+	// necessarily outside it (the span must be inside the bytes it is
+	// shipped in).
+	encSpan := tracer.StartSpan("encode", execSpan.Context())
+	result := BatchResult{
 		Schema:  SchemaVersion,
 		Worker:  w.name,
 		Results: results,
-	})
+	}
+	encSpan.End()
+	execSpan.End()
+	result.Spans = tracer.Drain()
+	reply, err := EncodeBatchResult(result)
 	if err != nil {
 		live.batchEnd(false)
 		http.Error(rw, err.Error(), http.StatusInternalServerError)
@@ -139,6 +227,8 @@ func (w *Worker) runJob(ctx context.Context, job Job, timeoutMS int64) JobResult
 	run, err := w.exec(ctx, job.Spec)
 	if err != nil {
 		live.jobDone(false)
+		w.log.DebugContext(ctx, "job failed",
+			"worker", w.name, "key", job.Key, "transient", runner.IsTransient(err), "err", err)
 		return JobResult{Key: job.Key, Err: err.Error(), Transient: runner.IsTransient(err)}
 	}
 	live.jobDone(true)

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"sync"
 )
@@ -138,15 +139,15 @@ func (j *Journal) Save(key string, data []byte) {
 	}
 	j.entries[key] = json.RawMessage(data)
 	if _, err := j.w.Write(append(raw, '\n')); err != nil {
-		fmt.Fprintf(os.Stderr, "runner: journal append: %v\n", err)
+		slog.Warn("journal append failed", "err", err)
 		return
 	}
 	if err := j.w.Flush(); err != nil {
-		fmt.Fprintf(os.Stderr, "runner: journal flush: %v\n", err)
+		slog.Warn("journal flush failed", "err", err)
 		return
 	}
 	if err := j.f.Sync(); err != nil {
-		fmt.Fprintf(os.Stderr, "runner: journal sync: %v\n", err)
+		slog.Warn("journal sync failed", "err", err)
 	}
 }
 

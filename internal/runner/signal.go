@@ -3,6 +3,7 @@ package runner
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -22,7 +23,11 @@ func ShutdownContext(parent context.Context) (context.Context, context.CancelFun
 	go func() {
 		select {
 		case sig := <-ch:
-			fmt.Fprintf(os.Stderr, "\ninterrupted (%v): finishing in-flight jobs, flushing checkpoints; interrupt again to kill\n", sig)
+			// The bare newline breaks out of any in-place progress line
+			// before the structured record.
+			fmt.Fprintln(os.Stderr)
+			slog.Warn("interrupted: finishing in-flight jobs, flushing checkpoints; interrupt again to kill",
+				"signal", sig.String())
 			cancel()
 		case <-ctx.Done():
 			signal.Stop(ch)

@@ -3,6 +3,7 @@ package runner
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 )
@@ -82,8 +83,8 @@ func (s *DirStore) quarantine(path string, reason error) {
 		}
 	}
 	live.quarantine()
-	fmt.Fprintf(os.Stderr, "runner: quarantined corrupt cache entry %s -> %s: %v\n",
-		filepath.Base(path), filepath.Base(bad), reason)
+	slog.Warn("quarantined corrupt cache entry",
+		"entry", filepath.Base(path), "moved_to", filepath.Base(bad), "err", reason)
 }
 
 // Save implements Store. The write goes through a temp file + rename

@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// buildinfo.go emits the conventional <app>_build_info identity gauge:
+// a constant-1 sample whose labels identify the running binary — Go
+// version always, plus whatever the binary registers at startup (git
+// revision, wire/manifest/trace schema versions). Scraping it from
+// every process in a fleet is how version skew is spotted from the
+// metrics plane alone.
+
+var (
+	buildLabelMu sync.Mutex
+	buildLabels  = map[string]string{}
+)
+
+// RegisterBuildLabel adds (or overwrites) one label on the process's
+// bce_build_info gauge. Call from main before serving; label names are
+// sanitized into the metric-name alphabet, values may be arbitrary
+// strings (escaped on output).
+func RegisterBuildLabel(name, value string) {
+	n := strings.TrimSuffix(strings.ReplaceAll(sanitizeMetricName(name), ":", "_"), "_")
+	if n == "" {
+		return
+	}
+	buildLabelMu.Lock()
+	buildLabels[n] = value
+	buildLabelMu.Unlock()
+}
+
+// WriteBuildInfo writes the bce_build_info gauge in Prometheus text
+// form: HELP, TYPE, then one sample with sorted, escaped labels.
+func WriteBuildInfo(w io.Writer) {
+	buildLabelMu.Lock()
+	labels := make(map[string]string, len(buildLabels)+1)
+	for k, v := range buildLabels {
+		labels[k] = v
+	}
+	buildLabelMu.Unlock()
+	if _, ok := labels["go_version"]; !ok {
+		labels["go_version"] = runtime.Version()
+	}
+	names := make([]string, 0, len(labels))
+	for k := range labels {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var pairs []string
+	for _, k := range names {
+		pairs = append(pairs, fmt.Sprintf(`%s="%s"`, k, escapeLabelValue(labels[k])))
+	}
+	fmt.Fprint(w, "# HELP bce_build_info Build identity of this process; value is always 1.\n")
+	fmt.Fprint(w, "# TYPE bce_build_info gauge\n")
+	fmt.Fprintf(w, "bce_build_info{%s} 1\n", strings.Join(pairs, ","))
+}

@@ -41,10 +41,47 @@ type chromeSpan struct {
 
 // chromeEvent is one buffered trace_event entry; Fields is marshaled
 // verbatim (encoding/json sorts map keys, keeping output canonical).
+// pid separates processes in a merged multi-process timeline; the
+// single-process simulator trace leaves it 0.
 type chromeEvent struct {
 	ts     uint64
+	pid    int
 	tid    int
 	fields map[string]any
+}
+
+// writeTraceDoc sorts events by (ts, pid, tid) stably and writes the
+// trace_event JSON document: one event object per line, so goldens
+// diff cleanly. Shared by the simulator ChromeTrace sink and the
+// distributed span exporter (spantrace.go).
+func writeTraceDoc(w io.Writer, events []chromeEvent) error {
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].ts != events[j].ts {
+			return events[i].ts < events[j].ts
+		}
+		if events[i].pid != events[j].pid {
+			return events[i].pid < events[j].pid
+		}
+		return events[i].tid < events[j].tid
+	})
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, e := range events {
+		b, err := json.Marshal(e.fields)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
 }
 
 // ChromeTrace is a Sink that renders the event stream as Chrome
@@ -195,30 +232,7 @@ func (c *ChromeTrace) Close() error {
 		}
 		c.slice("gated", tidGating, c.gateStart, last, nil)
 	}
-	sort.SliceStable(c.events, func(i, j int) bool {
-		if c.events[i].ts != c.events[j].ts {
-			return c.events[i].ts < c.events[j].ts
-		}
-		return c.events[i].tid < c.events[j].tid
-	})
-	if _, err := io.WriteString(c.w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
-		return err
-	}
-	for i, e := range c.events {
-		b, err := json.Marshal(e.fields)
-		if err != nil {
-			return err
-		}
-		sep := ",\n"
-		if i == len(c.events)-1 {
-			sep = "\n"
-		}
-		if _, err := fmt.Fprintf(c.w, "%s%s", b, sep); err != nil {
-			return err
-		}
-	}
-	_, err := io.WriteString(c.w, "]}\n")
-	return err
+	return writeTraceDoc(c.w, c.events)
 }
 
 var _ Sink = (*ChromeTrace)(nil)

@@ -7,6 +7,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,13 +16,15 @@ import (
 // net/http/pprof profiling, expvar counters, and caller-registered
 // live variables (sweep progress, cache hit rates, worker utilization)
 // under /debug/vars and /debug/live, plus a Prometheus text-format
-// rendering of the same vars under /metrics. It runs beside a simulation or
-// sweep and dies with the process; it holds no simulator state itself,
-// only the closures handed to Publish.
+// rendering of the same vars under /metrics, an SSE stream of the live
+// vars under /debug/progress, and /healthz + /readyz probes. It runs
+// beside a simulation or sweep and dies with the process; it holds no
+// simulator state itself, only the closures handed to Publish.
 type DebugServer struct {
-	ln   net.Listener
-	srv  *http.Server
-	vars map[string]func() any
+	ln    net.Listener
+	srv   *http.Server
+	vars  map[string]func() any
+	ready atomic.Pointer[func() bool]
 }
 
 // StartDebug listens on addr (host:port; use ":0" for an ephemeral
@@ -48,34 +52,127 @@ func StartDebug(addr string, vars map[string]func() any) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/live", d.serveLive)
-	mux.HandleFunc("/metrics", d.servePrometheus)
+	mux.Handle("/debug/vars", GetOnly(expvar.Handler().ServeHTTP))
+	mux.Handle("/debug/live", GetOnly(d.serveLive))
+	mux.Handle("/debug/progress", GetOnly(d.serveProgress))
+	mux.Handle("/metrics", GetOnly(d.servePrometheus))
+	mux.Handle("/healthz", GetOnly(serveHealthz))
+	mux.Handle("/readyz", GetOnly(d.serveReadyz))
 	d.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go d.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
 	return d, nil
 }
 
-// serveLive renders the registered vars as one JSON object with stable
-// key order.
-func (d *DebugServer) serveLive(w http.ResponseWriter, _ *http.Request) {
+// GetOnly wraps a handler func to reject any method but GET and HEAD
+// with 405 (and a correct Allow header) — probe and scrape endpoints
+// are read-only by contract.
+func GetOnly(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	})
+}
+
+// SetReady installs the /readyz probe predicate. Until called (or with
+// a nil predicate) the server reports ready as soon as it is serving.
+func (d *DebugServer) SetReady(fn func() bool) {
+	if fn == nil {
+		d.ready.Store(nil)
+		return
+	}
+	d.ready.Store(&fn)
+}
+
+// serveHealthz is liveness: the process is up and serving HTTP.
+func serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// serveReadyz is readiness: the process is willing to take work.
+func (d *DebugServer) serveReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if fn := d.ready.Load(); fn != nil && !(*fn)() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// renderLive samples every registered var into one JSON object with
+// stable key order.
+func (d *DebugServer) renderLive() []byte {
 	m := make(map[string]any, len(d.vars))
 	for name, fn := range d.vars {
 		m[name] = fn()
 	}
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprint(w, "{")
+	buf := []byte("{")
 	for i, name := range sortedVarNames(m) {
 		if i > 0 {
-			fmt.Fprint(w, ",")
+			buf = append(buf, ',')
 		}
 		b, err := json.Marshal(m[name])
 		if err != nil {
 			b = []byte(fmt.Sprintf("%q", err.Error()))
 		}
-		fmt.Fprintf(w, "%q:%s", name, b)
+		buf = append(buf, fmt.Sprintf("%q:", name)...)
+		buf = append(buf, b...)
 	}
-	fmt.Fprintln(w, "}")
+	return append(buf, '}')
+}
+
+// serveLive renders the registered vars as one JSON object.
+func (d *DebugServer) serveLive(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(d.renderLive(), '\n')) //nolint:errcheck // best-effort debug reply
+}
+
+// serveProgress streams the live vars as Server-Sent Events: one
+// `data: {...}` JSON frame per interval (query param "interval", Go
+// duration syntax, default 1s, floor 100ms) until the client hangs up.
+// `curl -N .../debug/progress?interval=500ms` tails a sweep live.
+func (d *DebugServer) serveProgress(w http.ResponseWriter, r *http.Request) {
+	interval := time.Second
+	if q := r.URL.Query().Get("interval"); q != "" {
+		dur, err := time.ParseDuration(q)
+		if err != nil {
+			// Bare numbers are seconds, as a convenience.
+			if secs, err2 := strconv.Atoi(q); err2 == nil && secs > 0 {
+				dur, err = time.Duration(secs)*time.Second, nil
+			}
+		}
+		if err != nil || dur <= 0 {
+			http.Error(w, "bad interval", http.StatusBadRequest)
+			return
+		}
+		interval = max(dur, 100*time.Millisecond)
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", d.renderLive()); err != nil {
+			return
+		}
+		flusher.Flush()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
 }
 
 // Addr returns the bound listen address (useful with ":0").

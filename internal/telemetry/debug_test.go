@@ -1,10 +1,13 @@
 package telemetry
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
 )
 
@@ -63,6 +66,130 @@ func TestDebugServer(t *testing.T) {
 	get("/debug/live")
 	if calls <= before {
 		t.Error("live var not re-sampled per request")
+	}
+}
+
+func TestDebugServerHandlerHygiene(t *testing.T) {
+	srv, err := StartDebug("127.0.0.1:0", map[string]func() any{
+		"test_hygiene_var": func() any { return map[string]int{"n": 1} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Read-only endpoints reject non-GET with 405 and an Allow header.
+	for _, path := range []string{"/debug/live", "/debug/vars", "/metrics", "/healthz", "/readyz", "/debug/progress"} {
+		resp, err := http.Post(base+path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+			t.Errorf("POST %s: Allow = %q", path, allow)
+		}
+	}
+
+	// Content types.
+	for path, want := range map[string]string{
+		"/debug/live": "application/json",
+		"/metrics":    "text/plain; version=0.0.4; charset=utf-8",
+		"/healthz":    "text/plain; charset=utf-8",
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := resp.Header.Get("Content-Type"); got != want {
+			t.Errorf("GET %s: Content-Type = %q, want %q", path, got, want)
+		}
+	}
+
+	// Readiness follows the installed predicate; liveness does not.
+	status := func(path string) int {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Errorf("/readyz before SetReady: status %d", got)
+	}
+	ready := false
+	srv.SetReady(func() bool { return ready })
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while not ready: status %d, want 503", got)
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz while not ready: status %d, want 200", got)
+	}
+	ready = true
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Errorf("/readyz when ready: status %d", got)
+	}
+}
+
+func TestDebugServerProgressStream(t *testing.T) {
+	srv, err := StartDebug("127.0.0.1:0", map[string]func() any{
+		"test_sse_var": func() any { return map[string]int{"n": 7} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+srv.Addr()+"/debug/progress?interval=100ms", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	// Read two SSE frames, then hang up.
+	sc := bufio.NewScanner(resp.Body)
+	frames := 0
+	for sc.Scan() && frames < 2 {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			t.Fatalf("non-SSE line %q", line)
+		}
+		var live map[string]map[string]int
+		if err := json.Unmarshal([]byte(data), &live); err != nil {
+			t.Fatalf("frame is not JSON: %v (%q)", err, data)
+		}
+		if live["test_sse_var"]["n"] != 7 {
+			t.Fatalf("frame = %v", live)
+		}
+		frames++
+	}
+	if frames < 2 {
+		t.Fatalf("got %d frames, want 2 (scan err: %v)", frames, sc.Err())
+	}
+
+	// A malformed interval is a 400, not a hung stream.
+	resp2, err := http.Get("http://" + srv.Addr() + "/debug/progress?interval=sideways")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad interval: status %d, want 400", resp2.StatusCode)
 	}
 }
 

@@ -1,0 +1,47 @@
+// Command promcheck validates a Prometheus text-format exposition page
+// on stdin using the repository's own parser, for CI smoke checks:
+//
+//	curl -s http://host/metrics | go run ./internal/telemetry/promcheck bce_build_info bce_dist
+//
+// Each argument is a metric-name prefix that must match at least one
+// sample. Exits nonzero (with a diagnostic on stderr) if the page does
+// not parse or a required metric is missing.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"bce/internal/telemetry"
+)
+
+func main() {
+	m, err := telemetry.ParsePromText(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: exposition does not parse: %v\n", err)
+		os.Exit(1)
+	}
+	if len(m.Samples) == 0 {
+		fmt.Fprintln(os.Stderr, "promcheck: exposition page has no samples")
+		os.Exit(1)
+	}
+	bad := false
+	for _, want := range os.Args[1:] {
+		found := false
+		for _, s := range m.Samples {
+			if strings.HasPrefix(s.Name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "promcheck: no sample matching prefix %q\n", want)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: ok (%d samples, %d typed metrics)\n", len(m.Samples), len(m.Types))
+}

@@ -21,9 +21,11 @@ import (
 // representation and are skipped. Everything is emitted in sorted
 // order, so scrapes diff cleanly.
 
-// servePrometheus renders every registered var as Prometheus text.
+// servePrometheus renders every registered var as Prometheus text,
+// headed by the process's bce_build_info identity gauge.
 func (d *DebugServer) servePrometheus(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteBuildInfo(w)
 	names := make([]string, 0, len(d.vars))
 	for name := range d.vars {
 		names = append(names, name)
@@ -103,7 +105,7 @@ func flatten(prefix string, v any, out map[string]float64) {
 }
 
 // writeGauges emits the samples sorted by name, each preceded by its
-// TYPE line.
+// HELP and TYPE lines.
 func writeGauges(w io.Writer, flat map[string]float64) {
 	names := make([]string, 0, len(flat))
 	for name := range flat {
@@ -111,8 +113,29 @@ func writeGauges(w io.Writer, flat map[string]float64) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		fmt.Fprintf(w, "# HELP %s Live gauge sampled from the process debug vars.\n", name)
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatPromValue(flat[name]))
 	}
+}
+
+// escapeLabelValue escapes a string for use inside a Prometheus label
+// value: backslash, double quote, and newline per the text exposition
+// format.
+func escapeLabelValue(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // formatPromValue renders a sample value: integers without an

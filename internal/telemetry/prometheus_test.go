@@ -2,9 +2,7 @@ package telemetry
 
 import (
 	"fmt"
-	"io"
 	"net/http"
-	"regexp"
 	"strings"
 	"testing"
 )
@@ -92,10 +90,6 @@ func TestSanitizeMetricName(t *testing.T) {
 	}
 }
 
-// promLine matches the exposition format: TYPE comments and
-// "name value" samples only.
-var promLine = regexp.MustCompile(`^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* gauge|[a-zA-Z_:][a-zA-Z0-9_:]* -?[0-9].*)$`)
-
 func TestMetricsEndpointServesValidExposition(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("uops.executed").Add(11)
@@ -119,22 +113,98 @@ func TestMetricsEndpointServesValidExposition(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
 		t.Errorf("Content-Type = %q", ct)
 	}
-	body, err := io.ReadAll(resp.Body)
+	// The page must round-trip through the repository's own
+	// text-format parser — the same check CI's promcheck runs.
+	m, err := ParsePromText(resp.Body)
+	if err != nil {
+		t.Fatalf("/metrics output does not parse as Prometheus text: %v", err)
+	}
+	if got := m.Value("test_prom_runner_jobs_done"); got != 3 {
+		t.Errorf("test_prom_runner_jobs_done = %v, want 3", got)
+	}
+	if got := m.Value("test_prom_sim_uops_executed"); got != 11 {
+		t.Errorf("test_prom_sim_uops_executed = %v, want 11", got)
+	}
+	// Every sample carries HELP and TYPE; the build-info gauge leads
+	// the page with its go_version label.
+	for _, s := range m.Samples {
+		if m.Types[s.Name] == "" {
+			t.Errorf("sample %s has no TYPE line", s.Name)
+		}
+		if m.Help[s.Name] == "" {
+			t.Errorf("sample %s has no HELP line", s.Name)
+		}
+	}
+	bi, ok := m.Get("bce_build_info")
+	if !ok || bi.Value != 1 {
+		t.Fatalf("bce_build_info missing or not 1: %+v", bi)
+	}
+	if bi.Labels["go_version"] == "" {
+		t.Errorf("bce_build_info lacks go_version label: %v", bi.Labels)
+	}
+}
+
+func TestWriteBuildInfoEscaping(t *testing.T) {
+	RegisterBuildLabel("test escape!", "a\\b\"c\nd")
+	defer func() {
+		buildLabelMu.Lock()
+		delete(buildLabels, "test_escape")
+		buildLabelMu.Unlock()
+	}()
+	var b strings.Builder
+	WriteBuildInfo(&b)
+	out := b.String()
+	if !strings.Contains(out, `test_escape="a\\b\"c\nd"`) {
+		t.Errorf("label not escaped per exposition format:\n%s", out)
+	}
+	m, err := ParsePromText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("build info does not parse: %v", err)
+	}
+	bi, _ := m.Get("bce_build_info")
+	if got := bi.Labels["test_escape"]; got != "a\\b\"c\nd" {
+		t.Errorf("escape round-trip = %q, want %q", got, "a\\b\"c\nd")
+	}
+	if m.Types["bce_build_info"] != "gauge" || m.Help["bce_build_info"] == "" {
+		t.Errorf("bce_build_info missing HELP/TYPE:\n%s", out)
+	}
+}
+
+func TestParsePromText(t *testing.T) {
+	page := `# HELP jobs Total jobs.
+# TYPE jobs counter
+jobs 41
+# TYPE lat gauge
+lat{worker="w1",q="0.99"} 1.5e-3 1700000000
+# arbitrary comment
+up 1
+`
+	m, err := ParsePromText(strings.NewReader(page))
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := string(body)
-	for _, line := range strings.Split(strings.TrimRight(got, "\n"), "\n") {
-		if !promLine.MatchString(line) {
-			t.Errorf("invalid exposition line %q", line)
-		}
+	if len(m.Samples) != 3 {
+		t.Fatalf("want 3 samples, got %+v", m.Samples)
 	}
-	for _, want := range []string{
-		"test_prom_runner_jobs_done 3\n",
-		"test_prom_sim_uops_executed 11\n",
+	if m.Value("jobs") != 41 || m.Types["jobs"] != "counter" || m.Help["jobs"] != "Total jobs." {
+		t.Errorf("jobs parsed wrong: %+v", m)
+	}
+	lat, _ := m.Get("lat")
+	if lat.Labels["worker"] != "w1" || lat.Labels["q"] != "0.99" || lat.Value != 1.5e-3 {
+		t.Errorf("lat parsed wrong: %+v", lat)
+	}
+
+	for _, bad := range []string{
+		"no_value\n",
+		"1bad 3\n",
+		"m{x=\"unterminated} 1\n",
+		"m{x=\"v\"\n",
+		"# TYPE m sideways\n",
+		"m 1 2 3\n",
+		"m notanumber\n",
 	} {
-		if !strings.Contains(got, want) {
-			t.Errorf("/metrics missing %q:\n%s", want, got)
+		if _, err := ParsePromText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParsePromText accepted malformed page %q", bad)
 		}
 	}
 }

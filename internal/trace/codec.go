@@ -26,8 +26,10 @@ import (
 // partial copy — into a typed ErrCorrupt instead of a short-but-clean
 // replay. Version 1 streams (no footer) are still read.
 const (
-	magic         = "BCET"
-	formatVersion = 2
+	magic = "BCET"
+	// FormatVersion is the on-disk trace container version, exported so
+	// binaries can stamp it on their build-info metrics.
+	FormatVersion = 2
 	// footerMarker begins the v2 integrity footer. It is outside the
 	// valid Kind range, so a reader can never confuse it with a record.
 	footerMarker = 0xFF
@@ -82,7 +84,7 @@ func (tw *Writer) header() error {
 		return err
 	}
 	var h [4]byte
-	binary.LittleEndian.PutUint16(h[0:2], formatVersion)
+	binary.LittleEndian.PutUint16(h[0:2], FormatVersion)
 	binary.LittleEndian.PutUint16(h[2:4], 0)
 	_, err := tw.w.Write(h[:])
 	return err
@@ -203,7 +205,7 @@ func (tr *Reader) checkHeader() error {
 		return ErrBadMagic
 	}
 	tr.version = binary.LittleEndian.Uint16(h[4:6])
-	if tr.version != 1 && tr.version != formatVersion {
+	if tr.version != 1 && tr.version != FormatVersion {
 		return fmt.Errorf("%w: %d", ErrBadVersion, tr.version)
 	}
 	return nil

@@ -178,12 +178,19 @@ func load(path string) (*bench.Report, error) {
 func gate(old, cand *bench.Report, maxRegress float64) error {
 	cmps := bench.Compare(old, cand)
 	if len(cmps) == 0 {
-		return fmt.Errorf("no shared benchmarks between reports")
+		return fmt.Errorf("no benchmarks in either report")
 	}
 	fmt.Print(bench.FormatComparisons(cmps, maxRegress))
 	if bad := bench.Regressions(cmps, maxRegress); len(bad) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%", len(bad), maxRegress)
 	}
-	fmt.Printf("ok: no benchmark regressed more than %.0f%%\n", maxRegress)
+	// Benchmarks on only one side are reported above as new/removed;
+	// they have nothing to regress from, so the gate passes on the
+	// shared set (possibly empty, e.g. across a benchmark rename).
+	if shared := bench.Shared(cmps); shared == 0 {
+		fmt.Println("ok: no shared benchmarks to gate on (all entries new or removed)")
+	} else {
+		fmt.Printf("ok: no benchmark regressed more than %.0f%% (%d shared)\n", maxRegress, shared)
+	}
 	return nil
 }

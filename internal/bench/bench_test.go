@@ -81,12 +81,23 @@ func TestCompareAndRegressions(t *testing.T) {
 		Result{Suite: "kernel", Name: "Added", NsPerOp: 1},
 	)
 	cmps := Compare(old, new)
-	if len(cmps) != 2 {
-		t.Fatalf("got %d comparisons, want 2 (added/removed skipped): %+v", len(cmps), cmps)
+	if len(cmps) != 4 {
+		t.Fatalf("got %d comparisons, want 4 (2 shared + new + removed): %+v", len(cmps), cmps)
+	}
+	if got := Shared(cmps); got != 2 {
+		t.Errorf("Shared = %d, want 2", got)
+	}
+	status := map[string]string{}
+	for _, c := range cmps {
+		status[c.Name] = c.Status
+	}
+	if status["Added"] != StatusNew || status["Removed"] != StatusRemoved ||
+		status["Output32"] != "" || status["Train32"] != "" {
+		t.Errorf("statuses = %v, want Added=new Removed=removed others shared", status)
 	}
 	bad := Regressions(cmps, 10)
 	if len(bad) != 1 || bad[0].Name != "Output32" {
-		t.Fatalf("regressions = %+v, want just Output32", bad)
+		t.Fatalf("regressions = %+v, want just Output32 (one-sided entries never regress)", bad)
 	}
 	if got := bad[0].DeltaPct; got < 19.9 || got > 20.1 {
 		t.Errorf("delta = %v, want ~20", got)
@@ -94,6 +105,9 @@ func TestCompareAndRegressions(t *testing.T) {
 	tbl := FormatComparisons(cmps, 10)
 	if !strings.Contains(tbl, "REGRESSION") {
 		t.Errorf("table missing regression flag:\n%s", tbl)
+	}
+	if !strings.Contains(tbl, "new") || !strings.Contains(tbl, "removed") {
+		t.Errorf("table missing new/removed markers:\n%s", tbl)
 	}
 }
 

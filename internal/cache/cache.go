@@ -10,7 +10,13 @@ import "fmt"
 // tracks presence only (tags, no data), which is all a timing model
 // needs.
 type Cache struct {
-	tags     [][]uint64 // per-set tag stacks, MRU first; 0 = invalid
+	// tags is one flat backing array, assoc consecutive words per set,
+	// each set's ways MRU first; 0 = invalid. A flat layout (rather
+	// than a slice of per-set slices) keeps the whole structure in one
+	// allocation and makes a lookup a single bounds-checked slice
+	// expression off one pointer — the set walk in Access is on the
+	// per-uop miss-handling path of the timing model.
+	tags     []uint64
 	sets     int
 	assoc    int
 	lineBits uint
@@ -49,17 +55,12 @@ func New(cfg Config) *Cache {
 	for 1<<lineBits < cfg.LineBytes {
 		lineBits++
 	}
-	c := &Cache{
-		tags:     make([][]uint64, sets),
+	return &Cache{
+		tags:     make([]uint64, sets*cfg.Assoc),
 		sets:     sets,
 		assoc:    cfg.Assoc,
 		lineBits: lineBits,
 	}
-	backing := make([]uint64, sets*cfg.Assoc)
-	for i := range c.tags {
-		c.tags[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
-	}
-	return c
 }
 
 // Sets returns the set count.
@@ -75,7 +76,8 @@ func (c *Cache) line(addr uint64) uint64 {
 }
 
 func (c *Cache) set(addr uint64) []uint64 {
-	return c.tags[(addr>>c.lineBits)&uint64(c.sets-1)]
+	base := int((addr>>c.lineBits)&uint64(c.sets-1)) * c.assoc
+	return c.tags[base : base+c.assoc : base+c.assoc]
 }
 
 // Access looks up addr, updating LRU state and hit/miss counters. On a
@@ -140,10 +142,8 @@ func (c *Cache) HitRate() float64 {
 
 // Reset invalidates all lines and zeroes the counters.
 func (c *Cache) Reset() {
-	for _, set := range c.tags {
-		for i := range set {
-			set[i] = 0
-		}
+	for i := range c.tags {
+		c.tags[i] = 0
 	}
 	c.hits, c.misses = 0, 0
 }

@@ -1,0 +1,96 @@
+package confidence
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// batch_test.go holds the batched estimator protocol to its contract:
+// EstimateBatch/TrainBatch must be observably identical to the same
+// requests issued one at a time, across bands, raw outputs, history
+// evolution and final weights.
+
+// TestCICBatchMatchesSequential drives two identically-configured
+// estimators through the same randomized stream of fetch groups and
+// retire groups — one through the batched entry points, one through
+// sequential Estimate/Train — and requires identical tokens at every
+// step.
+func TestCICBatchMatchesSequential(t *testing.T) {
+	configs := []CICConfig{
+		{Lambda: 0, Reversal: DisableReversal},
+		{Lambda: -25, Reversal: 0},
+		{Entries: 16, HistoryLen: 13, WeightBits: 5, Lambda: 10, Reversal: 40},
+		{Entries: 8, HistoryLen: 64, WeightBits: 4, Lambda: 0, Reversal: DisableReversal},
+	}
+	for _, cfg := range configs {
+		batched := NewCICWith(cfg)
+		single := NewCICWith(cfg)
+		rng := rand.New(rand.NewSource(int64(cfg.HistoryLen)*101 + int64(cfg.Lambda)))
+
+		pcs := make([]uint64, 0, 8)
+		pred := make([]bool, 0, 8)
+		toks := make([]Token, 8)
+		reqs := make([]TrainReq, 0, 8)
+
+		for step := 0; step < 300; step++ {
+			n := 1 + rng.Intn(6)
+			pcs, pred, reqs = pcs[:0], pred[:0], reqs[:0]
+			for i := 0; i < n; i++ {
+				pcs = append(pcs, rng.Uint64()%512<<2)
+				pred = append(pred, rng.Intn(2) == 0)
+			}
+			batched.EstimateBatch(pcs, pred, toks[:n])
+			for i := 0; i < n; i++ {
+				want := single.Estimate(pcs[i], pred[i])
+				if !tokEq(toks[i], want) {
+					t.Fatalf("%s step %d: EstimateBatch[%d] = %+v, sequential %+v",
+						single.Name(), step, i, toks[i], want)
+				}
+				reqs = append(reqs, TrainReq{
+					PC:           pcs[i],
+					Tok:          toks[i],
+					Mispredicted: rng.Intn(3) == 0,
+					Taken:        rng.Intn(2) == 0,
+				})
+			}
+			batched.TrainBatch(reqs)
+			for i := range reqs {
+				single.Train(reqs[i].PC, reqs[i].Tok, reqs[i].Mispredicted, reqs[i].Taken)
+			}
+		}
+		// One final estimate proves history registers and weights agree.
+		if got, want := batched.Estimate(12<<2, true), single.Estimate(12<<2, true); !tokEq(got, want) {
+			t.Fatalf("%s: final Estimate diverged: %+v vs %+v", single.Name(), got, want)
+		}
+	}
+}
+
+// tokEq compares tokens field-wise (Token carries a slice for
+// composite estimators, so == does not apply; PerceptronCIC never sets
+// it).
+func tokEq(a, b Token) bool {
+	return a.Output == b.Output && a.Band == b.Band && a.Hist == b.Hist &&
+		a.PredTaken == b.PredTaken && a.Sub == nil && b.Sub == nil
+}
+
+// TestCICBatchAllocFree pins the batched paths allocation-free after
+// warm-up: the scratch block and table backing are reused across
+// groups.
+func TestCICBatchAllocFree(t *testing.T) {
+	c := NewCIC(0)
+	pcs := []uint64{0x40, 0x80, 0xC0, 0x100}
+	pred := []bool{true, false, true, false}
+	toks := make([]Token, len(pcs))
+	reqs := make([]TrainReq, len(pcs))
+	run := func() {
+		c.EstimateBatch(pcs, pred, toks)
+		for i := range pcs {
+			reqs[i] = TrainReq{PC: pcs[i], Tok: toks[i], Mispredicted: i&1 == 0, Taken: i&2 == 0}
+		}
+		c.TrainBatch(reqs)
+	}
+	run() // warm-up materializes the touched rows and scratch columns
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Fatalf("batched estimate/train cycle allocates %v times per run, want 0", allocs)
+	}
+}

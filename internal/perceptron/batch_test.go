@@ -1,0 +1,362 @@
+package perceptron
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// batch_test.go holds the batched scoring/training API to the same
+// standard as the single-call kernels: bit-exact agreement with the
+// reference implementation under arbitrary interleavings of batch and
+// single-call ops, zero steady-state allocations, and the panic
+// contract on malformed requests.
+
+// refTable mirrors a Table as independent reference perceptrons.
+type refTable struct {
+	tbl  *Table
+	refs []*refPerceptron
+}
+
+func newRefTable(tbl *Table) *refTable {
+	refs := make([]*refPerceptron, tbl.Entries())
+	for i := range refs {
+		refs[i] = newRefPerceptron(tbl.HistoryLen(), tbl.WeightBits())
+	}
+	return &refTable{tbl: tbl, refs: refs}
+}
+
+func (r *refTable) output(pc, hist uint64) int { return r.refs[r.tbl.Index(pc)].output(hist) }
+func (r *refTable) train(pc, hist uint64, t int) {
+	r.refs[r.tbl.Index(pc)].train(hist, t)
+}
+
+// checkWeights fails on the first divergence between the table's rows
+// and the reference perceptrons.
+func (r *refTable) checkWeights(t *testing.T) {
+	t.Helper()
+	for i := 0; i < r.tbl.Entries(); i++ {
+		got := r.tbl.Lookup(uint64(i) << 2).Weights()
+		for j, w := range got {
+			if w != r.refs[i].w[j] {
+				t.Fatalf("row %d weight %d: %d != reference %d", i, j, w, r.refs[i].w[j])
+			}
+		}
+	}
+}
+
+// batchGeometries covers the AVX2 whole-block batch path (hlen ≡ 0 mod
+// 8, including the paper default 32), the generic odd-geometry path,
+// and the extremes.
+var batchGeometries = []struct{ entries, hlen, bits int }{
+	{16, 32, 8}, // paper default
+	{8, 8, 6},   // single block
+	{8, 16, 4},  // two blocks
+	{4, 64, 15}, // maximum history, widest weights
+	{8, 13, 5},  // odd geometry → generic row-by-row path
+	{8, 1, 2},   // degenerate: bias + one weight
+}
+
+// TestBatchMatchesSingle proves OutputBatch/TrainBatch are
+// observationally identical to the equivalent sequence of single
+// calls: same outputs, same final weights, duplicate rows within one
+// batch included (later requests must see earlier updates).
+func TestBatchMatchesSingle(t *testing.T) {
+	for _, geo := range batchGeometries {
+		batched := NewTable(geo.entries, geo.hlen, geo.bits)
+		single := NewTable(geo.entries, geo.hlen, geo.bits)
+		rng := rand.New(rand.NewSource(int64(geo.hlen)*31 + int64(geo.bits)))
+		var b Batch
+		for round := 0; round < 100; round++ {
+			n := 1 + rng.Intn(8)
+			// A small PC range makes duplicate rows within one batch
+			// routine rather than exceptional.
+			b.Reset()
+			for i := 0; i < n; i++ {
+				b.Add(rng.Uint64()%uint64(4*geo.entries)<<2, rng.Uint64())
+			}
+			batched.OutputBatch(&b)
+			for i := 0; i < n; i++ {
+				if got, want := int(b.Out[i]), single.Output(b.PC[i], b.Hist[i]); got != want {
+					t.Fatalf("%+v round %d: OutputBatch[%d] = %d, single Output %d",
+						geo, round, i, got, want)
+				}
+			}
+			b.Reset()
+			for i := 0; i < n; i++ {
+				b.AddTrain(rng.Uint64()%uint64(4*geo.entries)<<2, rng.Uint64(), 1-2*rng.Intn(2))
+			}
+			batched.TrainBatch(&b)
+			for i := 0; i < n; i++ {
+				single.Train(b.PC[i], b.Hist[i], int(b.Tgt[i]))
+			}
+		}
+		for i := 0; i < batched.Entries(); i++ {
+			bw := batched.Lookup(uint64(i) << 2).Weights()
+			sw := single.Lookup(uint64(i) << 2).Weights()
+			for j := range bw {
+				if bw[j] != sw[j] {
+					t.Fatalf("%+v row %d weight %d: batched %d, single %d",
+						geo, i, j, bw[j], sw[j])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchInterleavedMatchesReference interleaves OutputBatch,
+// TrainBatch, single Output, and single Train on a lazily-materialized
+// table — the first touch is a batch op — and requires the final table
+// state to match the reference exactly.
+func TestBatchInterleavedMatchesReference(t *testing.T) {
+	for _, geo := range batchGeometries {
+		tbl := NewTable(geo.entries, geo.hlen, geo.bits)
+		ref := newRefTable(tbl)
+		rng := rand.New(rand.NewSource(int64(geo.hlen)*7919 + int64(geo.bits)))
+		pc := func() uint64 { return rng.Uint64() % uint64(4*geo.entries) << 2 }
+		var b Batch
+
+		// First touch through the batch path: OutputBatch must
+		// materialize the backing array itself.
+		b.Reset()
+		b.Add(pc(), rng.Uint64())
+		tbl.OutputBatch(&b)
+		if got, want := int(b.Out[0]), ref.output(b.PC[0], b.Hist[0]); got != want {
+			t.Fatalf("%+v: first-touch OutputBatch = %d, reference %d", geo, got, want)
+		}
+
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				b.Reset()
+				n := 1 + rng.Intn(6)
+				for i := 0; i < n; i++ {
+					b.Add(pc(), rng.Uint64())
+				}
+				tbl.OutputBatch(&b)
+				for i := 0; i < n; i++ {
+					if got, want := int(b.Out[i]), ref.output(b.PC[i], b.Hist[i]); got != want {
+						t.Fatalf("%+v step %d: OutputBatch[%d] = %d, reference %d",
+							geo, step, i, got, want)
+					}
+				}
+			case 1:
+				b.Reset()
+				n := 1 + rng.Intn(6)
+				for i := 0; i < n; i++ {
+					tgt := 1 - 2*rng.Intn(2)
+					p, h := pc(), rng.Uint64()
+					b.AddTrain(p, h, tgt)
+					ref.train(p, h, tgt)
+				}
+				tbl.TrainBatch(&b)
+			case 2:
+				p, h := pc(), rng.Uint64()
+				if got, want := tbl.Output(p, h), ref.output(p, h); got != want {
+					t.Fatalf("%+v step %d: Output = %d, reference %d", geo, step, got, want)
+				}
+			case 3:
+				p, h := pc(), rng.Uint64()
+				tgt := 1 - 2*rng.Intn(2)
+				tbl.Train(p, h, tgt)
+				ref.train(p, h, tgt)
+			}
+		}
+		ref.checkWeights(t)
+	}
+}
+
+// TestBatchAllocFree pins the steady-state contract the pipeline
+// depends on: building and scoring/training a reused Batch allocates
+// nothing once the columns have grown to their working size.
+func TestBatchAllocFree(t *testing.T) {
+	tbl := NewTable(128, 32, 8)
+	var b Batch
+	b.Reset()
+	b.AddTrain(0, 0, 1)
+	tbl.TrainBatch(&b) // materialize table and batch scratch
+	var i uint64
+	if n := testing.AllocsPerRun(200, func() {
+		b.Reset()
+		for j := uint64(0); j < 4; j++ {
+			b.Add(i+j*4, i^j)
+		}
+		tbl.OutputBatch(&b)
+		b.Reset()
+		for j := uint64(0); j < 4; j++ {
+			b.AddTrain(i+j*4, i^j, 1-2*int(j&1))
+		}
+		tbl.TrainBatch(&b)
+		i += 16
+	}); n != 0 {
+		t.Errorf("batch cycle allocates %v times per run, want 0", n)
+	}
+}
+
+// TestBatchValidation pins the panic contract on malformed requests.
+func TestBatchValidation(t *testing.T) {
+	tbl := NewTable(8, 32, 8)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AddTrain(tgt=0)", func() {
+		var b Batch
+		b.AddTrain(0, 0, 0)
+	})
+	mustPanic("OutputBatch with mismatched Hist", func() {
+		b := Batch{PC: []uint64{1, 2}, Hist: []uint64{3}}
+		tbl.OutputBatch(&b)
+	})
+	mustPanic("TrainBatch with mismatched Tgt", func() {
+		b := Batch{PC: []uint64{1}, Hist: []uint64{2}, Tgt: nil}
+		tbl.TrainBatch(&b)
+	})
+}
+
+// TestKernelTierKnown pins that the runtime-selected tier is one of
+// the documented rungs.
+func TestKernelTierKnown(t *testing.T) {
+	switch tier := KernelTier(); tier {
+	case "scalar", "sse2", "avx2":
+	default:
+		t.Fatalf("KernelTier() = %q, not a known tier", tier)
+	}
+}
+
+// FuzzBatchBitExact is the fuzz form of the batch equivalence proof:
+// arbitrary geometry, arbitrary interleavings of batch and single
+// ops, exact agreement with the reference implementation throughout.
+func FuzzBatchBitExact(f *testing.F) {
+	f.Add(uint8(32), uint8(8), int64(1), []byte{0x00, 0x11, 0x22, 0xF3})
+	f.Add(uint8(8), uint8(2), int64(2), []byte{0xFF, 0x80, 0x41})
+	f.Add(uint8(13), uint8(5), int64(3), []byte{0x01, 0x02, 0x03, 0x04, 0x05})
+	f.Add(uint8(64), uint8(15), int64(4), []byte{0xAA, 0x55})
+	f.Fuzz(func(t *testing.T, hlenU, bitsU uint8, seed int64, ops []byte) {
+		hlen := 1 + int(hlenU)%64 // 1..64
+		bits := 2 + int(bitsU)%14 // 2..15
+		const entries = 8
+		tbl := NewTable(entries, hlen, bits)
+		ref := newRefTable(tbl)
+		rng := rand.New(rand.NewSource(seed))
+		pc := func() uint64 { return rng.Uint64() % (4 * entries) << 2 }
+		var b Batch
+		for step, op := range ops {
+			n := 1 + int(op>>4) // batch size 1..16
+			switch op & 3 {
+			case 0, 2: // OutputBatch (twice the weight of each train op)
+				b.Reset()
+				for i := 0; i < n; i++ {
+					b.Add(pc(), rng.Uint64())
+				}
+				tbl.OutputBatch(&b)
+				for i := 0; i < n; i++ {
+					if got, want := int(b.Out[i]), ref.output(b.PC[i], b.Hist[i]); got != want {
+						t.Fatalf("hlen=%d bits=%d step=%d: OutputBatch[%d] = %d, reference %d",
+							hlen, bits, step, i, got, want)
+					}
+				}
+			case 1: // TrainBatch
+				b.Reset()
+				for i := 0; i < n; i++ {
+					tgt := 1 - 2*rng.Intn(2)
+					p, h := pc(), rng.Uint64()
+					b.AddTrain(p, h, tgt)
+					ref.train(p, h, tgt)
+				}
+				tbl.TrainBatch(&b)
+			case 3: // single Train
+				p, h := pc(), rng.Uint64()
+				tgt := 1 - 2*rng.Intn(2)
+				tbl.Train(p, h, tgt)
+				ref.train(p, h, tgt)
+			}
+		}
+		ref.checkWeights(t)
+	})
+}
+
+// benchBatch8 builds the eight-branch request group the batched
+// scoring benchmarks share with their single-call denominators, so
+// both sides score identical rows against identical histories.
+func benchBatch8(train bool) *Batch {
+	var b Batch
+	for j := uint64(0); j < 8; j++ {
+		pc := 0x9E3779B97F4A7C15*j + j*4
+		hist := 0xD1B54A32D192ED03 * (j + 1)
+		if train {
+			b.AddTrain(pc, hist, 1-2*int(j&1))
+		} else {
+			b.Add(pc, hist)
+		}
+	}
+	return &b
+}
+
+// BenchmarkTableOutputSingle8 scores a fetch group of eight branches
+// with eight single calls — the pre-batching pipeline pattern and the
+// denominator of the batch speedup claim.
+func BenchmarkTableOutputSingle8(b *testing.B) {
+	tbl := NewTable(128, 32, 8)
+	tbl.Output(0, 0)
+	batch := benchBatch8(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8; j++ {
+			sink += tbl.Output(batch.PC[j], batch.Hist[j])
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkTableOutputBatch8 scores the same eight branches through
+// one OutputBatch call.
+func BenchmarkTableOutputBatch8(b *testing.B) {
+	tbl := NewTable(128, 32, 8)
+	tbl.Output(0, 0)
+	batch := benchBatch8(false)
+	tbl.OutputBatch(batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		tbl.OutputBatch(batch)
+		sink += int(batch.Out[7])
+	}
+	_ = sink
+}
+
+// BenchmarkTableTrainSingle8 trains eight branches with eight single
+// calls, the denominator of the batched training speedup.
+func BenchmarkTableTrainSingle8(b *testing.B) {
+	tbl := NewTable(128, 32, 8)
+	tbl.Output(0, 0)
+	batch := benchBatch8(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8; j++ {
+			tbl.Train(batch.PC[j], batch.Hist[j], int(batch.Tgt[j]))
+		}
+	}
+}
+
+// BenchmarkTableTrainBatch8 trains the same eight branches through one
+// TrainBatch call.
+func BenchmarkTableTrainBatch8(b *testing.B) {
+	tbl := NewTable(128, 32, 8)
+	tbl.Output(0, 0)
+	batch := benchBatch8(true)
+	tbl.TrainBatch(batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.TrainBatch(batch)
+	}
+}

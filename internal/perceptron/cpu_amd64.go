@@ -1,0 +1,98 @@
+//go:build amd64
+
+package perceptron
+
+import (
+	"os"
+	"strings"
+)
+
+// cpu_amd64.go is the runtime CPU-feature detection behind the kernel
+// dispatch ladder (scalar → SSE2 → AVX2). SSE2 is architectural on
+// amd64, so only AVX2 needs probing: the CPUID feature bits say the
+// core has the instructions, and XGETBV says the OS actually saves the
+// ymm half of the register file across context switches — both must
+// hold or a VEX.256 instruction faults (or worse, silently loses
+// state). The stdlib's internal/cpu package does the same dance but is
+// not importable, and adding x/sys/cpu would be a new dependency, so
+// the two leaf instructions live in cpuid_amd64.s.
+//
+// The ladder honours the same GODEBUG knobs the runtime uses —
+// `GODEBUG=cpu.avx2=off` drops to SSE2, `cpu.sse2=off` (or `cpu.all=off`)
+// all the way to the portable scalar kernels — so CI can exercise every
+// tier on an AVX2 host and a bad kernel can be ruled out in the field
+// without rebuilding. See docs/performance.md.
+
+// cpuid executes the CPUID instruction for the given leaf and subleaf.
+// Implemented in cpuid_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0), which reports the
+// register state the OS saves on context switch. Implemented in
+// cpuid_amd64.s.
+func xgetbv() (eax, edx uint32)
+
+// useSSE2 and useAVX2 select the kernel tier. They are written once at
+// init and only lowered afterwards (by tests forcing a tier), never
+// raised, so no kernel can run on silicon that lacks it.
+var (
+	useSSE2 = true
+	useAVX2 bool
+)
+
+func init() {
+	useAVX2 = cpuHasAVX2()
+	for _, kv := range strings.Split(os.Getenv("GODEBUG"), ",") {
+		switch strings.TrimSpace(kv) {
+		case "cpu.avx2=off":
+			useAVX2 = false
+		case "cpu.sse2=off", "cpu.all=off":
+			useAVX2, useSSE2 = false, false
+		}
+	}
+}
+
+// cpuHasAVX2 reports whether AVX2 kernels are safe to execute: the CPU
+// advertises AVX2 and the OS saves xmm+ymm state.
+func cpuHasAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX): the OS context-switches the full
+	// ymm register file.
+	if lo, _ := xgetbv(); lo&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&(1<<5) != 0
+}
+
+// KernelTier names the kernel tier the dispatch ladder selected:
+// "avx2", "sse2", or "scalar". Informational (logs, bench reports).
+func KernelTier() string {
+	switch {
+	case useAVX2:
+		return "avx2"
+	case useSSE2:
+		return "sse2"
+	default:
+		return "scalar"
+	}
+}
+
+// setKernelTier forces the dispatch ladder to at most the given tier
+// and returns a func restoring the detected one. Test-only: it lets
+// the bit-exactness harness drive every tier in one process. Callers
+// must not request a tier the host cannot execute (the harness only
+// ever lowers).
+func setKernelTier(avx2, sse2 bool) (restore func()) {
+	prevA, prevS := useAVX2, useSSE2
+	useAVX2, useSSE2 = avx2, sse2
+	return func() { useAVX2, useSSE2 = prevA, prevS }
+}

@@ -4,21 +4,25 @@ package perceptron
 
 import "math/bits"
 
-// kernel_amd64.go is the SSE2 fast path for the perceptron kernels.
-// The ±1 input vector for eight history bits is a single table load
-// (signTable, indexed by one history byte), so a full 8-weight block
-// of the dot product is one PMADDWL — eight exact int16×(±1) products
-// pairwise-summed into int32 lanes, no overflow at any supported
-// weight width (64 weights × 2^14 < 2^31) — and a block of the
-// training step is PADDW + PMAXSW/PMINSW against broadcast saturation
-// bounds. Both asm kernels compute bit-identical results to the scalar
-// kernels in kernel.go, which still handle the sub-8-weight tail and
-// every other architecture; the fuzz tests in kernel_test.go hold all
-// three implementations (asm, scalar, reference) to exact agreement.
+// kernel_amd64.go wires the Go-visible kernel entry points to the
+// assembly dispatch ladder (scalar → SSE2 → AVX2; see cpu_amd64.go for
+// how a tier is selected and kernel_amd64.s for the ladder itself).
+// dotKernel and trainKernel handle every geometry — bias, whole
+// 8-weight SIMD blocks, scalar tail — and pick the tier internally, so
+// the wrappers here are a single call the compiler inlines into every
+// caller: Table.Output in a sweep reaches vector code one CALL deep.
+//
+// The batched kernels behind Table.OutputBatch/TrainBatch
+// (kernel_avx2_amd64.s) amortize even that call: one crossing scores
+// or trains a whole struct-of-arrays request block. Every kernel at
+// every tier computes bit-identical results to the scalar kernels in
+// kernel.go, which the fuzz and property tests in kernel_test.go hold
+// to exact agreement with the branchy reference in reference.go.
 
 // signTable[0][b] holds the eight ±1 sign words for history byte b
 // (+1 where the bit is set); signTable[1][b] is its negation, used as
-// the per-weight delta when training toward t = -1.
+// the per-weight delta when training toward t = -1. The assembly
+// reaches signTable[1] as byte offset 4096 from signTable[0].
 var signTable [2][256][8]int16
 
 // satVecs[k] holds the PMAXSW/PMINSW operands for k-bit weights:
@@ -46,85 +50,74 @@ func init() {
 	}
 }
 
-// dotBlocks sums blocks full 8-weight PMADDWL blocks of w against the
-// sign vectors selected by successive bytes of hist. Implemented in
-// kernel_amd64.s.
+// dotKernel computes the full perceptron output — bias plus n-1
+// history weights against the ±1 signs of hist — selecting the SIMD
+// tier internally. Implemented in kernel_amd64.s.
 //
 //go:noescape
-func dotBlocks(w *Weight, tbl *[256][8]int16, hist uint64, blocks int) int32
+func dotKernel(w *Weight, n int, hist uint64) int32
 
-// trainBlocks applies the ±1 deltas selected by successive bytes of
-// hist to blocks full 8-weight blocks of w, saturating at the bounds
-// in sv. Implemented in kernel_amd64.s.
+// trainKernel applies one full training step toward target t (±1)
+// with saturation bounds packed as packBounds(min, max), selecting the
+// SIMD tier internally. Implemented in kernel_amd64.s.
 //
 //go:noescape
-func trainBlocks(w *Weight, tbl *[256][8]int16, hist uint64, blocks int, sv *[16]int16)
+func trainKernel(w *Weight, n int, hist uint64, t, bounds int64)
 
-// dot computes w[0] + Σ w[i+1]·x[i] with x[i] = ±1 from hist. The
-// whole-block case (history length a multiple of 8 — every default
-// geometry) stays small enough to inline, so the hot path is one call
-// straight into the assembly; odd lengths take the outlined mixed
-// SIMD+scalar path.
-func dot(w []Weight, hist uint64) int {
-	if n := len(w) - 1; n&7 == 0 && n > 0 {
-		return int(w[0]) + int(dotBlocks(&w[1], &signTable[0], hist, n>>3))
-	}
-	return dotOdd(w, hist)
+// trainBadTarget reports a training target outside ±1. It is reached
+// only from trainKernel's validation check and never returns. Keeping
+// the check (two predicted-never compares) in the assembly rather than
+// the Go wrappers is what lets Perceptron.Train inline.
+func trainBadTarget() {
+	panic("perceptron: train target not ±1")
 }
 
-// dotOdd handles history lengths that are not a multiple of 8: full
-// blocks in SIMD, the remainder through the scalar sign-mask tail.
-func dotOdd(w []Weight, hist uint64) int {
-	y := int(w[0])
-	n := len(w) - 1
-	full := n &^ 7
-	if full > 0 {
-		y += int(dotBlocks(&w[1], &signTable[0], hist, full>>3))
-	}
-	b := hist >> uint(full)
-	for _, wv := range w[1+full:] {
-		m := int(b&1) - 1
-		y += (int(wv) ^ m) - m
-		b >>= 1
-	}
-	return y
+// dotRowsAVX2 scores n whole-block rows of a flat table in one call,
+// mapping each pcs[i] to its row with the same (pc>>2 & mask) * stride
+// computation as Table.index; out[i] receives the full output.
+// trainRowsAVX2 is its training-step counterpart, applying updates in
+// request order. Implemented in kernel_avx2_amd64.s; only called when
+// useAVX2 is set.
+//
+//go:noescape
+func dotRowsAVX2(w *Weight, tbl *[256][8]int16, pcs, hist *uint64, out *int32, n, blocks int, mask uint64, stride int)
+
+//go:noescape
+func trainRowsAVX2(w *Weight, tbl *[2][256][8]int16, pcs, hist *uint64, tgt *int8, n, blocks int, mask uint64, stride int, sv *[16]int16)
+
+// dot computes w[0] + Σ w[i+1]·x[i] with x[i] = ±1 from hist.
+func dot(w []Weight, hist uint64) int {
+	return int(dotKernel(&w[0], len(w), hist))
 }
 
 // trainStep applies one perceptron update toward target t (±1) with
-// saturation at [min, max]: full 8-weight blocks in SIMD, the
-// remainder through the scalar tail. The sign of t only selects which
-// precomputed delta table the SIMD blocks add.
-func trainStep(w []Weight, hist uint64, t int, min, max Weight) {
-	if n := len(w) - 1; n&7 == 0 && n > 0 {
-		w[0] = sat(int(w[0])+t, min, max)
-		tbl := &signTable[0]
-		if t < 0 {
-			tbl = &signTable[1]
-		}
-		trainBlocks(&w[1], tbl, hist, n>>3, &satVecs[bits.Len16(uint16(max)+1)])
-		return
-	}
-	trainOdd(w, hist, t, min, max)
+// the saturation bounds packed by packBounds.
+func trainStep(w []Weight, hist uint64, t int, bounds int64) {
+	trainKernel(&w[0], len(w), hist, int64(t), bounds)
 }
 
-// trainOdd is trainStep for history lengths that are not a multiple
-// of 8.
-func trainOdd(w []Weight, hist uint64, t int, min, max Weight) {
-	w[0] = sat(int(w[0])+t, min, max)
-	n := len(w) - 1
-	full := n &^ 7
-	if full > 0 {
-		tbl := &signTable[0]
-		if t < 0 {
-			tbl = &signTable[1]
-		}
-		trainBlocks(&w[1], tbl, hist, full>>3, &satVecs[bits.Len16(uint16(max)+1)])
+// outputBatch scores every request in b against table t. The AVX2
+// batched kernel takes whole-block geometries — every default — in a
+// single call; everything else goes row by row through the regular
+// dispatch ladder.
+func outputBatch(t *Table, w []Weight, b *Batch) {
+	n := len(b.PC)
+	if useAVX2 && t.hlen&7 == 0 {
+		dotRowsAVX2(&w[0], &signTable[0], &b.PC[0], &b.Hist[0], &b.Out[0], n,
+			t.hlen>>3, t.mask, t.stride)
+		return
 	}
-	b := hist >> uint(full)
-	x := w[1+full:]
-	for i := range x {
-		m := int(b&1) - 1
-		x[i] = sat(int(x[i])+((t^m)-m), min, max)
-		b >>= 1
+	t.outputBatchGeneric(b)
+}
+
+// trainBatch applies every training request in b to table t, in
+// request order (duplicate rows within a batch see earlier updates).
+func trainBatch(t *Table, w []Weight, b *Batch) {
+	n := len(b.PC)
+	if useAVX2 && t.hlen&7 == 0 {
+		trainRowsAVX2(&w[0], &signTable, &b.PC[0], &b.Hist[0], &b.Tgt[0], n,
+			t.hlen>>3, t.mask, t.stride, &satVecs[bits.Len16(uint16(t.max)+1)])
+		return
 	}
+	t.trainBatchGeneric(b)
 }

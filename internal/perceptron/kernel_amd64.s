@@ -2,26 +2,63 @@
 
 #include "textflag.h"
 
-// func dotBlocks(w *Weight, tbl *[256][8]int16, hist uint64, blocks int) int32
+// kernel_amd64.s holds the complete kernel dispatch ladder for one
+// perceptron row: dotKernel and trainKernel select the AVX2, SSE2, or
+// scalar tier themselves by reading ·useAVX2/·useSSE2, so the Go
+// wrappers in kernel_amd64.go are a single call the compiler inlines
+// into every caller — the hot path from Table.Output to vector code is
+// one CALL deep.
 //
-// X0 accumulates four int32 partial sums; each iteration loads the
-// eight ±1 sign words for the next history byte, multiply-adds them
-// against eight weights (PMADDWL: exact int16 products pairwise summed
-// into int32 lanes), and folds the lanes together at the end.
-TEXT ·dotBlocks(SB), NOSPLIT, $0-36
-	MOVQ w+0(FP), SI
-	MOVQ tbl+8(FP), DI
-	MOVQ hist+16(FP), CX
-	MOVQ blocks+24(FP), BX
+// The ±1 input vector for eight history bits is one 16-byte row of
+// ·signTable indexed by a history byte. A dot-product block is then a
+// single PMADDWD: eight exact int16×(±1) products pairwise-summed into
+// int32 lanes, no overflow at any supported weight width (64 weights ×
+// 2^14 < 2^31). A training block adds the ±1 delta row — ·signTable[1],
+// at byte offset 4096, holds the negated rows for t = -1 — and clamps
+// with PMAXSW/PMINSW against the bounds in ·satVecs. The AVX2 tier
+// (VEX.256) runs 16 weights per instruction by merging two sign rows
+// into one ymm; the paper-default 32-bit history gets a dedicated
+// straight-line path with no loop control at all.
+//
+// Invariants:
+//   - VEX.128 ops zero bits 255:128 of their destination, so the ymm
+//     accumulator is folded to xmm BEFORE any odd 8-weight block.
+//   - VZEROUPPER runs before leaving any VEX.256 path so surrounding
+//     SSE-encoded Go code pays no AVX→SSE transition penalty.
+//   - The scalar tail (history length mod 8, or the whole row when the
+//     SIMD tiers are forced off) uses the same sign-mask identity as
+//     kernel.go: m = bit-1, contribution = (w ^ m) - m.
+//
+// Every tier computes bit-identical results; kernel_test.go holds them
+// all to exact agreement with the branchy reference in reference.go.
+
+// func dotKernel(w *Weight, n int, hist uint64) int32
+//
+// w points at the bias; n counts the weights including it (hlen+1).
+TEXT ·dotKernel(SB), NOSPLIT, $0-28
+	MOVQ    w+0(FP), SI
+	MOVQ    n+8(FP), BX
+	MOVQ    hist+16(FP), CX
+	MOVWLSX (SI), R11 // y = bias
+	ADDQ    $2, SI
+	DECQ    BX        // BX = hlen
+
+	CMPB ·useAVX2(SB), $0
+	JNE  avx2dot
+	CMPB ·useSSE2(SB), $0
+	JE   scalardot
+
+	// ---- SSE2 tier: blocks two at a time, independent accumulators ----
+	LEAQ ·signTable(SB), DI
+	MOVQ BX, R12
+	SHRQ $3, R12
+	JZ   dottail
 	PXOR X0, X0
 	PXOR X7, X7
+	SUBQ $2, R12
+	JLT  ssedotsingle
 
-	// Two blocks per iteration into independent accumulators so the
-	// PADDL chains do not serialize.
-	SUBQ $2, BX
-	JLT  dotsingle
-
-dotloop:
+ssedotloop:
 	MOVWLZX CX, AX // next two history bytes
 	MOVL    AX, R8
 	ANDL    $255, AX
@@ -38,12 +75,12 @@ dotloop:
 	PADDL   X6, X7
 	ADDQ    $32, SI
 	SHRQ    $16, CX
-	SUBQ    $2, BX
-	JGE     dotloop
+	SUBQ    $2, R12
+	JGE     ssedotloop
 
-dotsingle:
-	ADDQ $2, BX
-	JZ   dotsum
+ssedotsingle:
+	ADDQ $2, R12
+	JZ   ssedotsum
 
 	// Odd leftover block.
 	MOVBLZX CX, AX
@@ -52,45 +89,351 @@ dotsingle:
 	MOVOU   (SI), X2
 	PMADDWL X1, X2
 	PADDL   X2, X0
+	ADDQ    $16, SI
+	SHRQ    $8, CX
 
-dotsum:
-	// Horizontal sum: after the two shuffle+add rounds every lane
-	// holds the total.
+ssedotsum:
+	// Horizontal sum: after two shuffle+add rounds every lane holds
+	// the total.
 	PADDL  X7, X0
 	PSHUFL $0x4E, X0, X1
 	PADDL  X1, X0
 	PSHUFL $0xB1, X0, X1
 	PADDL  X1, X0
 	MOVQ   X0, AX
-	MOVL   AX, ret+32(FP)
+	ADDL   AX, R11
+	JMP    dottail
+
+	// ---- AVX2 tier ----
+avx2dot:
+	LEAQ ·signTable(SB), DI
+	CMPQ BX, $32
+	JEQ  dot32
+	MOVQ BX, R12
+	SHRQ $3, R12
+	JZ   dottail
+	VPXOR Y0, Y0, Y0
+	SUBQ  $2, R12
+	JLT   avxdotsingle
+
+avxdotloop:
+	// Two history bytes select two sign rows; merge into one ymm and
+	// multiply-add against 16 weights.
+	MOVWLZX     CX, AX
+	MOVL        AX, R8
+	ANDL        $255, AX
+	SHRL        $8, R8
+	SHLL        $4, AX
+	SHLL        $4, R8
+	VMOVDQU     (DI)(AX*1), X1
+	VINSERTI128 $1, (DI)(R8*1), Y1, Y1
+	VPMADDWD    (SI), Y1, Y1
+	VPADDD      Y1, Y0, Y0
+	ADDQ        $32, SI
+	SHRQ        $16, CX
+	SUBQ        $2, R12
+	JGE         avxdotloop
+
+avxdotsingle:
+	// Fold the ymm accumulator down before the (128-bit) odd block.
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0
+	ADDQ         $2, R12
+	JZ           avxdotsum
+
+	MOVBLZX  CX, AX
+	SHLL     $4, AX
+	VMOVDQU  (DI)(AX*1), X1
+	VPMADDWD (SI), X1, X1
+	VPADDD   X1, X0, X0
+	ADDQ     $16, SI
+	SHRQ     $8, CX
+
+avxdotsum:
+	VPSHUFD $0x4E, X0, X1
+	VPADDD  X1, X0, X0
+	VPSHUFD $0xB1, X0, X1
+	VPADDD  X1, X0, X0
+	VMOVD   X0, AX
+	ADDL    AX, R11
+	VZEROUPPER
+	JMP     dottail
+
+	// Straight-line 32-weight dot: four history bytes, four sign rows
+	// merged into two ymm vectors, two VPMADDWDs, no loop control.
+dot32:
+	MOVBLZX CX, AX
+	MOVL    CX, R8
+	SHRL    $8, R8
+	MOVBLZX R8, R8
+	MOVL    CX, R9
+	SHRL    $16, R9
+	MOVBLZX R9, R9
+	MOVL    CX, R10
+	SHRL    $24, R10
+	SHLL    $4, AX
+	SHLL    $4, R8
+	SHLL    $4, R9
+	SHLL    $4, R10
+	VMOVDQU     (DI)(AX*1), X1
+	VINSERTI128 $1, (DI)(R8*1), Y1, Y1
+	VMOVDQU     (DI)(R9*1), X2
+	VINSERTI128 $1, (DI)(R10*1), Y2, Y2
+	VPMADDWD    (SI), Y1, Y1
+	VPMADDWD    32(SI), Y2, Y2
+	VPADDD      Y2, Y1, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD      X1, X0, X0
+	VPSHUFD     $0x4E, X0, X1
+	VPADDD      X1, X0, X0
+	VPSHUFD     $0xB1, X0, X1
+	VPADDD      X1, X0, X0
+	VMOVD       X0, AX
+	ADDL        AX, R11
+	VZEROUPPER
+	MOVL        R11, ret+24(FP)
 	RET
 
-// func trainBlocks(w *Weight, tbl *[256][8]int16, hist uint64, blocks int, sv *[16]int16)
+	// ---- scalar tier (SIMD forced off) and the sub-8-weight tail ----
+scalardot:
+	TESTQ BX, BX
+	JZ    dotdone
+	JMP   dottailloop
+
+dottail:
+	ANDQ $7, BX
+	JZ   dotdone
+
+dottailloop:
+	// Sign-mask identity: m = bit-1; (w ^ m) - m = ±w.
+	MOVWLSX (SI), AX
+	MOVL    CX, DX
+	ANDL    $1, DX
+	DECL    DX
+	XORL    DX, AX
+	SUBL    DX, AX
+	ADDL    AX, R11
+	ADDQ    $2, SI
+	SHRQ    $1, CX
+	DECQ    BX
+	JNZ     dottailloop
+
+dotdone:
+	MOVL R11, ret+24(FP)
+	RET
+
+// func trainKernel(w *Weight, n int, hist uint64, t, bounds int64)
 //
-// Adds the ±1 delta vector selected by each history byte to the
-// corresponding 8-weight block, clamping to the saturation bounds
-// broadcast in sv (lanes 0-7 min, 8-15 max).
-TEXT ·trainBlocks(SB), NOSPLIT, $0-40
-	MOVQ  w+0(FP), SI
-	MOVQ  tbl+8(FP), DI
-	MOVQ  hist+16(FP), CX
-	MOVQ  blocks+24(FP), BX
-	MOVQ  sv+32(FP), DX
-	MOVOU (DX), X3   // min lanes
-	MOVOU 16(DX), X4 // max lanes
+// One full training step toward target t (±1), saturating every
+// weight at [min, max]. The ±1 delta table is selected by the sign of
+// t; the SIMD clamp bounds come from ·satVecs, indexed in-line by the
+// weight width recovered from max (BSR of max+1, i.e. bits.Len16).
+TEXT ·trainKernel(SB), NOSPLIT, $0-40
+	MOVQ w+0(FP), SI
+	MOVQ n+8(FP), BX
+	MOVQ hist+16(FP), CX
+	MOVQ t+24(FP), R9
 
-trainloop:
-	MOVQ CX, AX
-	ANDQ $255, AX
-	SHLQ $4, AX
-	MOVOU (DI)(AX*1), X1
-	MOVOU (SI), X2
-	PADDW  X1, X2
-	PMAXSW X3, X2
-	PMINSW X4, X2
-	MOVOU X2, (SI)
-	ADDQ $16, SI
-	SHRQ $8, CX
-	DECQ BX
-	JNZ  trainloop
+	// Validate the target here rather than in the Go wrappers: two
+	// predicted-never compares cost nothing, while a Go-side check
+	// pushes the wrappers past the inlining budget.
+	CMPQ R9, $1
+	JE   tvalid
+	CMPQ R9, $-1
+	JNE  tbadtarget
+
+tvalid:
+	// Unpack bounds: min sign-extended in the low word, max above it.
+	MOVQ    bounds+32(FP), R11
+	MOVWQSX R11, R10
+	SARQ    $16, R11
+
+	// Bias: w[0] += t, clamped.
+	MOVWLSX (SI), AX
+	ADDL    R9, AX
+	CMPL    AX, R11
+	CMOVLGT R11, AX
+	CMPL    AX, R10
+	CMOVLLT R10, AX
+	MOVW    AX, (SI)
+	ADDQ    $2, SI
+	DECQ    BX // BX = hlen
+
+	CMPB ·useAVX2(SB), $0
+	JNE  avx2train
+	CMPB ·useSSE2(SB), $0
+	JE   scalartrain
+
+	// ---- SSE2 tier ----
+	MOVQ BX, R12
+	SHRQ $3, R12
+	JZ   traintail
+
+	// Delta table: ·signTable[0] for t = +1, its negation at byte
+	// offset 4096 for t = -1.
+	LEAQ    ·signTable(SB), DI
+	LEAQ    4096(DI), DX
+	TESTQ   R9, R9
+	CMOVQLT DX, DI
+
+	// Clamp bounds: ·satVecs[bits.Len16(max+1)], 32 bytes per entry,
+	// lanes 0-7 the minimum and 8-15 the maximum.
+	LEAL 1(R11), AX
+	BSRL AX, AX
+	INCL AX
+	SHLL $5, AX
+	LEAQ ·satVecs(SB), DX
+	ADDQ AX, DX
+	MOVOU (DX), X3
+	MOVOU 16(DX), X4
+
+ssetrainloop:
+	MOVBLZX CX, AX
+	SHLL    $4, AX
+	MOVOU   (DI)(AX*1), X1
+	MOVOU   (SI), X2
+	PADDW   X1, X2
+	PMAXSW  X3, X2
+	PMINSW  X4, X2
+	MOVOU   X2, (SI)
+	ADDQ    $16, SI
+	SHRQ    $8, CX
+	DECQ    R12
+	JNZ     ssetrainloop
+	JMP     traintail
+
+	// ---- AVX2 tier ----
+avx2train:
+	LEAQ    ·signTable(SB), DI
+	LEAQ    4096(DI), DX
+	TESTQ   R9, R9
+	CMOVQLT DX, DI
+
+	LEAL 1(R11), AX
+	BSRL AX, AX
+	INCL AX
+	SHLL $5, AX
+	LEAQ ·satVecs(SB), DX
+	ADDQ AX, DX
+
+	CMPQ BX, $32
+	JEQ  train32
+
+	MOVQ BX, R12
+	SHRQ $3, R12
+	JZ   traintail
+	VBROADCASTI128 (DX), Y3   // min lanes
+	VBROADCASTI128 16(DX), Y4 // max lanes
+	SUBQ $2, R12
+	JLT  avxtrainsingle
+
+avxtrainloop:
+	MOVWLZX     CX, AX
+	MOVL        AX, R8
+	ANDL        $255, AX
+	SHRL        $8, R8
+	SHLL        $4, AX
+	SHLL        $4, R8
+	VMOVDQU     (DI)(AX*1), X1
+	VINSERTI128 $1, (DI)(R8*1), Y1, Y1
+	VMOVDQU     (SI), Y2
+	VPADDW      Y1, Y2, Y2
+	VPMAXSW     Y3, Y2, Y2
+	VPMINSW     Y4, Y2, Y2
+	VMOVDQU     Y2, (SI)
+	ADDQ        $32, SI
+	SHRQ        $16, CX
+	SUBQ        $2, R12
+	JGE         avxtrainloop
+
+avxtrainsingle:
+	ADDQ $2, R12
+	JZ   avxtraindone
+
+	// Odd leftover block, 128-bit (X3/X4 are the low lanes of Y3/Y4).
+	MOVBLZX CX, AX
+	SHLL    $4, AX
+	VMOVDQU (DI)(AX*1), X1
+	VMOVDQU (SI), X2
+	VPADDW  X1, X2, X2
+	VPMAXSW X3, X2, X2
+	VPMINSW X4, X2, X2
+	VMOVDQU X2, (SI)
+	ADDQ    $16, SI
+	SHRQ    $8, CX
+
+avxtraindone:
+	VZEROUPPER
+	JMP traintail
+
+	// Straight-line 32-weight train.
+train32:
+	VBROADCASTI128 (DX), Y3
+	VBROADCASTI128 16(DX), Y4
+	MOVBLZX CX, AX
+	MOVL    CX, R8
+	SHRL    $8, R8
+	MOVBLZX R8, R8
+	MOVL    CX, R12
+	SHRL    $16, R12
+	MOVBLZX R12, R12
+	MOVL    CX, R13
+	SHRL    $24, R13
+	SHLL    $4, AX
+	SHLL    $4, R8
+	SHLL    $4, R12
+	SHLL    $4, R13
+	VMOVDQU     (DI)(AX*1), X1
+	VINSERTI128 $1, (DI)(R8*1), Y1, Y1
+	VMOVDQU     (DI)(R12*1), X2
+	VINSERTI128 $1, (DI)(R13*1), Y2, Y2
+	VMOVDQU     (SI), Y5
+	VMOVDQU     32(SI), Y6
+	VPADDW      Y1, Y5, Y5
+	VPADDW      Y2, Y6, Y6
+	VPMAXSW     Y3, Y5, Y5
+	VPMAXSW     Y3, Y6, Y6
+	VPMINSW     Y4, Y5, Y5
+	VPMINSW     Y4, Y6, Y6
+	VMOVDQU     Y5, (SI)
+	VMOVDQU     Y6, 32(SI)
+	VZEROUPPER
 	RET
+
+	// ---- scalar tier and the sub-8-weight tail ----
+scalartrain:
+	TESTQ BX, BX
+	JZ    traindone
+	JMP   traintailloop
+
+traintail:
+	ANDQ $7, BX
+	JZ   traindone
+
+traintailloop:
+	// d = (t ^ m) - m with m = bit-1, then clamp.
+	MOVL    CX, DX
+	ANDL    $1, DX
+	DECL    DX
+	MOVL    R9, AX
+	XORL    DX, AX
+	SUBL    DX, AX
+	MOVWLSX (SI), DX
+	ADDL    DX, AX
+	CMPL    AX, R11
+	CMOVLGT R11, AX
+	CMPL    AX, R10
+	CMOVLLT R10, AX
+	MOVW    AX, (SI)
+	ADDQ    $2, SI
+	SHRQ    $1, CX
+	DECQ    BX
+	JNZ     traintailloop
+
+traindone:
+	RET
+
+tbadtarget:
+	CALL ·trainBadTarget(SB) // panics; never returns
+	RET
+

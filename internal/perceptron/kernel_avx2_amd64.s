@@ -1,0 +1,319 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// kernel_avx2_amd64.s holds the batched multi-row AVX2 kernels behind
+// Table.OutputBatch/TrainBatch: one call scores or trains every
+// request in a struct-of-arrays block, so a fetch group of branches
+// costs one ABI crossing instead of N. Row addressing happens here
+// too — each PC is mapped to its row offset with the same
+// (pc>>2 & mask) * stride computation as Table.index, so the Go side
+// passes the raw request columns and no per-request bookkeeping runs
+// outside the loop below.
+//
+// The per-row recipe matches the AVX2 tier in kernel_amd64.s —
+// VPMADDWD over 16 weights merged from two ·signTable rows per
+// iteration for the dot, VPADDW plus VPMAXSW/VPMINSW saturation for
+// the train — and the same two invariants hold: fold the ymm
+// accumulator to xmm BEFORE any (VEX.128) odd block, and VZEROUPPER
+// before returning. The paper-default geometry (32-bit history, 4
+// whole blocks) gets dedicated straight-line row loops with no
+// per-block branching.
+//
+// Rows are processed strictly in request order: a batch may hit the
+// same row twice and the second update must observe the first,
+// exactly as sequential Train calls would.
+
+// func dotRowsAVX2(w *Weight, tbl *[256][8]int16, pcs, hist *uint64, out *int32, n, blocks int, mask uint64, stride int)
+//
+// out[i] receives the full perceptron output of pcs[i]'s row against
+// hist[i], bias included. All rows share one whole-block geometry
+// (blocks = hlen/8 ≥ 1).
+TEXT ·dotRowsAVX2(SB), NOSPLIT, $0-72
+	MOVQ w+0(FP), SI
+	MOVQ tbl+8(FP), DI
+	MOVQ pcs+16(FP), R9
+	MOVQ hist+24(FP), R10
+	MOVQ out+32(FP), R11
+	MOVQ n+40(FP), R12
+	MOVQ blocks+48(FP), R13
+	MOVQ mask+56(FP), R15
+
+	CMPQ R13, $4
+	JEQ  drow4loop
+
+drowloop:
+	MOVQ  (R9), DX // row offset = index(pc) * stride, in weights
+	SHRQ  $2, DX
+	ANDQ  R15, DX
+	IMULQ stride+64(FP), DX
+	LEAQ  (SI)(DX*2), DX
+	MOVQ  (R10), CX
+	MOVWQSX (DX), BX // bias contributes +w[0]
+	ADDQ  $2, DX
+	VPXOR Y0, Y0, Y0
+	MOVQ  R13, R14
+	SUBQ  $2, R14
+	JLT   drowsingle
+
+drowpair:
+	MOVWLZX     CX, AX
+	MOVL        AX, R8
+	ANDL        $255, AX
+	SHRL        $8, R8
+	SHLL        $4, AX
+	SHLL        $4, R8
+	VMOVDQU     (DI)(AX*1), X1
+	VINSERTI128 $1, (DI)(R8*1), Y1, Y1
+	VPMADDWD    (DX), Y1, Y1
+	VPADDD      Y1, Y0, Y0
+	ADDQ        $32, DX
+	SHRQ        $16, CX
+	SUBQ        $2, R14
+	JGE         drowpair
+
+drowsingle:
+	// Fold before the 128-bit odd block (VEX.128 zeroes 255:128).
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0
+	ADDQ         $2, R14
+	JZ           drowsum
+
+	MOVBLZX  CX, AX
+	SHLL     $4, AX
+	VMOVDQU  (DI)(AX*1), X1
+	VPMADDWD (DX), X1, X1
+	VPADDD   X1, X0, X0
+
+drowsum:
+	VPSHUFD $0x4E, X0, X1
+	VPADDD  X1, X0, X0
+	VPSHUFD $0xB1, X0, X1
+	VPADDD  X1, X0, X0
+	VMOVD   X0, AX
+	ADDL    BX, AX
+	MOVL    AX, (R11)
+
+	ADDQ $8, R9
+	ADDQ $8, R10
+	ADDQ $4, R11
+	DECQ R12
+	JNZ  drowloop
+
+	VZEROUPPER
+	RET
+
+	// Paper-default rows (32-bit history): four sign rows merged into
+	// two ymm vectors, two VPMADDWDs, no per-block loop control.
+drow4loop:
+	MOVQ  (R9), DX
+	SHRQ  $2, DX
+	ANDQ  R15, DX
+	IMULQ stride+64(FP), DX
+	LEAQ  (SI)(DX*2), DX
+	MOVQ  (R10), CX
+	MOVWQSX (DX), BX
+	ADDQ  $2, DX
+
+	MOVBLZX     CX, AX
+	MOVL        CX, R8
+	SHRL        $8, R8
+	MOVBLZX     R8, R8
+	SHLL        $4, AX
+	SHLL        $4, R8
+	VMOVDQU     (DI)(AX*1), X1
+	VINSERTI128 $1, (DI)(R8*1), Y1, Y1
+	MOVL        CX, AX
+	SHRL        $16, AX
+	MOVBLZX     AX, AX
+	SHRL        $24, CX
+	SHLL        $4, AX
+	SHLL        $4, CX
+	VMOVDQU     (DI)(AX*1), X2
+	VINSERTI128 $1, (DI)(CX*1), Y2, Y2
+	VPMADDWD    (DX), Y1, Y1
+	VPMADDWD    32(DX), Y2, Y2
+	VPADDD      Y2, Y1, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD      X1, X0, X0
+	VPSHUFD     $0x4E, X0, X1
+	VPADDD      X1, X0, X0
+	VPSHUFD     $0xB1, X0, X1
+	VPADDD      X1, X0, X0
+	VMOVD       X0, AX
+	ADDL        BX, AX
+	MOVL        AX, (R11)
+
+	ADDQ $8, R9
+	ADDQ $8, R10
+	ADDQ $4, R11
+	DECQ R12
+	JNZ  drow4loop
+
+	VZEROUPPER
+	RET
+
+// func trainRowsAVX2(w *Weight, tbl *[2][256][8]int16, pcs, hist *uint64, tgt *int8, n, blocks int, mask uint64, stride int, sv *[16]int16)
+//
+// Applies one full training step — saturating bias and history
+// weights — to pcs[i]'s row toward target tgt[i] (±1), in request
+// order. tgt selects between the two precomputed delta tables: tbl[0]
+// for t = +1, its negation at byte offset 4096 for t = -1. sv holds
+// the clamp bounds: lanes 0-7 the minimum, 8-15 the maximum.
+TEXT ·trainRowsAVX2(SB), NOSPLIT, $0-80
+	MOVQ w+0(FP), SI
+	MOVQ tbl+8(FP), DI
+	MOVQ pcs+16(FP), R9
+	MOVQ hist+24(FP), R10
+	MOVQ tgt+32(FP), R11
+	MOVQ n+40(FP), R12
+	MOVQ blocks+48(FP), R13
+	MOVQ mask+56(FP), R15
+
+	MOVQ sv+72(FP), DX
+	VBROADCASTI128 (DX), Y3   // min lanes
+	VBROADCASTI128 16(DX), Y4 // max lanes
+
+	CMPQ R13, $4
+	JEQ  trow4loop
+
+trowloop:
+	MOVQ  (R9), DX
+	SHRQ  $2, DX
+	ANDQ  R15, DX
+	IMULQ stride+64(FP), DX
+	LEAQ  (SI)(DX*2), DX
+	MOVQ  (R10), CX
+	MOVBQSX (R11), AX // target ±1
+
+	// Select the delta table by the sign of the target.
+	MOVQ    DI, BX
+	LEAQ    4096(DI), R8
+	TESTQ   AX, AX
+	CMOVQLT R8, BX
+
+	// Bias: w[0] += t, clamped against the bounds still in memory at
+	// sv (word 0 the minimum, word 8 the maximum).
+	MOVWLSX (DX), R8
+	ADDL    AX, R8
+	MOVQ    sv+72(FP), AX
+	MOVWLSX 16(AX), R14
+	CMPL    R8, R14
+	CMOVLGT R14, R8
+	MOVWLSX (AX), R14
+	CMPL    R8, R14
+	CMOVLLT R14, R8
+	MOVW    R8, (DX)
+	ADDQ    $2, DX
+
+	MOVQ R13, R14
+	SUBQ $2, R14
+	JLT  trowsingle
+
+trowpair:
+	MOVWLZX     CX, AX
+	MOVL        AX, R8
+	ANDL        $255, AX
+	SHRL        $8, R8
+	SHLL        $4, AX
+	SHLL        $4, R8
+	VMOVDQU     (BX)(AX*1), X1
+	VINSERTI128 $1, (BX)(R8*1), Y1, Y1
+	VMOVDQU     (DX), Y2
+	VPADDW      Y1, Y2, Y2
+	VPMAXSW     Y3, Y2, Y2
+	VPMINSW     Y4, Y2, Y2
+	VMOVDQU     Y2, (DX)
+	ADDQ        $32, DX
+	SHRQ        $16, CX
+	SUBQ        $2, R14
+	JGE         trowpair
+
+trowsingle:
+	ADDQ $2, R14
+	JZ   trownext
+
+	// Odd leftover block, 128-bit (X3/X4 are the low lanes of Y3/Y4).
+	MOVBLZX CX, AX
+	SHLL    $4, AX
+	VMOVDQU (BX)(AX*1), X1
+	VMOVDQU (DX), X2
+	VPADDW  X1, X2, X2
+	VPMAXSW X3, X2, X2
+	VPMINSW X4, X2, X2
+	VMOVDQU X2, (DX)
+
+trownext:
+	ADDQ $8, R9
+	ADDQ $8, R10
+	INCQ R11
+	DECQ R12
+	JNZ  trowloop
+
+	VZEROUPPER
+	RET
+
+	// Paper-default rows (32-bit history): two straight-line 16-weight
+	// update blocks per row, no per-block loop control.
+trow4loop:
+	MOVQ  (R9), DX
+	SHRQ  $2, DX
+	ANDQ  R15, DX
+	IMULQ stride+64(FP), DX
+	LEAQ  (SI)(DX*2), DX
+	MOVQ  (R10), CX
+	MOVBQSX (R11), AX
+
+	MOVQ    DI, BX
+	LEAQ    4096(DI), R8
+	TESTQ   AX, AX
+	CMOVQLT R8, BX
+
+	MOVWLSX (DX), R8
+	ADDL    AX, R8
+	MOVQ    sv+72(FP), AX
+	MOVWLSX 16(AX), R14
+	CMPL    R8, R14
+	CMOVLGT R14, R8
+	MOVWLSX (AX), R14
+	CMPL    R8, R14
+	CMOVLLT R14, R8
+	MOVW    R8, (DX)
+	ADDQ    $2, DX
+
+	MOVBLZX     CX, AX
+	MOVL        CX, R8
+	SHRL        $8, R8
+	MOVBLZX     R8, R8
+	SHLL        $4, AX
+	SHLL        $4, R8
+	VMOVDQU     (BX)(AX*1), X1
+	VINSERTI128 $1, (BX)(R8*1), Y1, Y1
+	VMOVDQU     (DX), Y2
+	VPADDW      Y1, Y2, Y2
+	VPMAXSW     Y3, Y2, Y2
+	VPMINSW     Y4, Y2, Y2
+	VMOVDQU     Y2, (DX)
+
+	MOVL        CX, AX
+	SHRL        $16, AX
+	MOVBLZX     AX, AX
+	SHRL        $24, CX
+	SHLL        $4, AX
+	SHLL        $4, CX
+	VMOVDQU     (BX)(AX*1), X1
+	VINSERTI128 $1, (BX)(CX*1), Y1, Y1
+	VMOVDQU     32(DX), Y2
+	VPADDW      Y1, Y2, Y2
+	VPMAXSW     Y3, Y2, Y2
+	VPMINSW     Y4, Y2, Y2
+	VMOVDQU     Y2, 32(DX)
+
+	ADDQ $8, R9
+	ADDQ $8, R10
+	INCQ R11
+	DECQ R12
+	JNZ  trow4loop
+
+	VZEROUPPER
+	RET

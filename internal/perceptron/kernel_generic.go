@@ -3,10 +3,22 @@
 package perceptron
 
 // On architectures without an assembly fast path the branchless scalar
-// kernels are the production kernels.
+// kernels are the production kernels, and batches are scored row by
+// row.
 
 func dot(w []Weight, hist uint64) int { return dotScalar(w, hist) }
 
-func trainStep(w []Weight, hist uint64, t int, min, max Weight) {
-	trainScalar(w, hist, t, min, max)
+func trainStep(w []Weight, hist uint64, t int, bounds int64) {
+	if t != 1 && t != -1 {
+		panic("perceptron: train target not ±1")
+	}
+	trainScalar(w, hist, t, Weight(int16(bounds)), Weight(bounds>>16))
 }
+
+func outputBatch(t *Table, _ []Weight, b *Batch) { t.outputBatchGeneric(b) }
+
+func trainBatch(t *Table, _ []Weight, b *Batch) { t.trainBatchGeneric(b) }
+
+// KernelTier names the kernel tier in use; without assembly kernels it
+// is always "scalar".
+func KernelTier() string { return "scalar" }

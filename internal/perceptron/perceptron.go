@@ -31,6 +31,7 @@ type Perceptron struct {
 	// w[0] is the bias weight; w[1..n] pair with history bits 0..n-1.
 	w        []Weight
 	max, min Weight
+	bounds   int64 // packBounds(min, max), preformatted for trainStep
 }
 
 // New returns a perceptron with n history inputs (n+1 weights, all
@@ -41,7 +42,16 @@ func New(n, bits int) *Perceptron {
 		panic(fmt.Sprintf("perceptron: need at least 1 input, got %d", n))
 	}
 	max, min := weightRange(bits)
-	return &Perceptron{w: make([]Weight, n+1), max: max, min: min}
+	return &Perceptron{w: make([]Weight, n+1), max: max, min: min, bounds: packBounds(min, max)}
+}
+
+// packBounds formats the saturation bounds as the single word
+// trainStep takes: min in the low 16 bits, max sign-extended above.
+// One packed argument instead of two keeps the Train wrappers inside
+// the inlining budget, which is what keeps the train hot path a single
+// call deep.
+func packBounds(min, max Weight) int64 {
+	return int64(max)<<16 | int64(uint16(min))
 }
 
 // weightRange returns the saturation bounds for a bits-bit weight,
@@ -76,11 +86,12 @@ func (p *Perceptron) Output(hist uint64) int {
 // w[i] += t·x[i] with saturation, where x[0] = 1 and x[i] = ±1 from
 // hist. The caller decides *whether* to train (the threshold tests
 // differ between the predictor and the confidence estimator).
+// Target validation lives inside trainStep (the assembly kernel checks
+// and panics on a non-±1 target): a Go-side check would push this
+// wrapper past the inlining budget and cost the hot path a second
+// call level.
 func (p *Perceptron) Train(hist uint64, t int) {
-	if t != 1 && t != -1 {
-		panic(fmt.Sprintf("perceptron: train target %d not ±1", t))
-	}
-	trainStep(p.w, hist, t, p.min, p.max)
+	trainStep(p.w, hist, t, p.bounds)
 }
 
 // Reset zeroes all weights.
@@ -109,6 +120,7 @@ type Table struct {
 	hlen     int
 	bits     int
 	max, min Weight
+	bounds   int64  // packBounds(min, max), preformatted for trainStep
 	mask     uint64 // entries - 1; entries is always a power of two
 }
 
@@ -142,6 +154,7 @@ func NewTable(entries, hlen, bits int) *Table {
 		bits:    bits,
 		max:     max,
 		min:     min,
+		bounds:  packBounds(min, max),
 		mask:    uint64(size - 1),
 	}
 }
@@ -198,10 +211,106 @@ func (t *Table) Output(pc, hist uint64) int {
 // Train applies one training step toward target tgt (±1) to pc's
 // perceptron for the given history snapshot.
 func (t *Table) Train(pc, hist uint64, tgt int) {
+	trainStep(t.row(pc), hist, tgt, t.bounds) // trainStep validates tgt
+}
+
+// Batch is a struct-of-arrays block of scoring or training requests
+// against one Table: request i is (PC[i], Hist[i]) plus, for training,
+// the ±1 target Tgt[i]. OutputBatch fills Out with the perceptron
+// outputs. The zero value is ready to use; Reset re-slices every
+// column to length zero so a Batch can be reused cycle after cycle
+// without allocating. The layout is deliberately flat — parallel
+// slices, no per-request structs — so the batched SIMD kernels walk it
+// with nothing but pointer increments.
+type Batch struct {
+	PC   []uint64
+	Hist []uint64
+	Out  []int32 // filled by OutputBatch, one output per request
+	Tgt  []int8  // ±1 training targets, parallel to PC (TrainBatch only)
+}
+
+// Reset empties the batch, retaining every column's capacity.
+func (b *Batch) Reset() {
+	b.PC, b.Hist, b.Out, b.Tgt = b.PC[:0], b.Hist[:0], b.Out[:0], b.Tgt[:0]
+}
+
+// Len returns the number of requests in the batch.
+func (b *Batch) Len() int { return len(b.PC) }
+
+// Add appends one scoring request.
+func (b *Batch) Add(pc, hist uint64) {
+	b.PC = append(b.PC, pc)
+	b.Hist = append(b.Hist, hist)
+}
+
+// AddTrain appends one training request toward target tgt (±1).
+func (b *Batch) AddTrain(pc, hist uint64, tgt int) {
 	if tgt != 1 && tgt != -1 {
 		panic(fmt.Sprintf("perceptron: train target %d not ±1", tgt))
 	}
-	trainStep(t.row(pc), hist, tgt, t.min, t.max)
+	b.PC = append(b.PC, pc)
+	b.Hist = append(b.Hist, hist)
+	b.Tgt = append(b.Tgt, int8(tgt))
+}
+
+// OutputBatch computes every request's perceptron output in one pass,
+// filling b.Out (resized in place, reusing its capacity). Results are
+// bit-identical to calling Output per request; on whole-block
+// geometries with the AVX2 tier the entire batch is a single kernel
+// call, which is how the pipeline scores a fetch group of branches at
+// once instead of paying the dispatch overhead N times.
+func (t *Table) OutputBatch(b *Batch) {
+	n := len(b.PC)
+	if len(b.Hist) != n {
+		panic(fmt.Sprintf("perceptron: batch has %d PCs but %d histories", n, len(b.Hist)))
+	}
+	if cap(b.Out) < n {
+		b.Out = make([]int32, n)
+	}
+	b.Out = b.Out[:n]
+	if n == 0 {
+		return
+	}
+	w := t.w
+	if w == nil {
+		w = t.materialize()
+	}
+	outputBatch(t, w, b)
+}
+
+// TrainBatch applies every training request in one pass, in request
+// order: duplicate rows within a batch observe earlier updates exactly
+// as a sequence of Train calls would. Results are bit-identical to
+// calling Train per request.
+func (t *Table) TrainBatch(b *Batch) {
+	n := len(b.PC)
+	if len(b.Hist) != n || len(b.Tgt) != n {
+		panic(fmt.Sprintf("perceptron: batch has %d PCs but %d histories, %d targets",
+			n, len(b.Hist), len(b.Tgt)))
+	}
+	if n == 0 {
+		return
+	}
+	w := t.w
+	if w == nil {
+		w = t.materialize()
+	}
+	trainBatch(t, w, b)
+}
+
+// outputBatchGeneric scores the batch row by row through the regular
+// dispatch ladder: the portable fallback and the odd-geometry path.
+func (t *Table) outputBatchGeneric(b *Batch) {
+	for i, pc := range b.PC {
+		b.Out[i] = int32(dot(t.row(pc), b.Hist[i]))
+	}
+}
+
+// trainBatchGeneric applies the batch row by row, in request order.
+func (t *Table) trainBatchGeneric(b *Batch) {
+	for i, pc := range b.PC {
+		trainStep(t.row(pc), b.Hist[i], int(b.Tgt[i]), t.bounds)
+	}
 }
 
 // Row is a view of one table entry, aliasing the table's backing array.
@@ -210,11 +319,12 @@ func (t *Table) Train(pc, hist uint64, tgt int) {
 type Row struct {
 	w        []Weight
 	max, min Weight
+	bounds   int64
 }
 
 // Lookup returns a view of the perceptron for a branch address.
 func (t *Table) Lookup(pc uint64) Row {
-	return Row{w: t.row(pc), max: t.max, min: t.min}
+	return Row{w: t.row(pc), max: t.max, min: t.min, bounds: t.bounds}
 }
 
 // Index returns the table row number a branch address maps to.
@@ -225,10 +335,7 @@ func (r Row) Output(hist uint64) int { return dot(r.w, hist) }
 
 // Train applies one training step toward target t (±1).
 func (r Row) Train(hist uint64, t int) {
-	if t != 1 && t != -1 {
-		panic(fmt.Sprintf("perceptron: train target %d not ±1", t))
-	}
-	trainStep(r.w, hist, t, r.min, r.max)
+	trainStep(r.w, hist, t, r.bounds) // trainStep validates t
 }
 
 // Weights exposes the row's weight vector (bias first), aliasing the

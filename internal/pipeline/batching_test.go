@@ -1,0 +1,159 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+
+	"bce/internal/confidence"
+	"bce/internal/gating"
+	"bce/internal/workload"
+)
+
+// batching_test.go proves the batched-estimator fast path is an
+// execution-strategy change only: a simulation whose estimator batches
+// fetch groups and retire groups produces byte-identical results to
+// one forced through the sequential Estimate/Train protocol.
+
+// sequentialOnly hides an estimator's batch interfaces, forcing the
+// simulator onto the sequential protocol. Embedding the bare interface
+// means the wrapper satisfies Estimator and nothing else.
+type sequentialOnly struct{ confidence.Estimator }
+
+func runEstimator(t *testing.T, workloadName string, opts Options, n uint64) []byte {
+	t.Helper()
+	prof, err := workload.ByName(workloadName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := New(opts, workload.New(prof))
+	r := sim.Run(n)
+	b, err := r.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestBatchedEstimatorByteIdentical compares batched against
+// sequential execution over configurations covering both batch tiers:
+// gating-only (estimate and train batching both active) and reversal
+// (train batching only — reversal needs the token mid-fetch, so the
+// eligibility rules must keep estimation sequential and still agree).
+func TestBatchedEstimatorByteIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		opts func(e confidence.Estimator) Options
+	}{
+		{"gating", func(e confidence.Estimator) Options {
+			return Options{Estimator: e, Gating: gating.PL(1)}
+		}},
+		{"plain", func(e confidence.Estimator) Options {
+			return Options{Estimator: e}
+		}},
+		{"reversal", func(e confidence.Estimator) Options {
+			return Options{Estimator: e, Gating: gating.PL(2), Reversal: true}
+		}},
+	}
+	cic := func() confidence.Estimator {
+		return confidence.NewCICWith(confidence.CICConfig{Lambda: -25, Reversal: 50})
+	}
+	for _, tc := range cases {
+		for _, wl := range []string{"gzip", "mcf"} {
+			batched := runEstimator(t, wl, tc.opts(cic()), 60_000)
+			sequential := runEstimator(t, wl, tc.opts(sequentialOnly{cic()}), 60_000)
+			if !bytes.Equal(batched, sequential) {
+				t.Errorf("%s/%s: batched run diverged from sequential run\nbatched:    %s\nsequential: %s",
+					tc.name, wl, batched, sequential)
+			}
+		}
+	}
+}
+
+// TestBatchedSimUsesBatchPath guards the eligibility rules themselves:
+// the canonical gating configuration must actually select both batch
+// tiers (otherwise the equivalence test above compares sequential with
+// sequential), reversal must deselect estimate batching, and a live
+// sink or speculative training must deselect everything.
+func TestBatchedSimUsesBatchPath(t *testing.T) {
+	prof, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(opts Options) *Sim { return New(opts, workload.New(prof)) }
+	cic := confidence.NewCIC(0)
+
+	s := mk(Options{Estimator: cic, Gating: gating.PL(1)})
+	if s.estBatcher == nil || s.trainBatcher == nil {
+		t.Errorf("gating config: estBatcher=%v trainBatcher=%v, want both active",
+			s.estBatcher != nil, s.trainBatcher != nil)
+	}
+	s = mk(Options{Estimator: cic, Reversal: true})
+	if s.estBatcher != nil || s.trainBatcher == nil {
+		t.Errorf("reversal config: estBatcher=%v trainBatcher=%v, want train-only",
+			s.estBatcher != nil, s.trainBatcher != nil)
+	}
+	s = mk(Options{Estimator: cic, SpeculativeCETrain: true})
+	if s.estBatcher != nil || s.trainBatcher != nil {
+		t.Error("speculative-train config selected a batch path")
+	}
+	s = mk(Options{Estimator: sequentialOnly{cic}})
+	if s.estBatcher != nil || s.trainBatcher != nil {
+		t.Error("sequential-only estimator selected a batch path")
+	}
+	s = mk(Options{Estimator: confidence.NewOracle()})
+	if s.estBatcher != nil {
+		t.Error("trace-oracle estimator selected estimate batching")
+	}
+}
+
+// TestBatchedRunAllocFree pins the fully-batched hot path: with both
+// batch tiers active (gating, no reversal, nil sink), a warmed-up Run
+// allocates nothing — the request columns are preallocated to the
+// per-cycle caps and the kernels reuse the estimator's scratch block.
+func TestBatchedRunAllocFree(t *testing.T) {
+	prof, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := New(Options{Estimator: confidence.NewCIC(0), Gating: gating.PL(1)}, workload.New(prof))
+	if sim.estBatcher == nil || sim.trainBatcher == nil {
+		t.Fatal("configuration did not select the batch path")
+	}
+	sim.Run(20_000) // warmup: materialize tables, grow any lazy buffers
+	if n := testing.AllocsPerRun(3, func() { sim.Run(2_000) }); n > 0 {
+		t.Errorf("batched Run allocates %v times per call, want 0", n)
+	}
+}
+
+// BenchmarkRunBatchedCIC / BenchmarkRunSequentialCIC quantify the
+// fetch/retire hot-path win from batched estimation: same workload,
+// same estimator configuration, batch interfaces visible vs hidden.
+// Compare with:
+//
+//	go test ./internal/pipeline -bench 'Run(Batched|Sequential)CIC' -count 10 | benchstat
+func BenchmarkRunBatchedCIC(b *testing.B) {
+	benchmarkRunCIC(b, confidence.NewCIC(0))
+}
+
+func BenchmarkRunSequentialCIC(b *testing.B) {
+	benchmarkRunCIC(b, sequentialOnly{confidence.NewCIC(0)})
+}
+
+func benchmarkRunCIC(b *testing.B, est confidence.Estimator) {
+	prof, err := workload.ByName("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := New(Options{Estimator: est, Gating: gating.PL(1)}, workload.New(prof))
+	sim.Run(10_000) // warmup
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := sim.Cycle()
+	for i := 0; i < b.N; i++ {
+		sim.Run(10_000)
+	}
+	b.StopTimer()
+	if cycles := sim.Cycle() - start; cycles > 0 {
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/sec")
+	}
+}

@@ -84,6 +84,11 @@ func main() {
 		remote     = flag.String("workers-remote", "", "comma-separated bceworker base URLs (e.g. http://127.0.0.1:8371); shard the sweep's timing simulations across them, then aggregate locally — output is byte-identical to a single-process run")
 		distBatch  = flag.Int("dist-batch", 0, "jobs per batch request to remote workers (0 = default)")
 		traceSpans = flag.String("trace-spans", "", "write the distributed sweep's merged cross-process span timeline (Chrome trace_event JSON, needs -workers-remote) to this file")
+		hedge      = flag.Bool("hedge", true, "speculatively re-issue batches that outlive the adaptive latency threshold to a second worker and take the first result; duplicate executions never merge twice")
+		adaptDL    = flag.Bool("adaptive-deadline", false, "derive each worker's per-job deadline from its own batch-latency history (p99 x 4, clamped) instead of the fixed -job-timeout")
+		brkFails   = flag.Int("breaker-failures", 0, "consecutive batch failures that trip a worker's circuit breaker (0 = default 2)")
+		brkCool    = flag.Duration("breaker-cooldown", 0, "cooldown before the first half-open probe of a tripped worker, doubled per failed probe (0 = derived from retry backoff)")
+		brkProbes  = flag.Int("breaker-probes", 0, "failed half-open probes before a tripped worker is declared permanently lost (0 = default 6)")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 	)
@@ -122,6 +127,12 @@ func main() {
 			"bce_dist_coordinator": func() any {
 				if c := coordMon.Load(); c != nil {
 					return c.Stats()
+				}
+				return nil
+			},
+			"bce_breakers": func() any {
+				if c := coordMon.Load(); c != nil {
+					return c.Breakers()
 				}
 				return nil
 			},
@@ -214,7 +225,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bcetables: -workers-remote lists no worker URLs")
 			os.Exit(2)
 		}
-		if err := distribute(ctx, urls, *exp, *bench, *csv, sz, mb, *distBatch, *jobTimeout, *retries, *traceSpans); err != nil {
+		tuning := distTuning{
+			hedge:            *hedge,
+			adaptiveDeadline: *adaptDL,
+			breakerFailures:  *brkFails,
+			breakerCooldown:  *brkCool,
+			breakerProbes:    *brkProbes,
+		}
+		if err := distribute(ctx, urls, *exp, *bench, *csv, sz, mb, *distBatch, *jobTimeout, *retries, *traceSpans, tuning); err != nil {
 			fail(err)
 		}
 	}
@@ -268,21 +286,38 @@ func splitList(s string) []string {
 // any attached store/journal) under its cache key. Jobs whose results
 // are already stored — a resumed coordinator — are excluded from the
 // plan, so only missing work is dispatched.
+// distTuning carries the self-healing knobs (-hedge,
+// -adaptive-deadline, -breaker-*) from flags into dist.Options.
+type distTuning struct {
+	hedge            bool
+	adaptiveDeadline bool
+	breakerFailures  int
+	breakerCooldown  time.Duration
+	breakerProbes    int
+}
+
 func distribute(ctx context.Context, urls []string, exp, bench string, csv bool,
 	sz core.Sizes, mb *manifest.Builder, batch int, jobTimeout time.Duration, retries int,
-	traceSpans string) error {
+	traceSpans string, tuning distTuning) error {
 	log := slog.Default().With("component", "coordinator")
 	var tracer *telemetry.Tracer
 	if traceSpans != "" {
 		tracer = telemetry.NewTracer("coordinator")
 	}
 	coord, err := dist.NewCoordinator(dist.Options{
-		Workers:    urls,
-		BatchSize:  batch,
-		JobTimeout: jobTimeout,
-		Retries:    retries,
-		Logger:     log,
-		Tracer:     tracer,
+		Workers:          urls,
+		BatchSize:        batch,
+		JobTimeout:       jobTimeout,
+		Retries:          retries,
+		DisableHedging:   !tuning.hedge,
+		AdaptiveDeadline: tuning.adaptiveDeadline,
+		Breaker: dist.BreakerOptions{
+			ConsecutiveFailures: tuning.breakerFailures,
+			Cooldown:            tuning.breakerCooldown,
+			MaxProbeFailures:    tuning.breakerProbes,
+		},
+		Logger: log,
+		Tracer: tracer,
 		OnResult: func(worker string, job dist.Job, run metrics.Run) {
 			core.InjectResult(job.Key, run)
 			if mb != nil {
@@ -308,6 +343,7 @@ func distribute(ctx context.Context, urls []string, exp, bench string, csv bool,
 	// sweep ends. Its failures never affect job routing.
 	fleetCtx, stopFleet := context.WithCancel(ctx)
 	fleet := dist.NewFleet(dist.FleetOptions{Workers: urls, Logger: log})
+	fleet.SetBreakerSource(coord.Breakers)
 	fleet.Start(fleetCtx)
 	fleetMon.Store(fleet)
 	defer func() {

@@ -32,21 +32,56 @@ type Options struct {
 	BatchSize int
 	// JobTimeout bounds each job's execution on the worker; zero means
 	// none. Expiry is a transient failure (runner.Transient semantics):
-	// the job is retried, eventually on another worker.
+	// the job is retried, eventually on another worker. With
+	// AdaptiveDeadline set, this is only the deadline until enough
+	// batch latencies have been observed to derive a per-worker one.
 	JobTimeout time.Duration
 	// Retries is how many times a failed batch request is retried
-	// in place against the same worker before the worker is declared
-	// dead (default 2). RetryBackoff is the initial backoff, doubled
-	// per retry (default 250ms).
+	// in place against the same worker before the worker's circuit
+	// breaker takes over (default 2). RetryBackoff is the initial
+	// backoff, doubled per retry (default 250ms).
 	Retries      int
 	RetryBackoff time.Duration
+	// Breaker tunes the per-worker circuit breakers. The zero value
+	// gets defaults; the default probe cooldown is derived from
+	// RetryBackoff (4×) so test-speed coordinators probe at test speed.
+	Breaker BreakerOptions
+	// DisableHedging turns off hedged batch dispatch. Hedging is on by
+	// default: when a batch's latency exceeds an adaptive percentile
+	// threshold the batch is speculatively re-issued to a second
+	// worker, the first result wins, and the loser is cancelled.
+	// Exactly-once merging makes the duplicate execution invisible.
+	DisableHedging bool
+	// HedgePercentile (default 0.95) and HedgeMultiplier (default 2)
+	// set the hedge threshold: a batch is hedged once it has been in
+	// flight longer than multiplier × the percentile of all observed
+	// batch latencies. HedgeMinDelay (default 25ms) and HedgeMaxDelay
+	// (default 10s) clamp the threshold.
+	HedgePercentile float64
+	HedgeMultiplier float64
+	HedgeMinDelay   time.Duration
+	HedgeMaxDelay   time.Duration
+	// AdaptiveDeadline derives each dispatch's worker-side job deadline
+	// from that worker's own batch-latency history —
+	// DeadlinePercentile (default 0.99) × DeadlineMultiplier (default
+	// 4), clamped to [DeadlineFloor, DeadlineCeil] (defaults 1s, 5m) —
+	// so slow-but-healthy workers are not killed and stragglers are.
+	// Until enough samples exist, JobTimeout applies.
+	AdaptiveDeadline   bool
+	DeadlinePercentile float64
+	DeadlineMultiplier float64
+	DeadlineFloor      time.Duration
+	DeadlineCeil       time.Duration
 	// OnResult is called once per successful job with the worker's name
 	// and the result. Workers execute concurrently, so OnResult must be
-	// safe for concurrent use. Required.
+	// safe for concurrent use. The coordinator guarantees exactly one
+	// call per job key, however often the job was re-executed by
+	// reassignment or hedging. Required.
 	OnResult func(worker string, job Job, run metrics.Run)
 	// Logger receives structured progress and rebalancing records
-	// (worker death, batch reassignment, retries). Nil means
-	// slog.Default(); records inside the sweep trace carry trace_id.
+	// (worker eviction, probing, hedging, batch reassignment, retries).
+	// Nil means slog.Default(); records inside the sweep trace carry
+	// trace_id.
 	Logger *slog.Logger
 	// Tracer, when set, opens a sweep-level trace: one root span, one
 	// span per shard, one per batch request, merged with the spans
@@ -57,16 +92,20 @@ type Options struct {
 // Coordinator shards a planned job space across worker processes and
 // merges the results. Failure policy: transport errors and
 // worker-reported transient failures are retried — first in place with
-// backoff, then by reassigning the work to surviving workers — while
-// deterministic job failures (validation, key-recompute mismatch,
-// simulation error) abort the sweep, because they would fail
-// identically everywhere. A sweep completes when every job has merged
-// or errors when jobs remain and no worker can take them.
+// backoff, then by circuit-breaking the sick worker and reassigning
+// its work to healthy ones — while deterministic job failures
+// (validation, key-recompute mismatch, simulation error) abort the
+// sweep, because they would fail identically everywhere. An evicted
+// worker is probed on a doubling cooldown and re-admitted when a probe
+// passes; a worker whose probe budget runs dry is permanently lost. A
+// sweep completes when every job has merged or errors when jobs remain
+// and no worker can take them.
 type Coordinator struct {
 	opts        Options
 	client      *http.Client
 	log         *slog.Logger
 	maxAttempts int
+	breakers    []*breaker
 
 	mu       sync.Mutex
 	firstErr error
@@ -76,6 +115,12 @@ type Coordinator struct {
 	doneCh   chan struct{}
 	doneOnce sync.Once
 	cancel   context.CancelFunc
+
+	// merged is the exactly-once merge guard: job keys whose result has
+	// been handed to OnResult. Reassignment and hedging can both
+	// legally execute a job twice; only the first result merges.
+	mergedMu sync.Mutex
+	merged   map[string]struct{}
 
 	// Sweep trace state (nil/empty when Options.Tracer is nil).
 	sweepSpan *telemetry.Span
@@ -134,14 +179,52 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 	if opts.RetryBackoff <= 0 {
 		opts.RetryBackoff = 250 * time.Millisecond
 	}
+	if opts.Breaker.Cooldown <= 0 {
+		// Probe at the coordinator's own retry cadence: a breaker that
+		// cools down for seconds under a millisecond-backoff test
+		// configuration would stall the suite, and one that probes in
+		// milliseconds against production backoffs would hammer a sick
+		// worker.
+		opts.Breaker.Cooldown = 4 * opts.RetryBackoff
+	}
+	opts.Breaker = opts.Breaker.withDefaults()
+	if opts.HedgePercentile <= 0 || opts.HedgePercentile > 1 {
+		opts.HedgePercentile = 0.95
+	}
+	if opts.HedgeMultiplier <= 0 {
+		opts.HedgeMultiplier = 2
+	}
+	if opts.HedgeMinDelay <= 0 {
+		opts.HedgeMinDelay = 25 * time.Millisecond
+	}
+	if opts.HedgeMaxDelay <= 0 {
+		opts.HedgeMaxDelay = 10 * time.Second
+	}
+	if opts.DeadlinePercentile <= 0 || opts.DeadlinePercentile > 1 {
+		opts.DeadlinePercentile = 0.99
+	}
+	if opts.DeadlineMultiplier <= 0 {
+		opts.DeadlineMultiplier = 4
+	}
+	if opts.DeadlineFloor <= 0 {
+		opts.DeadlineFloor = time.Second
+	}
+	if opts.DeadlineCeil <= 0 {
+		opts.DeadlineCeil = 5 * time.Minute
+	}
 	c := &Coordinator{
 		opts:   opts,
 		client: opts.Client,
 		log:    opts.Logger,
 		stats:  telemetry.NewRegistry(),
-		// In-place retries plus one reassignment per worker: enough for
-		// any survivable failure pattern, finite under total loss.
-		maxAttempts: opts.Retries + len(opts.Workers),
+		// In-place retries per visit, times one visit per worker per
+		// probe cycle: finite under total loss, roomy under repeated
+		// trip/re-admit flapping.
+		maxAttempts: (opts.Retries + 2) * len(opts.Workers) * (opts.Breaker.MaxProbeFailures + 1),
+	}
+	c.breakers = make([]*breaker, len(opts.Workers))
+	for i := range c.breakers {
+		c.breakers[i] = newBreaker(opts.Breaker)
 	}
 	if c.client == nil {
 		c.client = &http.Client{}
@@ -152,20 +235,131 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 	return c, nil
 }
 
-// Stats snapshots the coordinator's sweep statistics (per-shard batch
-// latency histograms, in milliseconds). Safe during a running sweep.
+// Stats snapshots the coordinator's sweep statistics (global, per-shard
+// and per-worker batch latency histograms, in milliseconds). Safe
+// during a running sweep.
 func (c *Coordinator) Stats() telemetry.Snapshot {
 	c.statsMu.Lock()
 	defer c.statsMu.Unlock()
 	return c.stats.Snapshot()
 }
 
-// observeBatch records one completed batch request's latency under its
-// shard's histogram.
-func (c *Coordinator) observeBatch(shard int, d time.Duration) {
+// Breakers snapshots every worker's circuit breaker, keyed by worker
+// URL. Safe during a running sweep; the fleet monitor decorates its
+// health view with this.
+func (c *Coordinator) Breakers() map[string]BreakerSnapshot {
+	out := make(map[string]BreakerSnapshot, len(c.breakers))
+	for i, b := range c.breakers {
+		out[c.opts.Workers[i]] = b.Snapshot()
+	}
+	return out
+}
+
+// observeBatch records one completed batch request's latency under the
+// global, per-shard, and per-worker histograms. The global histogram
+// feeds the hedge threshold; the per-worker one feeds that worker's
+// adaptive deadline.
+func (c *Coordinator) observeBatch(shard, wi int, d time.Duration) {
+	ms := uint64(d.Milliseconds())
 	c.statsMu.Lock()
-	c.stats.Histogram(fmt.Sprintf("shard%d.batch_ms", shard)).Observe(uint64(d.Milliseconds()))
+	c.stats.Histogram("batch_ms").Observe(ms)
+	c.stats.Histogram(fmt.Sprintf("shard%d.batch_ms", shard)).Observe(ms)
+	c.stats.Histogram(fmt.Sprintf("worker%d.batch_ms", wi)).Observe(ms)
 	c.statsMu.Unlock()
+}
+
+// hedgeMinSamples and deadlineMinSamples gate the adaptive thresholds:
+// below these observation counts the latency histograms are noise and
+// the fixed-configuration behavior applies.
+const (
+	hedgeMinSamples    = 8
+	deadlineMinSamples = 8
+)
+
+// hedgeDelay returns how long a batch may be in flight before it is
+// hedged to a second worker, or 0 when hedging is off (disabled, a
+// single worker, or not enough latency history yet).
+func (c *Coordinator) hedgeDelay() time.Duration {
+	if c.opts.DisableHedging || len(c.opts.Workers) < 2 {
+		return 0
+	}
+	c.statsMu.Lock()
+	h := c.stats.Histogram("batch_ms")
+	n := h.Count()
+	q := h.Quantile(c.opts.HedgePercentile)
+	c.statsMu.Unlock()
+	if n < hedgeMinSamples {
+		return 0
+	}
+	d := time.Duration(float64(q)*c.opts.HedgeMultiplier) * time.Millisecond
+	if d < c.opts.HedgeMinDelay {
+		d = c.opts.HedgeMinDelay
+	}
+	if d > c.opts.HedgeMaxDelay {
+		d = c.opts.HedgeMaxDelay
+	}
+	return d
+}
+
+// deadlineFor returns the worker-side per-job deadline (ms) to stamp
+// on a batch dispatched to worker wi: the fixed JobTimeout until
+// AdaptiveDeadline has latency history, then pN × multiplier clamped
+// to the floor/ceiling.
+func (c *Coordinator) deadlineFor(wi int) int64 {
+	fixed := c.opts.JobTimeout.Milliseconds()
+	if !c.opts.AdaptiveDeadline {
+		return fixed
+	}
+	c.statsMu.Lock()
+	h := c.stats.Histogram(fmt.Sprintf("worker%d.batch_ms", wi))
+	n := h.Count()
+	q := h.Quantile(c.opts.DeadlinePercentile)
+	c.statsMu.Unlock()
+	if n < deadlineMinSamples {
+		return fixed
+	}
+	d := time.Duration(float64(q)*c.opts.DeadlineMultiplier) * time.Millisecond
+	if d < c.opts.DeadlineFloor {
+		d = c.opts.DeadlineFloor
+	}
+	if d > c.opts.DeadlineCeil {
+		d = c.opts.DeadlineCeil
+	}
+	return d.Milliseconds()
+}
+
+// pickHedge chooses a healthy worker other than the primary for a
+// hedged dispatch, preferring rotation order after the primary.
+func (c *Coordinator) pickHedge(primary int) (int, string, bool) {
+	nw := len(c.opts.Workers)
+	for i := 1; i < nw; i++ {
+		wi := (primary + i) % nw
+		if c.breakers[wi].Closed() {
+			return wi, c.opts.Workers[wi], true
+		}
+	}
+	return 0, "", false
+}
+
+// recordOutcome feeds one request outcome to a worker's breaker,
+// counting the trip if this outcome caused one. Outcomes from
+// cancelled requests (hedge losers, sweep teardown) say nothing about
+// worker health and are dropped.
+func (c *Coordinator) recordOutcome(ctx context.Context, wi int, ok bool) {
+	if ctx.Err() != nil {
+		return
+	}
+	if c.breakers[wi].Record(ok) {
+		live.breakerTrips.Add(1)
+	}
+}
+
+// forceTrip opens a worker's breaker when its loop gives up for
+// reasons the outcome stream did not already trip on.
+func (c *Coordinator) forceTrip(wi int) {
+	if c.breakers[wi].Trip() {
+		live.breakerTrips.Add(1)
+	}
 }
 
 // shardFor returns the trace bookkeeping for a task's shard (nil when
@@ -179,38 +373,76 @@ func (c *Coordinator) shardFor(t *task) *shardTrace {
 
 // Ping checks every worker for liveness and schema agreement. Callers
 // run it before a sweep so misconfiguration fails in milliseconds, not
-// after the plan executes.
+// after the plan executes. Schema disagreement on any worker aborts —
+// that is a build mismatch no amount of retrying fixes. A worker that
+// is merely unreachable (partition, restart, flaky path) has its
+// breaker tripped instead, so the sweep starts without it and the
+// half-open probe loop re-admits it when its network heals; only when
+// every worker is unreachable does Ping fail.
 func (c *Coordinator) Ping(ctx context.Context) error {
-	for _, w := range c.opts.Workers {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, w+PathPing, nil)
-		if err != nil {
-			return fmt.Errorf("dist: ping %s: %w", w, err)
-		}
-		resp, err := c.client.Do(req)
-		if err != nil {
-			return fmt.Errorf("dist: ping %s: %w", w, err)
-		}
-		body, rerr := readAllLimited(resp.Body)
-		resp.Body.Close()
-		if rerr != nil {
-			return fmt.Errorf("dist: ping %s: %w", w, rerr)
-		}
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("dist: ping %s: HTTP %d: %s", w, resp.StatusCode, bytes.TrimSpace(body))
-		}
-		var reply struct {
-			Schema int    `json:"schema"`
-			Worker string `json:"worker"`
-		}
-		if err := decodeStrict(body, &reply); err != nil {
-			return fmt.Errorf("dist: ping %s: %w", w, err)
-		}
-		if reply.Schema != SchemaVersion {
-			return fmt.Errorf("dist: ping %s (%s): %w: worker speaks %d, this build speaks %d",
-				w, reply.Worker, ErrSchema, reply.Schema, SchemaVersion)
+	var firstErr error
+	reachable := 0
+	for i, w := range c.opts.Workers {
+		err := c.pingOne(ctx, w)
+		switch {
+		case err == nil:
+			reachable++
+		case errors.Is(err, ErrSchema):
+			return err
+		default:
+			if firstErr == nil {
+				firstErr = err
+			}
+			c.forceTrip(i)
+			c.log.Warn("worker unreachable at startup; tripping breaker and probing",
+				"worker", w, "err", err)
 		}
 	}
+	if reachable == 0 {
+		return firstErr
+	}
 	return nil
+}
+
+// pingOne checks one worker for liveness and schema agreement. It
+// doubles as the breaker's half-open probe: cheap, side-effect free,
+// and it exercises the same HTTP path a batch would.
+func (c *Coordinator) pingOne(ctx context.Context, w string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w+PathPing, nil)
+	if err != nil {
+		return fmt.Errorf("dist: ping %s: %w", w, err)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: ping %s: %w", w, err)
+	}
+	body, rerr := readAllLimited(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return fmt.Errorf("dist: ping %s: %w", w, rerr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: ping %s: HTTP %d: %s", w, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var reply struct {
+		Schema int    `json:"schema"`
+		Worker string `json:"worker"`
+	}
+	if err := decodeStrict(body, &reply); err != nil {
+		return fmt.Errorf("dist: ping %s: %w", w, err)
+	}
+	if reply.Schema != SchemaVersion {
+		return fmt.Errorf("dist: ping %s (%s): %w: worker speaks %d, this build speaks %d",
+			w, reply.Worker, ErrSchema, reply.Schema, SchemaVersion)
+	}
+	return nil
+}
+
+// probeWorker runs one bounded half-open probe against a worker.
+func (c *Coordinator) probeWorker(ctx context.Context, url string) bool {
+	pctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	return c.pingOne(pctx, url) == nil
 }
 
 // Run executes the planned jobs across the workers. jobs and keys are
@@ -263,6 +495,9 @@ func (c *Coordinator) Run(ctx context.Context, jobs []core.JobSpec, keys []strin
 	c.firstErr = nil
 	c.pending.Store(int64(total))
 	c.alive.Store(int64(nw))
+	c.mergedMu.Lock()
+	c.merged = make(map[string]struct{}, len(jobs))
+	c.mergedMu.Unlock()
 	live.jobsDispatched.Add(uint64(len(jobs)))
 
 	// Open the sweep trace: a root span plus one span per shard. Shard
@@ -293,18 +528,18 @@ func (c *Coordinator) Run(ctx context.Context, jobs []core.JobSpec, keys []strin
 		}()
 	}
 
-	// Orphan queue: batches whose worker died, awaiting reassignment.
-	// Sized so every task can be requeued at its full attempt budget
-	// without a push ever blocking.
+	// Orphan queue: batches whose worker was evicted, awaiting
+	// reassignment. Sized so every task can be requeued at its full
+	// attempt budget without a push ever blocking.
 	orphans := make(chan *task, total*(c.maxAttempts+1)+nw)
 
 	var wg sync.WaitGroup
 	for wi, url := range c.opts.Workers {
 		wg.Add(1)
-		go func(url string, own []*task) {
+		go func(wi int, url string, own []*task) {
 			defer wg.Done()
-			c.workerLoop(runCtx, url, own, orphans)
-		}(url, tasks[wi])
+			c.workerLoop(runCtx, wi, url, own, orphans)
+		}(wi, url, tasks[wi])
 	}
 	wg.Wait()
 
@@ -340,7 +575,7 @@ func (c *Coordinator) finish() {
 	}
 }
 
-// requeue puts a task back up for grabs by surviving workers, aborting
+// requeue puts a task back up for grabs by healthy workers, aborting
 // if its attempt budget is spent or the queue is impossibly full.
 func (c *Coordinator) requeue(t *task, orphans chan *task) bool {
 	t.attempts++
@@ -359,59 +594,117 @@ func (c *Coordinator) requeue(t *task, orphans chan *task) bool {
 	}
 }
 
-// workerLoop drains the worker's own shard, then steals orphaned
-// batches from dead workers until the sweep completes. On transport
-// death it requeues all its unfinished work and exits; the last loop
-// to die with work still pending aborts the sweep.
-func (c *Coordinator) workerLoop(ctx context.Context, url string, own []*task, orphans chan *task) {
-	died := func(t *task, err error) {
-		live.workersLost.Add(1)
-		c.log.WarnContext(telemetry.ContextWithSpan(ctx, c.sweepSpan), "worker lost; reassigning batches",
-			"url", url, "batches", 1+len(own), "err", err)
-		c.requeue(t, orphans)
-		for _, rest := range own {
-			c.requeue(rest, orphans)
-		}
-		if c.alive.Add(-1) == 0 && c.pending.Load() > 0 {
-			c.abort(errors.New("dist: all workers failed"))
-		}
-	}
-	for len(own) > 0 {
+// workerLoop drives one worker: it drains the worker's own shard, then
+// steals orphaned batches from evicted workers until the sweep
+// completes. When the worker's circuit breaker opens — tripped by the
+// outcome stream or forced after a task exhausts its in-place retries
+// — the loop requeues everything it holds (so healthy workers pick it
+// up immediately) and switches to half-open probing; a passing probe
+// re-admits the worker into the rotation, and an exhausted probe
+// budget declares it permanently lost. The last loop to die with work
+// still pending aborts the sweep.
+func (c *Coordinator) workerLoop(ctx context.Context, wi int, url string, own []*task, orphans chan *task) {
+	br := c.breakers[wi]
+	var failed *task
+	for {
 		if ctx.Err() != nil {
 			return
 		}
-		t := own[0]
-		own = own[1:]
-		if !c.handle(ctx, url, t, orphans) {
-			died(t, errLastTransport)
-			return
-		}
-	}
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case <-c.doneCh:
-			return
-		case t := <-orphans:
-			if !c.handle(ctx, url, t, orphans) {
-				died(t, errLastTransport)
+		if failed != nil || !br.Closed() {
+			c.forceTrip(wi)
+			n := len(own)
+			if failed != nil {
+				n++
+			}
+			live.workersLost.Add(1)
+			c.log.WarnContext(telemetry.ContextWithSpan(ctx, c.sweepSpan),
+				"worker lost; reassigning batches", "url", url, "batches", n,
+				"breaker", br.Snapshot().State)
+			if failed != nil {
+				c.requeue(failed, orphans)
+				failed = nil
+			}
+			for _, t := range own {
+				c.requeue(t, orphans)
+			}
+			own = nil
+			readmitted, lost := c.probeUntilHealthy(ctx, wi, url)
+			if lost {
+				c.log.ErrorContext(telemetry.ContextWithSpan(ctx, c.sweepSpan),
+					"worker permanently lost: probe budget exhausted", "url", url)
+				if c.alive.Add(-1) == 0 && c.pending.Load() > 0 {
+					c.abort(errors.New("dist: all workers failed"))
+				}
 				return
 			}
+			if !readmitted {
+				return // sweep finished or cancelled while probing
+			}
+			c.log.InfoContext(telemetry.ContextWithSpan(ctx, c.sweepSpan),
+				"worker re-admitted after successful probe", "url", url)
+			continue
+		}
+		var t *task
+		if len(own) > 0 {
+			t = own[0]
+			own = own[1:]
+		} else {
+			select {
+			case <-ctx.Done():
+				return
+			case <-c.doneCh:
+				return
+			case t = <-orphans:
+			}
+		}
+		if !c.handle(ctx, wi, url, t, orphans) {
+			failed = t
 		}
 	}
 }
 
-// errLastTransport is a placeholder for logging; the real error was
-// already logged by runTask's retry loop.
-var errLastTransport = errors.New("transport failure after retries")
+// probeUntilHealthy runs the breaker's half-open probe schedule until
+// the worker is re-admitted (readmitted), the probe budget is spent
+// (lost), or the sweep ends (neither).
+func (c *Coordinator) probeUntilHealthy(ctx context.Context, wi int, url string) (readmitted, lost bool) {
+	br := c.breakers[wi]
+	for {
+		if br.Exhausted() {
+			return false, true
+		}
+		if wait := br.ProbeWait(); wait > 0 {
+			select {
+			case <-ctx.Done():
+				return false, false
+			case <-c.doneCh:
+				return false, false
+			case <-time.After(wait):
+			}
+		}
+		if !br.BeginProbe() {
+			if br.Closed() {
+				return true, false
+			}
+			continue
+		}
+		live.breakerProbes.Add(1)
+		ok := c.probeWorker(ctx, url)
+		if br.ProbeResult(ok) {
+			live.breakerReadmits.Add(1)
+			return true, false
+		}
+		if ctx.Err() != nil {
+			return false, false
+		}
+	}
+}
 
 // handle runs one task to completion on this worker. It returns false
-// when the worker must be declared dead (the caller requeues t);
-// fatal errors abort the whole sweep and return true so the loop winds
-// down via context cancellation.
-func (c *Coordinator) handle(ctx context.Context, url string, t *task, orphans chan *task) bool {
-	requeueJobs, err := c.runTask(ctx, url, t)
+// when the worker must be evicted (the caller requeues t and starts
+// probing); fatal errors abort the whole sweep and return true so the
+// loop winds down via context cancellation.
+func (c *Coordinator) handle(ctx context.Context, wi int, url string, t *task, orphans chan *task) bool {
+	requeueJobs, err := c.runTask(ctx, wi, url, t)
 	if err != nil {
 		if ctx.Err() != nil {
 			return true // sweep is being torn down, not a worker problem
@@ -452,20 +745,29 @@ func (c *Coordinator) handle(ctx context.Context, url string, t *task, orphans c
 	return true
 }
 
-// runTask POSTs one batch, retrying transient transport failures in
-// place with exponential backoff. On success it merges every job
-// result through OnResult and returns the jobs the worker flagged as
-// transiently failed. Deterministic failures — malformed batch
-// (HTTP 400), schema skew, a job error the worker marked permanent —
-// come back as non-transient errors.
-func (c *Coordinator) runTask(ctx context.Context, url string, t *task) ([]Job, error) {
+// postOutcome is one dispatch attempt's terminal result inside
+// runTask: the primary's (after its in-place retries) or the hedge's.
+type postOutcome struct {
+	reply BatchResult
+	err   error
+	hedge bool
+}
+
+// runTask delivers one batch: it dispatches to the primary worker
+// (with in-place retries), optionally hedges to a second worker when
+// the batch outlives the adaptive latency threshold, merges the first
+// successful reply, and cancels the loser. Deterministic failures —
+// malformed batch (HTTP 400 from the worker), schema skew, a job error
+// the worker marked permanent — come back as non-transient errors.
+func (c *Coordinator) runTask(ctx context.Context, wi int, url string, t *task) ([]Job, error) {
+	t.batch.JobTimeoutMS = c.deadlineFor(wi)
 	payload, err := EncodeBatch(t.batch)
 	if err != nil {
 		return nil, fmt.Errorf("dist: encode batch: %w", err)
 	}
 	// One batch span covers the task on this worker, in-place retries
-	// included; its context rides the request headers so the worker's
-	// spans become its children.
+	// and any hedge included; its context rides the request headers so
+	// the workers' spans become its children.
 	var parent telemetry.SpanContext
 	if st := c.shardFor(t); st != nil {
 		parent = st.span.Context()
@@ -475,10 +777,102 @@ func (c *Coordinator) runTask(ctx context.Context, url string, t *task) ([]Job, 
 	span.SetAttr("seq", fmt.Sprint(t.batch.Seq))
 	span.SetAttr("jobs", fmt.Sprint(len(t.batch.Jobs)))
 	span.SetAttr("url", url)
+	span.SetAttr("deadline_ms", fmt.Sprint(t.batch.JobTimeoutMS))
 	defer span.End()
-	logCtx := telemetry.ContextWithSpan(ctx, span)
 
-	backoff := c.opts.RetryBackoff
+	resCh := make(chan postOutcome, 2)
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	go func() {
+		reply, err := c.postRetry(pctx, wi, url, payload, span, t.batch.Shard)
+		resCh <- postOutcome{reply: reply, err: err}
+	}()
+
+	issued := 1
+	var first *postOutcome
+	var hcancel context.CancelFunc
+	if delay := c.hedgeDelay(); delay > 0 {
+		timer := time.NewTimer(delay)
+		select {
+		case out := <-resCh:
+			timer.Stop()
+			first = &out
+		case <-timer.C:
+			if hwi, hurl, ok := c.pickHedge(wi); ok {
+				var hctx context.Context
+				hctx, hcancel = context.WithCancel(ctx)
+				defer hcancel()
+				live.hedgesIssued.Add(1)
+				span.SetAttr("hedged", "true")
+				span.SetAttr("hedge_url", hurl)
+				c.log.InfoContext(telemetry.ContextWithSpan(ctx, span), "hedging slow batch",
+					"shard", t.batch.Shard, "seq", t.batch.Seq,
+					"primary", url, "hedge", hurl, "threshold", delay)
+				go func() {
+					start := time.Now()
+					reply, err := c.post(hctx, hurl, payload, span.Context())
+					c.recordOutcome(hctx, hwi, err == nil)
+					if err == nil {
+						c.observeBatch(t.batch.Shard, hwi, time.Since(start))
+					}
+					resCh <- postOutcome{reply: reply, err: err, hedge: true}
+				}()
+				issued = 2
+			}
+		}
+	}
+
+	// Take the first success; cancel the loser, then drain it (fast —
+	// its context is gone) so no goroutine outlives the task.
+	var win *postOutcome
+	var firstErr error
+	received := 0
+	if first != nil {
+		received = 1
+		if first.err == nil {
+			win = first
+		} else {
+			firstErr = first.err
+		}
+	}
+	for received < issued {
+		out := <-resCh
+		received++
+		switch {
+		case out.err == nil && win == nil:
+			win = &out
+			if out.hedge {
+				live.hedgeWins.Add(1)
+				pcancel()
+			} else if hcancel != nil {
+				hcancel()
+			}
+		case out.err != nil && win == nil:
+			// Keep the most decisive error: deterministic beats
+			// transient (it must abort the sweep, not evict a worker).
+			if firstErr == nil || (!runner.IsTransient(out.err) && runner.IsTransient(firstErr)) {
+				firstErr = out.err
+			}
+		}
+	}
+	if issued == 2 && (win == nil || !win.hedge) {
+		live.hedgeLosses.Add(1)
+	}
+	if win == nil {
+		return nil, firstErr
+	}
+	if win.hedge {
+		span.SetAttr("winner", "hedge")
+	}
+	return c.merge(t, win.reply)
+}
+
+// postRetry POSTs one batch to one worker, retrying transient
+// transport failures in place with capped exponential backoff. Every
+// attempt's outcome feeds the worker's breaker; once the breaker
+// trips, remaining in-place retries are pointless (the worker is being
+// evicted) and the last error returns immediately.
+func (c *Coordinator) postRetry(ctx context.Context, wi int, url string, payload []byte, span *telemetry.Span, shard int) (BatchResult, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		if attempt > 0 {
@@ -486,36 +880,44 @@ func (c *Coordinator) runTask(ctx context.Context, url string, t *task) ([]Job, 
 			span.SetAttr("retries", fmt.Sprint(attempt))
 			select {
 			case <-ctx.Done():
-				return nil, ctx.Err()
-			case <-time.After(backoff):
+				return BatchResult{}, ctx.Err()
+			case <-time.After(runner.Backoff{Initial: c.opts.RetryBackoff}.Delay(attempt - 1)):
 			}
-			backoff *= 2
 		}
 		start := time.Now()
-		var reply BatchResult
-		reply, lastErr = c.post(ctx, url, payload, span.Context())
-		if lastErr == nil {
-			c.observeBatch(t.batch.Shard, time.Since(start))
-			return c.merge(t, reply)
+		reply, err := c.post(ctx, url, payload, span.Context())
+		c.recordOutcome(ctx, wi, err == nil)
+		if err == nil {
+			c.observeBatch(shard, wi, time.Since(start))
+			return reply, nil
 		}
-		if !runner.IsTransient(lastErr) || ctx.Err() != nil {
-			return nil, lastErr
+		lastErr = err
+		if !runner.IsTransient(err) || ctx.Err() != nil {
+			return BatchResult{}, err
 		}
-		c.log.WarnContext(logCtx, "batch attempt failed",
-			"url", url, "attempt", attempt+1, "attempts", c.opts.Retries+1, "err", lastErr)
+		c.log.WarnContext(telemetry.ContextWithSpan(ctx, span), "batch attempt failed",
+			"url", url, "attempt", attempt+1, "attempts", c.opts.Retries+1, "err", err)
+		if !c.breakers[wi].Closed() {
+			break
+		}
 	}
-	return nil, lastErr
+	return BatchResult{}, lastErr
 }
 
 // post sends one batch request and decodes the reply, classifying
-// failures: transport errors and 5xx are transient, HTTP 400 and
-// schema mismatches are deterministic.
+// failures: transport errors, 5xx, digest mismatches (HTTP 409 from
+// the worker, or a corrupted reply detected here) are transient, while
+// a 4xx whose reply carries an intact digest — proof the worker itself
+// produced it — is deterministic. A 4xx without a digest could be the
+// HTTP server machinery answering a request corrupted in transit, so
+// it is retried too.
 func (c *Coordinator) post(ctx context.Context, url string, payload []byte, sc telemetry.SpanContext) (BatchResult, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+PathExec, bytes.NewReader(payload))
 	if err != nil {
 		return BatchResult{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderDigest, ContentDigest(payload))
 	if sc.Valid() {
 		req.Header.Set(HeaderTraceID, sc.TraceID)
 		req.Header.Set(HeaderSpanID, sc.SpanID)
@@ -530,13 +932,25 @@ func (c *Coordinator) post(ctx context.Context, url string, payload []byte, sc t
 	if err != nil {
 		return BatchResult{}, runner.Transient(err)
 	}
+	digest := resp.Header.Get(HeaderDigest)
+	if digest != "" && digest != ContentDigest(body) {
+		return BatchResult{}, runner.Transient(fmt.Errorf("dist: %s: reply corrupted in transit (content digest mismatch)", url))
+	}
 	switch {
 	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode == http.StatusConflict:
+		// The worker detected our request was corrupted in transit.
+		return BatchResult{}, runner.Transient(fmt.Errorf("dist: %s: HTTP %d: %s", url, resp.StatusCode, bytes.TrimSpace(body)))
 	case resp.StatusCode >= 500:
 		return BatchResult{}, runner.Transient(fmt.Errorf("dist: %s: HTTP %d: %s", url, resp.StatusCode, bytes.TrimSpace(body)))
-	default:
-		// 4xx: the worker understood us and said no — deterministic.
+	case digest != "":
+		// 4xx with an intact digest: the worker understood us and said
+		// no — deterministic.
 		return BatchResult{}, fmt.Errorf("dist: %s: HTTP %d: %s", url, resp.StatusCode, bytes.TrimSpace(body))
+	default:
+		// 4xx without a digest: possibly the server machinery rejecting
+		// a request mangled by the network, not our handler. Retry.
+		return BatchResult{}, runner.Transient(fmt.Errorf("dist: %s: HTTP %d (no content digest): %s", url, resp.StatusCode, bytes.TrimSpace(body)))
 	}
 	reply, err := DecodeBatchResult(body)
 	if err != nil {
@@ -552,9 +966,11 @@ func (c *Coordinator) post(ctx context.Context, url string, payload []byte, sc t
 
 // merge folds a worker's reply into the sweep: successes through
 // OnResult, transient job failures into the requeue list, permanent
-// job failures into a fatal error. A reply that does not cover the
-// batch exactly is treated as transient (retry re-serves cached
-// results cheaply on the worker).
+// job failures into a fatal error. The whole reply is validated before
+// anything merges — a replies-then-fails-midway path would otherwise
+// merge part of a batch, requeue it, and merge the rest twice. The
+// merged-key guard makes every job's merge exactly-once even across
+// hedges and reassignment.
 func (c *Coordinator) merge(t *task, reply BatchResult) ([]Job, error) {
 	// Worker spans merge into the sweep's tracer regardless of job
 	// outcomes — a failed batch's timing is exactly what a trace is for.
@@ -567,16 +983,17 @@ func (c *Coordinator) merge(t *task, reply BatchResult) ([]Job, error) {
 		return nil, runner.Transient(fmt.Errorf("dist: worker %q answered %d of %d jobs",
 			reply.Worker, len(reply.Results), len(t.batch.Jobs)))
 	}
-	var requeue []Job
 	for _, jr := range reply.Results {
-		job, ok := byKey[jr.Key]
-		if !ok {
+		if _, ok := byKey[jr.Key]; !ok {
 			return nil, runner.Transient(fmt.Errorf("dist: worker %q answered unknown key %q", reply.Worker, jr.Key))
 		}
+	}
+	var requeue []Job
+	for _, jr := range reply.Results {
+		job := byKey[jr.Key]
 		switch {
 		case jr.Run != nil:
-			c.opts.OnResult(reply.Worker, job, *jr.Run)
-			live.jobsMerged.Add(1)
+			c.mergeOnce(reply.Worker, job, *jr.Run)
 		case jr.Transient:
 			requeue = append(requeue, job)
 		default:
@@ -584,4 +1001,20 @@ func (c *Coordinator) merge(t *task, reply BatchResult) ([]Job, error) {
 		}
 	}
 	return requeue, nil
+}
+
+// mergeOnce hands one job result to OnResult unless the key already
+// merged (a hedge duplicate or a re-executed reassignment), keeping
+// manifest recording at exactly one record per job.
+func (c *Coordinator) mergeOnce(worker string, job Job, run metrics.Run) {
+	c.mergedMu.Lock()
+	if _, dup := c.merged[job.Key]; dup {
+		c.mergedMu.Unlock()
+		live.dupsSuppressed.Add(1)
+		return
+	}
+	c.merged[job.Key] = struct{}{}
+	c.mergedMu.Unlock()
+	c.opts.OnResult(worker, job, run)
+	live.jobsMerged.Add(1)
 }

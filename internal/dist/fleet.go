@@ -49,6 +49,17 @@ type WorkerHealth struct {
 	JobsFailed    uint64 `json:"jobs_failed"`
 	CacheHits     uint64 `json:"cache_hits"`
 	CacheMisses   uint64 `json:"cache_misses"`
+	// JobsRetried and StoreQuarantined come from the worker's
+	// bce_runner metrics: transient-failure retries inside the worker's
+	// own pool, and result-store entries quarantined as undecodable.
+	// Either climbing on one worker while the fleet stays flat is the
+	// "sick host" signal the breaker acts on.
+	JobsRetried      uint64 `json:"jobs_retried"`
+	StoreQuarantined uint64 `json:"store_quarantined"`
+	// Breaker is this worker's coordinator-side circuit breaker state
+	// ("closed", "open", "half-open"), empty when no breaker source is
+	// attached (fleet monitor running without a coordinator).
+	Breaker string `json:"breaker,omitempty"`
 	// Polls and Failures count this monitor's scrape attempts.
 	Polls    uint64 `json:"polls"`
 	Failures uint64 `json:"failures"`
@@ -72,10 +83,20 @@ type Fleet struct {
 	client *http.Client
 	log    *slog.Logger
 
-	mu     sync.Mutex
-	health map[string]WorkerHealth
+	mu       sync.Mutex
+	health   map[string]WorkerHealth
+	breakers func() map[string]BreakerSnapshot
 
 	wg sync.WaitGroup
+}
+
+// SetBreakerSource attaches a coordinator's breaker view (typically
+// Coordinator.Breakers) so fleet snapshots carry each worker's breaker
+// state alongside its scraped health. Call before Start.
+func (f *Fleet) SetBreakerSource(src func() map[string]BreakerSnapshot) {
+	f.mu.Lock()
+	f.breakers = src
+	f.mu.Unlock()
 }
 
 // NewFleet builds a Fleet monitor.
@@ -145,6 +166,8 @@ func (f *Fleet) poll(ctx context.Context, url string) {
 		h.JobsFailed = uint64(m.Value("bce_dist_jobs_failed"))
 		h.CacheHits = uint64(m.Value("bce_result_cache_hits"))
 		h.CacheMisses = uint64(m.Value("bce_result_cache_misses"))
+		h.JobsRetried = uint64(m.Value("bce_runner_jobs_retried"))
+		h.StoreQuarantined = uint64(m.Value("bce_runner_store_quarantined"))
 		h.Ready = f.probeReady(ctx, url)
 	}
 
@@ -210,8 +233,15 @@ func (e *httpStatusError) Error() string {
 func (f *Fleet) Snapshot() FleetSnapshot {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	var breakers map[string]BreakerSnapshot
+	if f.breakers != nil {
+		breakers = f.breakers()
+	}
 	snap := FleetSnapshot{PerWorker: make(map[string]WorkerHealth, len(f.health))}
 	for url, h := range f.health {
+		if bs, ok := breakers[url]; ok {
+			h.Breaker = bs.State
+		}
 		snap.PerWorker[url] = h
 		if h.Up {
 			snap.WorkersUp++

@@ -23,6 +23,14 @@ type liveCounters struct {
 	jobsMerged     atomic.Uint64
 	jobsRequeued   atomic.Uint64
 	workersLost    atomic.Uint64
+	// Coordinator self-healing (breakers, hedging, merge dedup).
+	breakerTrips    atomic.Uint64
+	breakerProbes   atomic.Uint64
+	breakerReadmits atomic.Uint64
+	hedgesIssued    atomic.Uint64
+	hedgeWins       atomic.Uint64
+	hedgeLosses     atomic.Uint64
+	dupsSuppressed  atomic.Uint64
 }
 
 func (c *liveCounters) batchStart(jobs int) {
@@ -63,6 +71,16 @@ type LiveStats struct {
 	JobsMerged     uint64 `json:"jobs_merged"`
 	JobsRequeued   uint64 `json:"jobs_requeued"`
 	WorkersLost    uint64 `json:"workers_lost"`
+	// Coordinator self-healing: breaker lifecycle events, hedged
+	// dispatches (wins = the hedge's result was used), and duplicate
+	// job merges suppressed by the exactly-once merge guard.
+	BreakerTrips    uint64 `json:"breaker_trips"`
+	BreakerProbes   uint64 `json:"breaker_probes"`
+	BreakerReadmits uint64 `json:"breaker_readmits"`
+	HedgesIssued    uint64 `json:"hedges_issued"`
+	HedgeWins       uint64 `json:"hedge_wins"`
+	HedgeLosses     uint64 `json:"hedge_losses"`
+	DupsSuppressed  uint64 `json:"dups_suppressed"`
 }
 
 // Snapshot returns the current counter values. Safe to call at any
@@ -80,6 +98,14 @@ func Snapshot() LiveStats {
 		JobsMerged:     live.jobsMerged.Load(),
 		JobsRequeued:   live.jobsRequeued.Load(),
 		WorkersLost:    live.workersLost.Load(),
+
+		BreakerTrips:    live.breakerTrips.Load(),
+		BreakerProbes:   live.breakerProbes.Load(),
+		BreakerReadmits: live.breakerReadmits.Load(),
+		HedgesIssued:    live.hedgesIssued.Load(),
+		HedgeWins:       live.hedgeWins.Load(),
+		HedgeLosses:     live.hedgeLosses.Load(),
+		DupsSuppressed:  live.dupsSuppressed.Load(),
 	}
 }
 

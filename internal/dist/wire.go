@@ -10,6 +10,8 @@ package dist
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -30,6 +32,26 @@ const (
 	HeaderTraceID = "Bce-Trace-Id"
 	HeaderSpanID  = "Bce-Span-Id"
 )
+
+// HeaderDigest carries a sha256 content digest of the message body, in
+// both directions. Its job is fault *classification*, not security: a
+// body corrupted in transit (the network chaos suite injects byte
+// flips) would otherwise surface as a malformed-JSON 400 — which the
+// coordinator must treat as deterministic ("the worker understood the
+// batch and said no") — and abort the sweep. With digests, the worker
+// answers corruption with 409 before ever parsing, and the coordinator
+// rejects a corrupted reply as transient, so in-flight damage is
+// retried while genuinely bad batches still fail fast. Like the trace
+// headers, the digest rides HTTP headers so the v1 wire schema is
+// untouched.
+const HeaderDigest = "Bce-Content-Digest"
+
+// ContentDigest returns the hex sha256 of body, the HeaderDigest
+// value.
+func ContentDigest(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
 
 // SchemaVersion is the wire-schema version stamped on every Batch and
 // BatchResult. Workers reject batches from a newer coordinator (they

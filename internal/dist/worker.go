@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"sync/atomic"
@@ -105,6 +106,19 @@ func (w *Worker) serveMetrics(rw http.ResponseWriter, _ *http.Request) {
 		map[string]uint64{"hits": hits, "misses": misses})
 }
 
+// replyError answers a request with a digest-stamped error body. The
+// digest is what lets the coordinator classify the status: a 4xx whose
+// digest verifies was really produced by this handler (deterministic),
+// while a bare 4xx could be the HTTP machinery rejecting a request the
+// network mangled (retryable).
+func replyError(rw http.ResponseWriter, status int, msg string) {
+	body := msg + "\n"
+	rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	rw.Header().Set(HeaderDigest, ContentDigest([]byte(body)))
+	rw.WriteHeader(status)
+	io.WriteString(rw, body) //nolint:errcheck // client hangup only
+}
+
 func (w *Worker) handlePing(rw http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodGet {
 		http.Error(rw, "ping is GET", http.StatusMethodNotAllowed)
@@ -138,7 +152,18 @@ func (w *Worker) handleExec(rw http.ResponseWriter, req *http.Request) {
 	if err != nil {
 		decSpan.End()
 		execSpan.End()
-		http.Error(rw, err.Error(), http.StatusBadRequest)
+		replyError(rw, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Verify the coordinator's content digest before parsing anything:
+	// a mismatch means the body was damaged in transit, which is the
+	// network's fault, not the batch's — answered 409 so the
+	// coordinator retries instead of aborting on a "malformed" batch.
+	if want := req.Header.Get(HeaderDigest); want != "" && want != ContentDigest(body) {
+		decSpan.End()
+		execSpan.End()
+		w.log.WarnContext(ctx, "batch corrupted in transit", "worker", w.name, "bytes", len(body))
+		replyError(rw, http.StatusConflict, "dist: batch corrupted in transit (content digest mismatch)")
 		return
 	}
 	batch, err := DecodeBatch(body)
@@ -148,7 +173,7 @@ func (w *Worker) handleExec(rw http.ResponseWriter, req *http.Request) {
 		// coordinator must not retry it here.
 		execSpan.End()
 		w.log.WarnContext(ctx, "rejected batch", "worker", w.name, "err", err)
-		http.Error(rw, err.Error(), http.StatusBadRequest)
+		replyError(rw, http.StatusBadRequest, err.Error())
 		return
 	}
 	execSpan.SetAttr("shard", fmt.Sprint(batch.Shard))
@@ -177,7 +202,7 @@ func (w *Worker) handleExec(rw http.ResponseWriter, req *http.Request) {
 		live.batchEnd(false)
 		execSpan.End()
 		// Client gone; nothing useful to write.
-		http.Error(rw, err.Error(), http.StatusServiceUnavailable)
+		replyError(rw, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	// The encode span times reply assembly; the final JSON marshal is
@@ -195,11 +220,12 @@ func (w *Worker) handleExec(rw http.ResponseWriter, req *http.Request) {
 	reply, err := EncodeBatchResult(result)
 	if err != nil {
 		live.batchEnd(false)
-		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		replyError(rw, http.StatusInternalServerError, err.Error())
 		return
 	}
 	live.batchEnd(true)
 	rw.Header().Set("Content-Type", "application/json")
+	rw.Header().Set(HeaderDigest, ContentDigest(reply))
 	rw.Write(reply) //nolint:errcheck // client hangup only
 }
 

@@ -1,0 +1,91 @@
+package netproxy
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzDecodeSchedule feeds arbitrary bytes through the strict schedule
+// decoder and, for accepted schedules, exercises rule lookup across
+// time and re-encodes for a round trip — no input may panic, and a
+// schedule that decodes must re-decode to itself.
+func FuzzDecodeSchedule(f *testing.F) {
+	f.Add(`{"seed":1,"rules":[{"for_ms":10}]}`)
+	f.Add(`{"seed":42,"repeat":true,"rules":[{"for_ms":100,"latency_ms":5,"jitter_ms":3},{"for_ms":50,"partition":true}]}`)
+	f.Add(`{"seed":-7,"rules":[{"for_ms":10,"reset_prob":0.5,"drop_prob":0.25,"corrupt_prob":0.25,"bandwidth_bps":1024},{"for_ms":0}]}`)
+	f.Add(`{"rules":[]}`)
+	f.Add(`not json at all`)
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := DecodeSchedule(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Accepted schedules must survive rule lookup at arbitrary
+		// elapsed times, including past the schedule's end.
+		for _, d := range []time.Duration{0, time.Millisecond, time.Second, time.Hour, 30 * 24 * time.Hour} {
+			r := s.ruleAt(d)
+			if r.ResetProb < 0 || r.ResetProb > 1 {
+				t.Fatalf("ruleAt(%v) returned invalid rule %+v", d, r)
+			}
+		}
+		// Round trip: encode and re-decode to the same schedule.
+		enc, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("re-encoding accepted schedule: %v", err)
+		}
+		s2, err := DecodeSchedule(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("round trip rejected %s: %v", enc, err)
+		}
+		enc2, _ := json.Marshal(s2)
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("round trip changed schedule: %s vs %s", enc, enc2)
+		}
+	})
+}
+
+// FuzzMutateReplay checks mutate for panics and for deterministic
+// replay: the same rule, seed, and chunk sequence must yield identical
+// fault decisions, and the output can never grow beyond the input.
+func FuzzMutateReplay(f *testing.F) {
+	f.Add(int64(1), 0.0, 0.0, 0.0, int64(0), int64(0), []byte("hello"))
+	f.Add(int64(42), 0.5, 0.5, 0.5, int64(3), int64(7), []byte{0xff, 0x00, 0x7f})
+	f.Add(int64(-9), 1.0, 1.0, 1.0, int64(0), int64(1), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, resetP, dropP, corruptP float64, latMS, jitMS int64, chunk []byte) {
+		clamp := func(p float64) float64 {
+			if p < 0 || p > 1 || p != p {
+				return 0
+			}
+			return p
+		}
+		rule := Rule{
+			ResetProb:   clamp(resetP),
+			DropProb:    clamp(dropP),
+			CorruptProb: clamp(corruptP),
+			LatencyMS:   latMS & 0xff,
+			JitterMS:    jitMS & 0xff,
+		}
+		run := func() mutation {
+			rng := rand.New(rand.NewSource(seed))
+			c := append([]byte(nil), chunk...)
+			m := mutate(rule, rng, c)
+			m.out = append([]byte(nil), m.out...)
+			return m
+		}
+		a, b := run(), run()
+		if !bytes.Equal(a.out, b.out) || a.reset != b.reset || a.delay != b.delay ||
+			a.droppedBytes != b.droppedBytes || a.corruptedBytes != b.corruptedBytes {
+			t.Fatalf("replay diverged: %+v vs %+v", a, b)
+		}
+		if len(a.out) > len(chunk) {
+			t.Fatalf("mutation grew chunk: %d > %d", len(a.out), len(chunk))
+		}
+		if a.reset && len(a.out) != len(chunk) {
+			t.Fatal("reset decision also mutated the chunk")
+		}
+	})
+}

@@ -1,0 +1,321 @@
+package netproxy
+
+import (
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats counts what the proxy did to traffic. All fields are safe to
+// read while the proxy is serving.
+type Stats struct {
+	// Accepted is connections admitted and piped to the target.
+	Accepted uint64 `json:"accepted"`
+	// Refused is connections closed immediately because a Partition
+	// rule was active (or the target dial failed).
+	Refused uint64 `json:"refused"`
+	// Killed is established connections torn down by a Partition rule.
+	Killed uint64 `json:"killed"`
+	// Resets is connections torn down by a ResetProb decision.
+	Resets uint64 `json:"resets"`
+	// DroppedBytes and CorruptedBytes count byte-level mutations.
+	DroppedBytes   uint64 `json:"dropped_bytes"`
+	CorruptedBytes uint64 `json:"corrupted_bytes"`
+	// ForwardedBytes counts bytes delivered (post-mutation), both
+	// directions.
+	ForwardedBytes uint64 `json:"forwarded_bytes"`
+}
+
+type liveStats struct {
+	accepted, refused, killed, resets  atomic.Uint64
+	dropped, corrupted, forwardedBytes atomic.Uint64
+}
+
+func (l *liveStats) snapshot() Stats {
+	return Stats{
+		Accepted:       l.accepted.Load(),
+		Refused:        l.refused.Load(),
+		Killed:         l.killed.Load(),
+		Resets:         l.resets.Load(),
+		DroppedBytes:   l.dropped.Load(),
+		CorruptedBytes: l.corrupted.Load(),
+		ForwardedBytes: l.forwardedBytes.Load(),
+	}
+}
+
+// Proxy forwards TCP between a local listener and a fixed target
+// address, degrading the stream per its Schedule. Construct with
+// Start.
+type Proxy struct {
+	target string
+	sched  Schedule
+	ln     net.Listener
+	logger *slog.Logger
+	start  time.Time
+	stats  liveStats
+
+	mu     sync.Mutex
+	conns  map[int64]*proxyConn
+	nextID int64
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type proxyConn struct {
+	client, server net.Conn
+	closeOnce      sync.Once
+}
+
+func (pc *proxyConn) close() {
+	pc.closeOnce.Do(func() {
+		pc.client.Close()
+		pc.server.Close()
+	})
+}
+
+// Start validates the schedule, binds a fresh 127.0.0.1 port, and
+// begins proxying to target. logger may be nil.
+func Start(target string, sched Schedule, logger *slog.Logger) (*Proxy, error) {
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netproxy: listen: %w", err)
+	}
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	p := &Proxy{
+		target: target,
+		sched:  sched,
+		ln:     ln,
+		logger: logger.With("proxy", ln.Addr().String(), "target", target),
+		start:  time.Now(),
+		conns:  make(map[int64]*proxyConn),
+	}
+	p.wg.Add(2)
+	go p.acceptLoop()
+	go p.partitionLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL returns the proxy's HTTP base URL, the form dist.Options.Workers
+// expects.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// Stats returns a snapshot of the proxy's fault counters.
+func (p *Proxy) Stats() Stats { return p.stats.snapshot() }
+
+// Close stops accepting and tears down every proxied connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := make([]*proxyConn, 0, len(p.conns))
+	for _, pc := range p.conns {
+		conns = append(conns, pc)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, pc := range conns {
+		pc.close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// rule returns the schedule rule active right now.
+func (p *Proxy) rule() Rule { return p.sched.ruleAt(time.Since(p.start)) }
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if p.rule().Partition {
+			p.stats.refused.Add(1)
+			p.logger.Debug("refusing connection: partition active")
+			client.Close()
+			continue
+		}
+		server, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+		if err != nil {
+			p.stats.refused.Add(1)
+			p.logger.Debug("target dial failed", "err", err)
+			client.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			client.Close()
+			server.Close()
+			return
+		}
+		id := p.nextID
+		p.nextID++
+		pc := &proxyConn{client: client, server: server}
+		p.conns[id] = pc
+		p.mu.Unlock()
+		p.stats.accepted.Add(1)
+
+		var pipes sync.WaitGroup
+		pipes.Add(2)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			pipes.Wait()
+			pc.close()
+			p.mu.Lock()
+			delete(p.conns, id)
+			p.mu.Unlock()
+		}()
+		// Each direction gets its own rng, derived from the schedule
+		// seed, the connection id, and the direction, so fault decisions
+		// replay identically for the same traffic shape.
+		go func() {
+			defer pipes.Done()
+			p.pipe(pc, client, server, rand.New(rand.NewSource(p.sched.Seed^(id<<1))))
+		}()
+		go func() {
+			defer pipes.Done()
+			p.pipe(pc, server, client, rand.New(rand.NewSource(p.sched.Seed^(id<<1|1))))
+		}()
+	}
+}
+
+// partitionLoop kills established connections while a Partition rule
+// is active, so an idle keep-alive connection does not ride out the
+// outage.
+func (p *Proxy) partitionLoop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for range tick.C {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		if !p.rule().Partition {
+			p.mu.Unlock()
+			continue
+		}
+		conns := make([]*proxyConn, 0, len(p.conns))
+		for _, pc := range p.conns {
+			conns = append(conns, pc)
+		}
+		p.mu.Unlock()
+		for _, pc := range conns {
+			p.stats.killed.Add(1)
+			pc.close()
+		}
+	}
+}
+
+// pipe forwards src→dst chunk by chunk, consulting the active rule for
+// each chunk and applying its faults via mutate.
+func (p *Proxy) pipe(pc *proxyConn, src, dst net.Conn, rng *rand.Rand) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			rule := p.rule()
+			if rule.Partition {
+				p.stats.killed.Add(1)
+				pc.close()
+				return
+			}
+			m := mutate(rule, rng, buf[:n])
+			p.stats.dropped.Add(m.droppedBytes)
+			p.stats.corrupted.Add(m.corruptedBytes)
+			if m.reset {
+				p.stats.resets.Add(1)
+				p.logger.Debug("injecting connection reset")
+				pc.close()
+				return
+			}
+			if m.delay > 0 {
+				time.Sleep(m.delay)
+			}
+			if len(m.out) > 0 {
+				if _, werr := dst.Write(m.out); werr != nil {
+					pc.close()
+					return
+				}
+				p.stats.forwardedBytes.Add(uint64(len(m.out)))
+			}
+		}
+		if err != nil {
+			// Half-close so a finished request still yields its reply.
+			if cw, ok := dst.(interface{ CloseWrite() error }); ok {
+				cw.CloseWrite() //nolint:errcheck // teardown path
+			} else {
+				pc.close()
+			}
+			return
+		}
+	}
+}
+
+// mutation is the deterministic outcome of applying one Rule to one
+// chunk. Split from pipe so the fuzz suite can replay decisions
+// without sockets.
+type mutation struct {
+	out            []byte
+	reset          bool
+	delay          time.Duration
+	droppedBytes   uint64
+	corruptedBytes uint64
+}
+
+// mutate applies rule to chunk using rng for every probabilistic
+// decision. The returned out slice aliases chunk's backing array. The
+// order of draws is fixed (reset, drop, corrupt) so a given rng state
+// replays identically.
+func mutate(rule Rule, rng *rand.Rand, chunk []byte) mutation {
+	var m mutation
+	m.out = chunk
+	if rule.clean() {
+		return m
+	}
+	if rule.ResetProb > 0 && rng.Float64() < rule.ResetProb {
+		m.reset = true
+		return m
+	}
+	if rule.DropProb > 0 && len(m.out) > 0 && rng.Float64() < rule.DropProb {
+		i := rng.Intn(len(m.out))
+		m.out = append(m.out[:i], m.out[i+1:]...)
+		m.droppedBytes = 1
+	}
+	if rule.CorruptProb > 0 && len(m.out) > 0 && rng.Float64() < rule.CorruptProb {
+		i := rng.Intn(len(m.out))
+		bit := byte(1) << rng.Intn(8)
+		m.out[i] ^= bit
+		m.corruptedBytes = 1
+	}
+	if rule.LatencyMS > 0 || rule.JitterMS > 0 {
+		d := time.Duration(rule.LatencyMS) * time.Millisecond
+		if rule.JitterMS > 0 {
+			d += time.Duration(rng.Int63n(rule.JitterMS+1)) * time.Millisecond
+		}
+		m.delay += d
+	}
+	if rule.BandwidthBPS > 0 && len(m.out) > 0 {
+		m.delay += time.Duration(int64(len(m.out)) * int64(time.Second) / rule.BandwidthBPS)
+	}
+	return m
+}

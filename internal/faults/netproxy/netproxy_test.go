@@ -1,0 +1,254 @@
+package netproxy
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDecodeScheduleRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty rules", `{"seed":1,"rules":[]}`},
+		{"unknown field", `{"seed":1,"bogus":true,"rules":[{"for_ms":10}]}`},
+		{"negative for_ms", `{"seed":1,"rules":[{"for_ms":-5}]}`},
+		{"prob out of range", `{"seed":1,"rules":[{"for_ms":10,"reset_prob":1.5}]}`},
+		{"negative bandwidth", `{"seed":1,"rules":[{"for_ms":10,"bandwidth_bps":-1}]}`},
+		{"zero for_ms mid-schedule", `{"seed":1,"rules":[{"for_ms":0},{"for_ms":10}]}`},
+		{"repeat with zero duration", `{"seed":1,"repeat":true,"rules":[{"for_ms":0}]}`},
+		{"trailing data", `{"seed":1,"rules":[{"for_ms":10}]}{}`},
+		{"not json", `chaos`},
+	}
+	for _, c := range cases {
+		if _, err := DecodeSchedule(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: decode accepted %q", c.name, c.in)
+		}
+	}
+}
+
+func TestDecodeScheduleAcceptsValid(t *testing.T) {
+	in := `{"seed":42,"repeat":true,"rules":[
+		{"for_ms":100,"latency_ms":5,"jitter_ms":3},
+		{"for_ms":50,"partition":true},
+		{"for_ms":100,"reset_prob":0.1,"drop_prob":0.05,"corrupt_prob":0.05,"bandwidth_bps":65536}]}`
+	s, err := DecodeSchedule(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if s.Seed != 42 || !s.Repeat || len(s.Rules) != 3 {
+		t.Fatalf("decoded schedule = %+v", s)
+	}
+}
+
+func TestRuleAtRotation(t *testing.T) {
+	s := Schedule{Rules: []Rule{
+		{ForMS: 10, LatencyMS: 1},
+		{ForMS: 10, Partition: true},
+	}}
+	if r := s.ruleAt(5 * time.Millisecond); r.LatencyMS != 1 {
+		t.Errorf("t=5ms rule = %+v, want latency rule", r)
+	}
+	if r := s.ruleAt(15 * time.Millisecond); !r.Partition {
+		t.Errorf("t=15ms rule = %+v, want partition rule", r)
+	}
+	// Non-repeating schedule ends clean.
+	if r := s.ruleAt(25 * time.Millisecond); !r.clean() {
+		t.Errorf("t=25ms rule = %+v, want clean", r)
+	}
+	// Repeating schedule wraps.
+	s.Repeat = true
+	if r := s.ruleAt(25 * time.Millisecond); r.LatencyMS != 1 {
+		t.Errorf("repeat t=25ms rule = %+v, want latency rule", r)
+	}
+	// Unbounded final rule sticks.
+	u := Schedule{Rules: []Rule{{ForMS: 10}, {ForMS: 0, LatencyMS: 7}}}
+	if r := u.ruleAt(time.Hour); r.LatencyMS != 7 {
+		t.Errorf("unbounded final rule = %+v", r)
+	}
+}
+
+// echoServer accepts one connection at a time and echoes bytes back.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(c, c) //nolint:errcheck // test echo
+				c.Close()
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func TestProxyCleanPassThrough(t *testing.T) {
+	ln := echoServer(t)
+	p, err := Start(ln.Addr().String(), Schedule{Seed: 1, Rules: []Rule{{ForMS: 0}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("the quick brown fox")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo through clean proxy = %q, want %q", got, msg)
+	}
+	st := p.Stats()
+	if st.Accepted != 1 || st.ForwardedBytes == 0 || st.Resets != 0 || st.CorruptedBytes != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestProxyInjectsLatency(t *testing.T) {
+	ln := echoServer(t)
+	p, err := Start(ln.Addr().String(),
+		Schedule{Seed: 1, Rules: []Rule{{ForMS: 0, LatencyMS: 30}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	// Both directions pay 30ms, so the echo round trip is >= 60ms.
+	if d := time.Since(start); d < 60*time.Millisecond {
+		t.Errorf("round trip took %v, want >= 60ms with 30ms per-direction latency", d)
+	}
+}
+
+func TestProxyPartitionRefusesAndKills(t *testing.T) {
+	ln := echoServer(t)
+	p, err := Start(ln.Addr().String(),
+		Schedule{Seed: 1, Rules: []Rule{{ForMS: 0, Partition: true}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err) // TCP connect may succeed before the proxy closes it
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("read through partition succeeded")
+	}
+	if st := p.Stats(); st.Refused == 0 {
+		t.Errorf("stats = %+v, want Refused > 0", st)
+	}
+}
+
+func TestProxyInjectsResets(t *testing.T) {
+	ln := echoServer(t)
+	p, err := Start(ln.Addr().String(),
+		Schedule{Seed: 7, Rules: []Rule{{ForMS: 0, ResetProb: 1}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	conn.Write([]byte("doomed"))                      //nolint:errcheck
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("read after certain reset succeeded")
+	}
+	if st := p.Stats(); st.Resets == 0 {
+		t.Errorf("stats = %+v, want Resets > 0", st)
+	}
+}
+
+func TestProxyCorruptsBytes(t *testing.T) {
+	ln := echoServer(t)
+	p, err := Start(ln.Addr().String(),
+		Schedule{Seed: 3, Rules: []Rule{{ForMS: 0, CorruptProb: 1}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("pristine payload bytes")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Error("payload survived CorruptProb=1 unmodified")
+	}
+	if st := p.Stats(); st.CorruptedBytes == 0 {
+		t.Errorf("stats = %+v, want CorruptedBytes > 0", st)
+	}
+}
+
+func TestMutateDeterministicFromSeed(t *testing.T) {
+	rule := Rule{ResetProb: 0.2, DropProb: 0.3, CorruptProb: 0.3, LatencyMS: 2, JitterMS: 5}
+	run := func() []mutation {
+		rng := rand.New(rand.NewSource(99))
+		var out []mutation
+		for i := 0; i < 64; i++ {
+			chunk := bytes.Repeat([]byte{byte(i)}, 16)
+			m := mutate(rule, rng, chunk)
+			m.out = append([]byte(nil), m.out...)
+			out = append(out, m)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if !bytes.Equal(a[i].out, b[i].out) || a[i].reset != b[i].reset || a[i].delay != b[i].delay {
+			t.Fatalf("replay diverged at chunk %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

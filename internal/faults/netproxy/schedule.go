@@ -1,0 +1,154 @@
+// Package netproxy is an in-process TCP chaos proxy for the
+// distributed-sweep fault suites. A Proxy sits between the coordinator
+// and one worker and degrades the byte stream according to a timed
+// Schedule: latency and jitter injection, bandwidth throttling,
+// probabilistic connection resets, byte-level drops and corruption,
+// and full partitions (new connections refused, established ones
+// killed). All randomness derives from the schedule's seed, so a chaos
+// run replays the same fault decisions for the same traffic shape.
+//
+// The proxy exists to prove the self-healing invariant: a sweep routed
+// through any Schedule must produce stdout and merged manifests
+// byte-identical to the clean run, with zero job loss. It degrades
+// transport, never payload semantics — corrupted bytes are delivered
+// (and caught by content digests downstream), not silently repaired.
+package netproxy
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Rule is one phase of a fault schedule. The zero Rule is a clean
+// pass-through. Probabilities are per forwarded chunk (a single Read
+// from one side of the proxied connection).
+type Rule struct {
+	// ForMS is how long this rule stays active, in milliseconds. Zero
+	// is allowed only for a final rule, which then applies forever.
+	ForMS int64 `json:"for_ms"`
+	// LatencyMS delays each forwarded chunk by this many milliseconds.
+	LatencyMS int64 `json:"latency_ms,omitempty"`
+	// JitterMS adds a uniform random 0..JitterMS milliseconds on top of
+	// LatencyMS.
+	JitterMS int64 `json:"jitter_ms,omitempty"`
+	// BandwidthBPS throttles each direction to roughly this many bytes
+	// per second. Zero means unthrottled.
+	BandwidthBPS int64 `json:"bandwidth_bps,omitempty"`
+	// ResetProb is the probability a chunk triggers an abrupt
+	// connection teardown instead of being forwarded.
+	ResetProb float64 `json:"reset_prob,omitempty"`
+	// DropProb is the probability a chunk loses one random byte.
+	DropProb float64 `json:"drop_prob,omitempty"`
+	// CorruptProb is the probability a chunk has one random byte
+	// flipped.
+	CorruptProb float64 `json:"corrupt_prob,omitempty"`
+	// Partition refuses new connections and kills established ones for
+	// the rule's duration.
+	Partition bool `json:"partition,omitempty"`
+}
+
+// clean reports whether the rule forwards traffic unmodified.
+func (r Rule) clean() bool {
+	return r.LatencyMS == 0 && r.JitterMS == 0 && r.BandwidthBPS == 0 &&
+		r.ResetProb == 0 && r.DropProb == 0 && r.CorruptProb == 0 && !r.Partition
+}
+
+// Schedule is a seeded sequence of fault rules applied in order from
+// proxy start. When Repeat is set the sequence loops; otherwise the
+// schedule ends with its last rule (which applies forever if its ForMS
+// is zero) or with a clean pass-through once every timed rule has
+// elapsed.
+type Schedule struct {
+	// Seed drives every probabilistic decision the proxy makes.
+	Seed int64 `json:"seed"`
+	// Repeat loops the rule sequence instead of ending clean.
+	Repeat bool `json:"repeat,omitempty"`
+	// Rules are applied in order; see Rule.ForMS.
+	Rules []Rule `json:"rules"`
+}
+
+// Validate checks the schedule for internal consistency.
+func (s Schedule) Validate() error {
+	if len(s.Rules) == 0 {
+		return errors.New("netproxy: schedule has no rules")
+	}
+	var total int64
+	for i, r := range s.Rules {
+		if r.ForMS < 0 {
+			return fmt.Errorf("netproxy: rule %d: negative for_ms %d", i, r.ForMS)
+		}
+		if r.ForMS == 0 && i != len(s.Rules)-1 {
+			return fmt.Errorf("netproxy: rule %d: for_ms 0 only allowed on the final rule", i)
+		}
+		for _, p := range []struct {
+			name string
+			v    float64
+		}{{"reset_prob", r.ResetProb}, {"drop_prob", r.DropProb}, {"corrupt_prob", r.CorruptProb}} {
+			if p.v < 0 || p.v > 1 {
+				return fmt.Errorf("netproxy: rule %d: %s %v outside [0,1]", i, p.name, p.v)
+			}
+		}
+		if r.BandwidthBPS < 0 {
+			return fmt.Errorf("netproxy: rule %d: negative bandwidth_bps %d", i, r.BandwidthBPS)
+		}
+		if r.LatencyMS < 0 || r.JitterMS < 0 {
+			return fmt.Errorf("netproxy: rule %d: negative latency/jitter", i)
+		}
+		total += r.ForMS
+	}
+	if s.Repeat {
+		if total == 0 {
+			return errors.New("netproxy: repeating schedule with zero total duration")
+		}
+		if last := s.Rules[len(s.Rules)-1]; last.ForMS == 0 {
+			return errors.New("netproxy: repeating schedule cannot end with an unbounded rule")
+		}
+	}
+	return nil
+}
+
+// DecodeSchedule parses a strict-JSON schedule (unknown fields
+// rejected, like the dist wire schema) and validates it.
+func DecodeSchedule(r io.Reader) (Schedule, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Schedule
+	if err := dec.Decode(&s); err != nil {
+		return Schedule{}, fmt.Errorf("netproxy: decoding schedule: %w", err)
+	}
+	if dec.More() {
+		return Schedule{}, errors.New("netproxy: trailing data after schedule")
+	}
+	if err := s.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}
+
+// ruleAt returns the rule active after elapsed time since proxy start.
+// Past the end of a non-repeating schedule it returns the final rule
+// if that rule is unbounded (ForMS zero), else the clean zero Rule.
+func (s Schedule) ruleAt(elapsed time.Duration) Rule {
+	ms := elapsed.Milliseconds()
+	var total int64
+	for _, r := range s.Rules {
+		total += r.ForMS
+	}
+	if s.Repeat && total > 0 {
+		ms %= total
+	}
+	for _, r := range s.Rules {
+		if r.ForMS == 0 {
+			// Unbounded final rule.
+			return r
+		}
+		if ms < r.ForMS {
+			return r
+		}
+		ms -= r.ForMS
+	}
+	return Rule{}
+}

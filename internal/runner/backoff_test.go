@@ -1,0 +1,49 @@
+package runner
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffDoublesFromInitial(t *testing.T) {
+	b := Backoff{Initial: 10 * time.Millisecond}
+	if got := b.Delay(0); got != 10*time.Millisecond {
+		t.Errorf("Delay(0) = %v, want 10ms", got)
+	}
+	if got := b.Delay(3); got != 80*time.Millisecond {
+		t.Errorf("Delay(3) = %v, want 80ms", got)
+	}
+}
+
+func TestBackoffCaps(t *testing.T) {
+	b := Backoff{Initial: time.Second, Max: 5 * time.Second}
+	if got := b.Delay(10); got != 5*time.Second {
+		t.Errorf("Delay(10) = %v, want cap 5s", got)
+	}
+	// Huge attempt counts must terminate quickly and not overflow.
+	if got := b.Delay(1 << 20); got != 5*time.Second {
+		t.Errorf("Delay(1<<20) = %v, want cap 5s", got)
+	}
+}
+
+func TestBackoffCustomFactor(t *testing.T) {
+	b := Backoff{Initial: 10 * time.Millisecond, Factor: 3}
+	if got := b.Delay(2); got != 90*time.Millisecond {
+		t.Errorf("Delay(2) = %v, want 90ms", got)
+	}
+}

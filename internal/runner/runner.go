@@ -285,7 +285,7 @@ func attemptJob[T, R any](p *Pool, ctx context.Context, i int, item T, fn func(c
 		live.jobRetry()
 		if backoff > 0 {
 			select {
-			case <-time.After(backoff << attempt):
+			case <-time.After(Backoff{Initial: backoff}.Delay(attempt)):
 			case <-ctx.Done():
 				return r, err
 			}

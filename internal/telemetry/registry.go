@@ -72,6 +72,42 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum) / float64(h.count)
 }
 
+// Quantile returns an upper bound on the q-quantile (q in [0, 1]) of
+// the observed values: the upper edge of the first log2 bucket whose
+// cumulative count reaches ⌈q·count⌉. The log2 geometry makes this at
+// most 2× the true quantile — adequate for adaptive thresholds like
+// "hedge past p95 latency", where the answer steers a policy rather
+// than a report. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.count))
+	if float64(target) < q*float64(h.count) {
+		target++
+	}
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			return uint64(1)<<i - 1
+		}
+	}
+	return h.max
+}
+
 // Reset zeroes the histogram.
 func (h *Histogram) Reset() { *h = Histogram{} }
 

@@ -150,3 +150,46 @@ func TestEventKindStrings(t *testing.T) {
 		t.Error("out-of-range kind did not fall back")
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %d, want 0", got)
+	}
+	// 100 observations of 1ms..100ms (values land in log2 buckets
+	// [1], [2..3], [4..7], ... [64..127]).
+	for v := uint64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %d, want 1 (first bucket edge)", got)
+	}
+	// p50: 50th value is 50, bucket [32..63] → upper edge 63.
+	if got := h.Quantile(0.5); got != 63 {
+		t.Errorf("Quantile(0.5) = %d, want 63", got)
+	}
+	// p99: 99th value is 99, bucket [64..127] → upper edge 127.
+	if got := h.Quantile(0.99); got != 127 {
+		t.Errorf("Quantile(0.99) = %d, want 127", got)
+	}
+	if got, want := h.Quantile(1), h.Quantile(0.999); got != 127 || want != 127 {
+		t.Errorf("tail quantiles = %d, %d, want 127", got, want)
+	}
+	// Quantile never understates by more than the bucket geometry: the
+	// returned edge is >= the true quantile.
+	if got := h.Quantile(0.5); got < 50 {
+		t.Errorf("Quantile(0.5) = %d, understates the true p50 of 50", got)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if h.Quantile(-1) != 1 || h.Quantile(2) != 127 {
+		t.Errorf("clamped quantiles = %d, %d", h.Quantile(-1), h.Quantile(2))
+	}
+
+	// A histogram of only zeros reports 0 at every quantile.
+	var z Histogram
+	z.Observe(0)
+	z.Observe(0)
+	if z.Quantile(0.99) != 0 {
+		t.Errorf("all-zero Quantile(0.99) = %d, want 0", z.Quantile(0.99))
+	}
+}

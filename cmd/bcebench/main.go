@@ -10,6 +10,12 @@
 //	bcebench -suite kernel -min-speedup 2.0          # kernel vs reference gate
 //	bcebench -compare old.json -against new.json -max-regress 10
 //
+// With -profile-dir, every suite's `go test -bench` run also captures
+// a CPU profile into the content-addressed profile ring and records
+// its digest in the report; a later -compare that trips the
+// regression gate then prints a per-function attribution table naming
+// the symbols the time moved into (see docs/observability.md).
+//
 // See docs/performance.md for the profiling and trajectory workflow.
 package main
 
@@ -20,10 +26,12 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"path/filepath"
 	"time"
 
 	"bce/internal/bench"
 	"bce/internal/manifest"
+	"bce/internal/prof"
 	"bce/internal/runner"
 	"bce/internal/telemetry"
 )
@@ -38,10 +46,13 @@ func main() {
 		compare    = flag.String("compare", "", "baseline JSON report; compare-only mode unless -suite also runs")
 		against    = flag.String("against", "", "candidate JSON report to compare against the -compare baseline (default: this run's results)")
 		maxRegress = flag.Float64("max-regress", 10, "fail the comparison when any shared benchmark slows down by more than this percent")
+		profFlags  = prof.RegisterFlags(nil)
+		profileTop = flag.Int("profile-top", 10, "symbols per suite in the regression attribution table")
 		progress   = flag.Bool("progress", false, "report per-suite progress on stderr")
 		verbose    = flag.Bool("v", false, "stream raw go test output to stderr")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		version    = flag.Bool("version", false, "print the bce_build_info identity line and exit")
 	)
 	flag.Parse()
 	logger, err := telemetry.InitLogging(*logLevel, *logFormat)
@@ -51,24 +62,38 @@ func main() {
 	}
 	slog.SetDefault(logger.With("bin", "bcebench"))
 	telemetry.RegisterBuildLabel("revision", manifest.ShortRevision())
+	telemetry.RegisterBuildLabel("bench_schema", fmt.Sprint(bench.ReportSchema))
+	if *version {
+		fmt.Println(telemetry.BuildInfoLine())
+		return
+	}
 	// First SIGINT/SIGTERM cancels remaining suites (the in-flight
 	// `go test -bench` child sees its context die); a second kills.
 	ctx, stop := runner.ShutdownContext(context.Background())
 	defer stop()
 	if err := run(ctx, *suite, *count, *benchtime, *out, *minSpeedup,
-		*compare, *against, *maxRegress, *progress, *verbose); err != nil {
+		*compare, *against, *maxRegress, *profFlags.Dir, *profileTop, *progress, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "bcebench:", err)
 		os.Exit(1)
 	}
 }
 
 func run(ctx context.Context, suite string, count int, benchtime, out string, minSpeedup float64,
-	compare, against string, maxRegress float64, progress, verbose bool) error {
+	compare, against string, maxRegress float64, profileDir string, profileTop int,
+	progress, verbose bool) error {
 	if out == "" && !(compare != "" && against != "") {
 		// Default the trajectory file name to the revision it measures,
 		// so successive runs on different commits never clobber each
 		// other.
 		out = "BENCH_" + manifest.ShortRevision() + ".json"
+	}
+
+	var ring *prof.Ring
+	if profileDir != "" {
+		var err error
+		if ring, err = prof.OpenRing(profileDir, 0, 0); err != nil {
+			return err
+		}
 	}
 
 	// Pure compare mode: two existing reports, no benchmarks run.
@@ -81,12 +106,20 @@ func run(ctx context.Context, suite string, count int, benchtime, out string, mi
 		if err != nil {
 			return err
 		}
-		return gate(old, cand, maxRegress)
+		return gate(old, cand, maxRegress, ring, profileTop)
 	}
 
 	suites, err := bench.Suites(suite)
 	if err != nil {
 		return err
+	}
+	var profTmp string
+	if ring != nil {
+		profTmp, err = os.MkdirTemp("", "bcebench-prof-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(profTmp)
 	}
 	report := bench.NewReport()
 	pool := runner.New(runner.Options{
@@ -104,7 +137,11 @@ func run(ctx context.Context, suite string, count int, benchtime, out string, mi
 			fmt.Fprintf(os.Stderr, "bcebench: running suite %q (%s -bench %s)\n", s.Name, s.Pkg, s.Pattern)
 		}
 		start := time.Now()
-		results, raw, err := bench.Run(ctx, ".", s, count, benchtime)
+		var cpuProfile string
+		if ring != nil {
+			cpuProfile = filepath.Join(profTmp, s.Name+".cpu.pb.gz")
+		}
+		results, raw, err := bench.Run(ctx, ".", s, count, benchtime, cpuProfile)
 		if verbose {
 			os.Stderr.Write(raw)
 		}
@@ -112,6 +149,21 @@ func run(ctx context.Context, suite string, count int, benchtime, out string, mi
 			return err
 		}
 		report.Results = append(report.Results, results...)
+		if cpuProfile != "" {
+			// Best-effort: a missing/empty profile degrades attribution,
+			// never the benchmark run itself.
+			if data, err := os.ReadFile(cpuProfile); err == nil && len(data) > 0 {
+				if digest, err := ring.Put(data); err == nil {
+					report.Profiles = append(report.Profiles, bench.ProfileRef{
+						Suite: s.Name, Kind: "cpu", Digest: digest, Bytes: int64(len(data)),
+					})
+				} else {
+					slog.Warn("profile store failed", "suite", s.Name, "err", err)
+				}
+			} else {
+				slog.Warn("suite produced no CPU profile", "suite", s.Name)
+			}
+		}
 		if progress {
 			fmt.Fprintf(os.Stderr, "bcebench: suite %q: %d benchmarks in %.1fs\n",
 				s.Name, len(results), time.Since(start).Seconds())
@@ -155,7 +207,7 @@ func run(ctx context.Context, suite string, count int, benchtime, out string, mi
 		if err != nil {
 			return err
 		}
-		return gate(old, report, maxRegress)
+		return gate(old, report, maxRegress, ring, profileTop)
 	}
 	return nil
 }
@@ -175,13 +227,14 @@ func load(path string) (*bench.Report, error) {
 	return &r, nil
 }
 
-func gate(old, cand *bench.Report, maxRegress float64) error {
+func gate(old, cand *bench.Report, maxRegress float64, ring *prof.Ring, top int) error {
 	cmps := bench.Compare(old, cand)
 	if len(cmps) == 0 {
 		return fmt.Errorf("no benchmarks in either report")
 	}
 	fmt.Print(bench.FormatComparisons(cmps, maxRegress))
 	if bad := bench.Regressions(cmps, maxRegress); len(bad) > 0 {
+		attribute(os.Stdout, bad, old, cand, ring, top)
 		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%", len(bad), maxRegress)
 	}
 	// Benchmarks on only one side are reported above as new/removed;
@@ -193,4 +246,58 @@ func gate(old, cand *bench.Report, maxRegress float64) error {
 		fmt.Printf("ok: no benchmark regressed more than %.0f%% (%d shared)\n", maxRegress, shared)
 	}
 	return nil
+}
+
+// attribute prints a per-function CPU delta table for every suite
+// with a regressed benchmark, when both reports carry a cpu profile
+// ref for the suite and the ring holds the bytes. Diagnostics go to
+// stderr: attribution is advisory and must never turn a clear gate
+// verdict into an error.
+func attribute(w *os.File, bad []bench.Comparison, old, cand *bench.Report, ring *prof.Ring, top int) {
+	suites := map[string]bool{}
+	var order []string
+	for _, c := range bad {
+		if !suites[c.Suite] {
+			suites[c.Suite] = true
+			order = append(order, c.Suite)
+		}
+	}
+	if ring == nil {
+		fmt.Fprintln(os.Stderr, "bcebench: no -profile-dir; rerun both sides with -profile-dir to attribute regressions")
+		return
+	}
+	for _, suite := range order {
+		oldRef, candRef := old.FindProfile(suite, "cpu"), cand.FindProfile(suite, "cpu")
+		if oldRef == nil || candRef == nil {
+			fmt.Fprintf(os.Stderr, "bcebench: suite %q: missing profile ref (base: %v, cand: %v); run both sides with -profile-dir\n",
+				suite, oldRef != nil, candRef != nil)
+			continue
+		}
+		d, err := diffRefs(ring, oldRef, candRef)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bcebench: suite %q: %v\n", suite, err)
+			continue
+		}
+		fmt.Fprintf(w, "\nattribution for suite %q:\n%s", suite, d.Table(top))
+	}
+}
+
+func diffRefs(ring *prof.Ring, oldRef, candRef *bench.ProfileRef) (*prof.Delta, error) {
+	oldData, err := ring.Get(oldRef.Digest)
+	if err != nil {
+		return nil, err
+	}
+	candData, err := ring.Get(candRef.Digest)
+	if err != nil {
+		return nil, err
+	}
+	oldProf, err := prof.Parse(oldData)
+	if err != nil {
+		return nil, err
+	}
+	candProf, err := prof.Parse(candData)
+	if err != nil {
+		return nil, err
+	}
+	return prof.Diff(oldProf, candProf)
 }

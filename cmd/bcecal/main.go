@@ -25,6 +25,7 @@ import (
 
 	"bce/internal/manifest"
 	"bce/internal/predictor"
+	"bce/internal/prof"
 	"bce/internal/runner"
 	"bce/internal/telemetry"
 	"bce/internal/workload"
@@ -41,6 +42,8 @@ func main() {
 		manifestTo = flag.String("manifest", "", "write a run manifest (provenance + per-benchmark rates) to this file")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		profFlags  = prof.RegisterFlags(nil)
+		version    = flag.Bool("version", false, "print the bce_build_info identity line and exit")
 	)
 	flag.Parse()
 	logger, err := telemetry.InitLogging(*logLevel, *logFormat)
@@ -52,8 +55,24 @@ func main() {
 	slog.SetDefault(logger)
 	telemetry.RegisterBuildLabel("revision", manifest.ShortRevision())
 	telemetry.RegisterBuildLabel("manifest_schema", fmt.Sprint(manifest.SchemaVersion))
+	if *version {
+		fmt.Println(telemetry.BuildInfoLine())
+		return
+	}
+	profOpts := profFlags.Options()
+	profOpts.Sweeps = true
+	profOpts.Logger = logger
+	capturer, stopProf, err := prof.Enable(profOpts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcecal:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 	if *debugAddr != "" {
-		srv, err := telemetry.StartDebug(*debugAddr, nil)
+		srv, err := telemetry.StartDebug(*debugAddr, map[string]func() any{
+			"bce_runner": func() any { return runner.LiveSnapshot() },
+			"bce_prof":   capturer.DebugVar(),
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bcecal:", err)
 			os.Exit(1)
@@ -72,8 +91,8 @@ func main() {
 		mb.SetConfig("uops", fmt.Sprint(*uops))
 		seeds := make(map[string]int64)
 		for _, name := range workload.Names() {
-			if prof, err := workload.ByName(name); err == nil {
-				seeds[name] = prof.Seed
+			if wl, err := workload.ByName(name); err == nil {
+				seeds[name] = wl.Seed
 			}
 		}
 		mb.SetSeeds(seeds)
@@ -93,6 +112,7 @@ func main() {
 		os.Exit(1)
 	}
 	if mb != nil {
+		mb.AddProfiles(capturer.Records()...)
 		if err := mb.WriteFile(*manifestTo, 0, 0); err != nil {
 			fmt.Fprintln(os.Stderr, "bcecal:", err)
 			os.Exit(1)
@@ -203,11 +223,11 @@ func run(ctx context.Context, bench string, uops, workers int, cacheDir string, 
 }
 
 func mispRate(name string, uops int) (float64, error) {
-	prof, err := workload.ByName(name)
+	wl, err := workload.ByName(name)
 	if err != nil {
 		return 0, err
 	}
-	g := workload.New(prof)
+	g := workload.New(wl)
 	pred := predictor.NewBaselineHybrid()
 	const warm = 100_000
 	var measured, misp int
@@ -229,11 +249,11 @@ func mispRate(name string, uops int) (float64, error) {
 }
 
 func attribute(name string, uops int) error {
-	prof, err := workload.ByName(name)
+	wl, err := workload.ByName(name)
 	if err != nil {
 		return err
 	}
-	g := workload.New(prof)
+	g := workload.New(wl)
 	kinds := g.BranchKinds()
 	pred := predictor.NewBaselineHybrid()
 	type agg struct{ n, miss int }

@@ -35,16 +35,26 @@ import (
 	"syscall"
 
 	"bce/internal/faults/netproxy"
+	"bce/internal/manifest"
+	"bce/internal/prof"
+	"bce/internal/telemetry"
 )
 
 func main() {
 	var (
-		target   = flag.String("target", "", "host:port to forward to (required)")
-		schedule = flag.String("schedule", "", "path to the fault-schedule JSON file (required)")
-		addrFile = flag.String("addr-file", "", "write the proxy's listen address to this file (optional)")
-		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		target    = flag.String("target", "", "host:port to forward to (required)")
+		schedule  = flag.String("schedule", "", "path to the fault-schedule JSON file (required)")
+		addrFile  = flag.String("addr-file", "", "write the proxy's listen address to this file (optional)")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		profFlags = prof.RegisterFlags(nil)
+		version   = flag.Bool("version", false, "print the bce_build_info identity line and exit")
 	)
 	flag.Parse()
+	telemetry.RegisterBuildLabel("revision", manifest.ShortRevision())
+	if *version {
+		fmt.Println(telemetry.BuildInfoLine())
+		return
+	}
 	if *target == "" || *schedule == "" {
 		fmt.Fprintln(os.Stderr, "bcenetproxy: -target and -schedule are required")
 		os.Exit(2)
@@ -56,6 +66,22 @@ func main() {
 		os.Exit(2)
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	// Process-mode profiling: one capture window spanning the proxy's
+	// lifetime (the interesting cost here is the forwarding goroutines,
+	// not any sweep phase).
+	_, stopProf, err := prof.Enable(prof.EnableOptions{
+		Dir:           *profFlags.Dir,
+		RateHz:        *profFlags.Rate,
+		MutexFraction: *profFlags.Mutex,
+		BlockRate:     *profFlags.Block,
+		Logger:        logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcenetproxy:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	f, err := os.Open(*schedule)
 	if err != nil {

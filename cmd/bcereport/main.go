@@ -10,6 +10,11 @@
 //	bcereport -baseline FIDELITY.json run.json  # gate: fail on drift
 //	bcereport -compare old.json new.json    # diff two manifests
 //
+// When comparing two manifests that carry profile records (runs made
+// with -profile-dir), adding -profile-dir here attributes wall/CPU
+// drift between the runs: matching capture phases are diffed into
+// per-function deltas and printed alongside the metric drift table.
+//
 // Several manifests can be ingested at once (e.g. a bcetables sweep
 // plus a bcecal run); later files win where experiments overlap. The
 // scorecard JSON is canonical — identical sweeps produce identical
@@ -24,20 +29,24 @@ import (
 	"os"
 
 	"bce/internal/manifest"
+	"bce/internal/prof"
 	"bce/internal/report"
 	"bce/internal/telemetry"
 )
 
 func main() {
 	var (
-		jsonOut   = flag.String("json", "", "write the canonical scorecard JSON to this file")
-		htmlOut   = flag.String("html", "", "write the self-contained HTML dashboard to this file")
-		baseline  = flag.String("baseline", "", "scorecard JSON to gate against: exit 1 if any metric drifts beyond -tol")
-		compare   = flag.Bool("compare", false, "diff two manifests (old new) instead of rendering a scorecard")
-		tol       = flag.Float64("tol", 1e-9, "drift tolerance in the metric's own unit (simulations are deterministic, so near-zero is exact)")
-		quiet     = flag.Bool("quiet", false, "suppress the text scorecard on stdout")
-		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
-		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		jsonOut    = flag.String("json", "", "write the canonical scorecard JSON to this file")
+		htmlOut    = flag.String("html", "", "write the self-contained HTML dashboard to this file")
+		baseline   = flag.String("baseline", "", "scorecard JSON to gate against: exit 1 if any metric drifts beyond -tol")
+		compare    = flag.Bool("compare", false, "diff two manifests (old new) instead of rendering a scorecard")
+		tol        = flag.Float64("tol", 1e-9, "drift tolerance in the metric's own unit (simulations are deterministic, so near-zero is exact)")
+		quiet      = flag.Bool("quiet", false, "suppress the text scorecard on stdout")
+		profFlags  = prof.RegisterFlags(nil)
+		profileTop = flag.Int("profile-top", 10, "symbols per phase in the -compare profile attribution table")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		version    = flag.Bool("version", false, "print the bce_build_info identity line and exit")
 	)
 	flag.Parse()
 	logger, err := telemetry.InitLogging(*logLevel, *logFormat)
@@ -48,13 +57,19 @@ func main() {
 	slog.SetDefault(logger.With("bin", "bcereport"))
 	telemetry.RegisterBuildLabel("revision", manifest.ShortRevision())
 	telemetry.RegisterBuildLabel("manifest_schema", fmt.Sprint(manifest.SchemaVersion))
-	if err := run(flag.Args(), *jsonOut, *htmlOut, *baseline, *compare, *tol, *quiet); err != nil {
+	if *version {
+		fmt.Println(telemetry.BuildInfoLine())
+		return
+	}
+	if err := run(flag.Args(), *jsonOut, *htmlOut, *baseline, *compare, *tol, *quiet,
+		*profFlags.Dir, *profileTop); err != nil {
 		fmt.Fprintln(os.Stderr, "bcereport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, jsonOut, htmlOut, baseline string, compare bool, tol float64, quiet bool) error {
+func run(args []string, jsonOut, htmlOut, baseline string, compare bool, tol float64, quiet bool,
+	profileDir string, profileTop int) error {
 	if compare {
 		if len(args) != 2 {
 			return fmt.Errorf("-compare takes exactly two manifests (old new), got %d", len(args))
@@ -75,6 +90,7 @@ func run(args []string, jsonOut, htmlOut, baseline string, compare bool, tol flo
 			fmt.Fprintln(os.Stderr, "bcereport: note:", n)
 		}
 		fmt.Print(report.RenderDrift(drifts, tol))
+		attributeDrift(old, new, profileDir, profileTop)
 		if len(drifts) > 0 {
 			return fmt.Errorf("%d metric(s) drifted", len(drifts))
 		}
@@ -129,4 +145,79 @@ func run(args []string, jsonOut, htmlOut, baseline string, compare bool, tol flo
 		fmt.Fprintf(os.Stderr, "bcereport: fidelity gate passed against %s\n", baseline)
 	}
 	return nil
+}
+
+// attributeDrift explains where wall/CPU time moved between two
+// manifests: it prints the headline wall/CPU deltas, then — when both
+// manifests carry profile records and -profile-dir holds the bytes —
+// a per-function delta table for every capture phase present on both
+// sides. Purely advisory: problems degrade to stderr notes, never an
+// exit status, because the drift verdict above is authoritative.
+func attributeDrift(old, new *manifest.Manifest, profileDir string, top int) {
+	if old.WallSeconds > 0 {
+		fmt.Printf("wall %.2fs -> %.2fs (%+.1f%%), cpu %.2fs -> %.2fs\n",
+			old.WallSeconds, new.WallSeconds,
+			100*(new.WallSeconds-old.WallSeconds)/old.WallSeconds,
+			old.CPUSeconds, new.CPUSeconds)
+	}
+	if len(old.Profiles) == 0 || len(new.Profiles) == 0 {
+		if profileDir != "" {
+			fmt.Fprintln(os.Stderr, "bcereport: note: one or both manifests carry no profile records (rerun the sweeps with -profile-dir)")
+		}
+		return
+	}
+	if profileDir == "" {
+		fmt.Fprintln(os.Stderr, "bcereport: note: manifests carry profiles; pass -profile-dir to attribute the drift per function")
+		return
+	}
+	ring, err := prof.OpenRing(profileDir, 0, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcereport: note:", err)
+		return
+	}
+	// Match capture windows by (phase, kind): sweep windows are named
+	// deterministically ("sweep(jobs=128)#3"), so two runs of the same
+	// configuration pair up exactly.
+	type key struct{ phase, kind string }
+	oldByKey := map[key]prof.Record{}
+	for _, r := range old.Profiles {
+		oldByKey[key{r.Phase, r.Kind}] = r
+	}
+	matched := 0
+	for _, nr := range new.Profiles {
+		or, ok := oldByKey[key{nr.Phase, nr.Kind}]
+		if !ok || nr.Kind != "cpu" {
+			continue
+		}
+		d, err := diffDigests(ring, or.Digest, nr.Digest)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bcereport: note: phase %s: %v\n", nr.Phase, err)
+			continue
+		}
+		matched++
+		fmt.Printf("\nattribution for phase %s:\n%s", nr.Phase, d.Table(top))
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "bcereport: note: no cpu capture phase is present in both manifests with bytes in the ring")
+	}
+}
+
+func diffDigests(ring *prof.Ring, oldDigest, newDigest string) (*prof.Delta, error) {
+	oldData, err := ring.Get(oldDigest)
+	if err != nil {
+		return nil, err
+	}
+	newData, err := ring.Get(newDigest)
+	if err != nil {
+		return nil, err
+	}
+	oldProf, err := prof.Parse(oldData)
+	if err != nil {
+		return nil, err
+	}
+	newProf, err := prof.Parse(newData)
+	if err != nil {
+		return nil, err
+	}
+	return prof.Diff(oldProf, newProf)
 }

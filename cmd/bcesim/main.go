@@ -36,6 +36,7 @@ import (
 	"bce/internal/manifest"
 	"bce/internal/pipeline"
 	"bce/internal/predictor"
+	"bce/internal/prof"
 	"bce/internal/runner"
 	"bce/internal/telemetry"
 	"bce/internal/trace"
@@ -64,6 +65,8 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve pprof + expvar + live sweep stats on this address (e.g. localhost:6060)")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		profFlags = prof.RegisterFlags(nil)
+		version   = flag.Bool("version", false, "print the bce_build_info identity line and exit")
 	)
 	flag.Parse()
 
@@ -76,10 +79,27 @@ func main() {
 	slog.SetDefault(logger)
 	telemetry.RegisterBuildLabel("revision", manifest.ShortRevision())
 	telemetry.RegisterBuildLabel("trace_format", fmt.Sprint(trace.FormatVersion))
+	if *version {
+		fmt.Println(telemetry.BuildInfoLine())
+		return
+	}
+
+	// Process-mode profiling: one capture window spanning the whole
+	// invocation (a bcesim run is one unit of work, unlike the sweep
+	// drivers).
+	profOpts := profFlags.Options()
+	profOpts.Logger = logger
+	capturer, stopProf, err := prof.Enable(profOpts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcesim:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	if *debugAddr != "" {
 		srv, err := telemetry.StartDebug(*debugAddr, map[string]func() any{
 			"bce_runner": func() any { return runner.LiveSnapshot() },
+			"bce_prof":   capturer.DebugVar(),
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bcesim:", err)
@@ -104,6 +124,9 @@ func main() {
 			ls := runner.LiveSnapshot()
 			fmt.Fprintf(os.Stderr, "bcesim: interrupted: %d simulations finished before shutdown\n", ls.JobsDone)
 		}
+		// Close the capture window explicitly: a failed run's profile
+		// is the one worth keeping, and os.Exit skips defers.
+		stopProf()
 		fmt.Fprintln(os.Stderr, "bcesim:", err)
 		os.Exit(1)
 	}

@@ -39,6 +39,7 @@ import (
 	"bce/internal/dist"
 	"bce/internal/manifest"
 	"bce/internal/metrics"
+	"bce/internal/prof"
 	"bce/internal/runner"
 	"bce/internal/telemetry"
 	"bce/internal/workload"
@@ -59,8 +60,8 @@ var coordMon atomic.Pointer[dist.Coordinator]
 func workloadSeeds() map[string]int64 {
 	seeds := make(map[string]int64)
 	for _, name := range workload.Names() {
-		if prof, err := workload.ByName(name); err == nil {
-			seeds[name] = prof.Seed
+		if wl, err := workload.ByName(name); err == nil {
+			seeds[name] = wl.Seed
 		}
 	}
 	return seeds
@@ -91,6 +92,8 @@ func main() {
 		brkProbes  = flag.Int("breaker-probes", 0, "failed half-open probes before a tripped worker is declared permanently lost (0 = default 6)")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		profFlags  = prof.RegisterFlags(nil)
+		version    = flag.Bool("version", false, "print the bce_build_info identity line and exit")
 	)
 	flag.Parse()
 
@@ -104,6 +107,23 @@ func main() {
 	telemetry.RegisterBuildLabel("revision", manifest.ShortRevision())
 	telemetry.RegisterBuildLabel("dist_schema", fmt.Sprint(dist.SchemaVersion))
 	telemetry.RegisterBuildLabel("manifest_schema", fmt.Sprint(manifest.SchemaVersion))
+	if *version {
+		fmt.Println(telemetry.BuildInfoLine())
+		return
+	}
+
+	// Continuous profiling in sweep mode: every runner.Map sweep
+	// becomes a capture window into the -profile-dir ring, and the
+	// manifest (if any) records the digests.
+	profOpts := profFlags.Options()
+	profOpts.Sweeps = true
+	profOpts.Logger = logger
+	capturer, stopProf, err := prof.Enable(profOpts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcetables:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *traceSpans != "" && *remote == "" {
 		fmt.Fprintln(os.Stderr, "bcetables: -trace-spans needs -workers-remote (spans trace the distributed sweep)")
@@ -136,6 +156,7 @@ func main() {
 				}
 				return nil
 			},
+			"bce_prof": capturer.DebugVar(),
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bcetables:", err)
@@ -232,7 +253,7 @@ func main() {
 			breakerCooldown:  *brkCool,
 			breakerProbes:    *brkProbes,
 		}
-		if err := distribute(ctx, urls, *exp, *bench, *csv, sz, mb, *distBatch, *jobTimeout, *retries, *traceSpans, tuning); err != nil {
+		if err := distribute(ctx, urls, *exp, *bench, *csv, sz, mb, *distBatch, *jobTimeout, *retries, *traceSpans, tuning, capturer); err != nil {
 			fail(err)
 		}
 	}
@@ -244,6 +265,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bcetables: checkpoint:", err)
 	}
 	if mb != nil {
+		mb.AddProfiles(capturer.Records()...)
 		hits, misses := core.ResultCacheStats()
 		if err := mb.WriteFile(*manifestTo, hits, misses); err != nil {
 			fmt.Fprintln(os.Stderr, "bcetables:", err)
@@ -298,7 +320,7 @@ type distTuning struct {
 
 func distribute(ctx context.Context, urls []string, exp, bench string, csv bool,
 	sz core.Sizes, mb *manifest.Builder, batch int, jobTimeout time.Duration, retries int,
-	traceSpans string, tuning distTuning) error {
+	traceSpans string, tuning distTuning, capturer *prof.Capturer) error {
 	log := slog.Default().With("component", "coordinator")
 	var tracer *telemetry.Tracer
 	if traceSpans != "" {
@@ -363,8 +385,45 @@ func distribute(ctx context.Context, urls []string, exp, bench string, csv bool,
 	if len(plan.Jobs) == 0 {
 		return nil
 	}
+	// Mid-sweep fleet profiling: while batches are in flight, scrape
+	// every worker's /debug/pprof/profile and merge the results into
+	// one per-worker-labeled bundle in the profile ring. Best-effort
+	// by design — a sweep shorter than the scrape window, or a worker
+	// that refuses, degrades observability, never the sweep.
+	const fleetProfileSeconds = 1
+	scrapeDone := make(chan struct{})
+	if capturer != nil {
+		scrapeCtx, cancelScrape := context.WithTimeout(ctx, 15*time.Second)
+		go func() {
+			defer close(scrapeDone)
+			defer cancelScrape()
+			merged, notes, err := dist.FleetProfile(scrapeCtx, nil, urls, fleetProfileSeconds)
+			for _, n := range notes {
+				log.Warn("fleet profile scrape", "note", n)
+			}
+			if err != nil {
+				log.Warn("fleet profile unavailable", "err", err)
+				return
+			}
+			data, err := merged.Encode()
+			if err != nil {
+				log.Warn("fleet profile encode failed", "err", err)
+				return
+			}
+			rec, err := capturer.Store("fleet", "cpu", "", fleetProfileSeconds, data)
+			if err != nil {
+				log.Warn("fleet profile store failed", "err", err)
+				return
+			}
+			log.Info("fleet profile captured",
+				"workers", len(urls), "digest", rec.Digest, "bytes", rec.Bytes)
+		}()
+	} else {
+		close(scrapeDone)
+	}
 	start := time.Now()
 	runErr := coord.Run(ctx, plan.Jobs, plan.Keys)
+	<-scrapeDone
 	if tracer != nil {
 		// Write whatever spans were collected even on failure — a partial
 		// timeline is exactly what debugs a failed sweep.

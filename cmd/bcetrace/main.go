@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"bce/internal/manifest"
+	"bce/internal/prof"
 	"bce/internal/runner"
 	"bce/internal/telemetry"
 	"bce/internal/trace"
@@ -26,10 +27,20 @@ import (
 func main() {
 	args := os.Args[1:]
 	// Global options, before the subcommand: -debug-addr <addr>,
-	// -log-level <level>, -log-format <format>.
+	// -log-level <level>, -log-format <format>, -profile-dir <dir>,
+	// -profile-rate <hz>, and the zero-operand -version.
 	debugAddr, logLevel, logFormat := "", "info", "text"
+	profileDir, profileRate, version := "", 0, false
 globals:
-	for len(args) >= 2 {
+	for len(args) >= 1 {
+		if args[0] == "-version" {
+			version = true
+			args = args[1:]
+			continue
+		}
+		if len(args) < 2 {
+			break
+		}
 		switch args[0] {
 		case "-debug-addr":
 			debugAddr = args[1]
@@ -37,6 +48,13 @@ globals:
 			logLevel = args[1]
 		case "-log-format":
 			logFormat = args[1]
+		case "-profile-dir":
+			profileDir = args[1]
+		case "-profile-rate":
+			if _, err := fmt.Sscanf(args[1], "%d", &profileRate); err != nil {
+				fmt.Fprintf(os.Stderr, "bcetrace: bad -profile-rate %q\n", args[1])
+				os.Exit(2)
+			}
 		default:
 			break globals
 		}
@@ -51,8 +69,24 @@ globals:
 	slog.SetDefault(logger)
 	telemetry.RegisterBuildLabel("revision", manifest.ShortRevision())
 	telemetry.RegisterBuildLabel("trace_format", fmt.Sprint(trace.FormatVersion))
+	if version {
+		fmt.Println(telemetry.BuildInfoLine())
+		return
+	}
+	// Process-mode profiling: one window around whichever subcommand
+	// runs.
+	capturer, stopProf, err := prof.Enable(prof.EnableOptions{
+		Dir: profileDir, RateHz: profileRate, Logger: logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcetrace:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 	if debugAddr != "" {
-		srv, err := telemetry.StartDebug(debugAddr, nil)
+		srv, err := telemetry.StartDebug(debugAddr, map[string]func() any{
+			"bce_prof": capturer.DebugVar(),
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bcetrace:", err)
 			os.Exit(1)
@@ -87,7 +121,8 @@ globals:
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  bcetrace [-debug-addr <addr>] [-log-level <level>] [-log-format <fmt>] <command>
+  bcetrace [-debug-addr <addr>] [-log-level <level>] [-log-format <fmt>]
+           [-profile-dir <dir>] [-profile-rate <hz>] [-version] <command>
   bcetrace gen  -bench <name> -n <uops> -o <file>   generate a trace
   bcetrace dump -i <file> [-n <uops>] [-skip <uops>] print uops
   bcetrace stat -i <file>                            summarize a trace`)
@@ -104,7 +139,7 @@ func cmdGen(ctx context.Context, args []string) error {
 	if *out == "" {
 		return fmt.Errorf("gen: -o is required")
 	}
-	prof, err := workload.ByName(*bench)
+	wl, err := workload.ByName(*bench)
 	if err != nil {
 		return err
 	}
@@ -114,7 +149,7 @@ func cmdGen(ctx context.Context, args []string) error {
 	}
 	defer f.Close()
 	w := trace.NewWriter(f)
-	gen := workload.New(prof)
+	gen := workload.New(wl)
 	for i := uint64(0); i < *n; i++ {
 		if i%65536 == 0 && ctx.Err() != nil {
 			f.Close()

@@ -33,6 +33,7 @@ import (
 	"bce/internal/core"
 	"bce/internal/dist"
 	"bce/internal/manifest"
+	"bce/internal/prof"
 	"bce/internal/runner"
 	"bce/internal/telemetry"
 )
@@ -46,6 +47,8 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve pprof + expvar + live stats on this address; Prometheus text format on /metrics")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		profFlags = prof.RegisterFlags(nil)
+		version   = flag.Bool("version", false, "print the bce_build_info identity line and exit")
 	)
 	flag.Parse()
 
@@ -58,6 +61,25 @@ func main() {
 	slog.SetDefault(logger)
 	telemetry.RegisterBuildLabel("revision", manifest.ShortRevision())
 	telemetry.RegisterBuildLabel("dist_schema", fmt.Sprint(dist.SchemaVersion))
+	if *version {
+		fmt.Println(telemetry.BuildInfoLine())
+		return
+	}
+
+	// Sweep-mode profiling: each batch's runner.Map becomes a capture
+	// window. With an empty -profile-dir this still applies
+	// -profile-mutex/-profile-block process-wide, which is what
+	// populates /debug/pprof/mutex and /debug/pprof/block for remote
+	// scrapers.
+	profOpts := profFlags.Options()
+	profOpts.Sweeps = true
+	profOpts.Logger = logger
+	capturer, stopProf, err := prof.Enable(profOpts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bceworker:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *cacheDir != "" {
 		if err := core.SetResultCacheDir(*cacheDir); err != nil {
@@ -73,6 +95,7 @@ func main() {
 				hits, misses := core.ResultCacheStats()
 				return map[string]uint64{"hits": hits, "misses": misses}
 			},
+			"bce_prof": capturer.DebugVar(),
 		})
 		if err != nil {
 			logger.Error("debug endpoint failed", "err", err)

@@ -100,7 +100,20 @@ type Result struct {
 // ReportSchema is the current trajectory-file schema version. Files
 // written before versioning carry no "schema" field and load as
 // version 0; loaders accept anything up to the current version.
-const ReportSchema = 1
+// Version 2 added the optional per-suite profile references.
+const ReportSchema = 2
+
+// ProfileRef points at one captured profile in a content-addressed
+// profile ring (internal/prof): which suite it covers, the profile
+// kind, and the ring digest of the bytes. With both sides' refs and
+// the ring, `bcebench -compare` turns a regression into a
+// per-function attribution table.
+type ProfileRef struct {
+	Suite  string `json:"suite"`
+	Kind   string `json:"kind"`
+	Digest string `json:"digest"`
+	Bytes  int64  `json:"bytes,omitempty"`
+}
 
 // Report is the trajectory file written to BENCH_*.json: one harness
 // run's environment plus every suite result.
@@ -111,6 +124,19 @@ type Report struct {
 	Arch    string   `json:"arch"`
 	Date    string   `json:"date"`
 	Results []Result `json:"results"`
+	// Profiles lists the profiles captured while the suites ran, when
+	// the harness was invoked with -profile-dir.
+	Profiles []ProfileRef `json:"profiles,omitempty"`
+}
+
+// FindProfile returns the profile ref for (suite, kind), or nil.
+func (r *Report) FindProfile(suite, kind string) *ProfileRef {
+	for i := range r.Profiles {
+		if r.Profiles[i].Suite == suite && r.Profiles[i].Kind == kind {
+			return &r.Profiles[i]
+		}
+	}
+	return nil
 }
 
 // NewReport stamps an empty report with the current environment.
@@ -160,9 +186,12 @@ func (r *Report) Find(suite, name string) *Result {
 
 // Run executes one suite with `go test -bench` in dir and returns its
 // parsed results. count is the -count value (min 1); benchtime, when
-// non-empty, overrides the suite default. The raw go test output is
-// returned alongside the results so callers can stream or log it.
-func Run(ctx context.Context, dir string, s Suite, count int, benchtime string) ([]Result, []byte, error) {
+// non-empty, overrides the suite default. cpuProfile, when non-empty,
+// is an absolute path the suite's CPU profile is written to via go
+// test's -cpuprofile (the test binary goes next to it, keeping the
+// repo root clean). The raw go test output is returned alongside the
+// results so callers can stream or log it.
+func Run(ctx context.Context, dir string, s Suite, count int, benchtime, cpuProfile string) ([]Result, []byte, error) {
 	if count < 1 {
 		count = 1
 	}
@@ -173,6 +202,9 @@ func Run(ctx context.Context, dir string, s Suite, count int, benchtime string) 
 		"-count", fmt.Sprint(count)}
 	if benchtime != "" {
 		args = append(args, "-benchtime", benchtime)
+	}
+	if cpuProfile != "" {
+		args = append(args, "-cpuprofile", cpuProfile, "-o", cpuProfile+".test")
 	}
 	args = append(args, s.Pkg)
 	cmd := exec.CommandContext(ctx, "go", args...)

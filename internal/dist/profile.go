@@ -1,0 +1,110 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"bce/internal/prof"
+)
+
+// profile.go is the fleet side of continuous profiling: while a sweep
+// is running, the coordinator process scrapes every worker's
+// /debug/pprof/profile endpoint (served on the API port by
+// Worker.Handler) and merges the results into one bundle whose
+// samples carry a worker=<name> label — the whole fleet profiled as
+// one system, still attributable per worker under pprof tag filters.
+
+// maxProfileBody bounds one scraped profile; real worker CPU profiles
+// are tens of KB.
+const maxProfileBody = 64 << 20
+
+// FleetProfile captures a CPU profile of duration seconds from every
+// worker concurrently and merges them. Workers that fail to answer
+// are skipped (their error is reported in the returned notes); the
+// call only errors when no worker delivered a usable profile. The
+// merged bundle's comments record per-worker provenance.
+func FleetProfile(ctx context.Context, client *http.Client, workers []string, seconds int) (*prof.Profile, []string, error) {
+	if seconds <= 0 {
+		seconds = 1
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	type scraped struct {
+		worker string
+		prof   *prof.Profile
+		err    error
+	}
+	out := make([]scraped, len(workers))
+	var wg sync.WaitGroup
+	for i, base := range workers {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			name := workerLabel(base)
+			p, err := scrapeProfile(ctx, client, base, seconds)
+			out[i] = scraped{worker: name, prof: p, err: err}
+		}(i, base)
+	}
+	wg.Wait()
+
+	var (
+		inputs []prof.LabeledProfile
+		notes  []string
+	)
+	for _, s := range out {
+		if s.err != nil {
+			notes = append(notes, fmt.Sprintf("%s: %v", s.worker, s.err))
+			continue
+		}
+		s.prof.Comments = append(s.prof.Comments, "worker="+s.worker)
+		inputs = append(inputs, prof.LabeledProfile{
+			Profile: s.prof,
+			Labels:  map[string]string{"worker": s.worker},
+		})
+	}
+	if len(inputs) == 0 {
+		return nil, notes, fmt.Errorf("dist: fleet profile: no worker delivered a profile (%s)",
+			strings.Join(notes, "; "))
+	}
+	merged, err := prof.Merge(inputs)
+	if err != nil {
+		return nil, notes, err
+	}
+	return merged, notes, nil
+}
+
+func scrapeProfile(ctx context.Context, client *http.Client, base string, seconds int) (*prof.Profile, error) {
+	url := fmt.Sprintf("%s/debug/pprof/profile?seconds=%d", strings.TrimSuffix(base, "/"), seconds)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxProfileBody))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return prof.Parse(body)
+}
+
+// workerLabel derives a stable per-worker label from its base URL
+// (host:port — the scheme adds no information inside one fleet).
+func workerLabel(base string) string {
+	s := strings.TrimSuffix(base, "/")
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	return s
+}

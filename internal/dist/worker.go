@@ -6,6 +6,8 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -41,11 +43,20 @@ type Worker struct {
 	pool  *runner.Pool
 	log   *slog.Logger
 	ready atomic.Bool
+
+	// statsMu guards stats: the telemetry registry is unsynchronized
+	// by design and handleExec runs concurrently.
+	statsMu sync.Mutex
+	stats   *telemetry.Registry
 }
 
 // NewWorker builds a Worker from opts.
 func NewWorker(opts WorkerOptions) *Worker {
-	w := &Worker{name: opts.Name, exec: opts.Exec, pool: opts.Pool, log: opts.Logger}
+	w := &Worker{name: opts.Name, exec: opts.Exec, pool: opts.Pool, log: opts.Logger,
+		stats: telemetry.NewRegistry()}
+	// Register up front so /metrics carries the batch_ms gauges (count,
+	// quantiles) from the first scrape, not the first batch.
+	w.stats.Histogram("batch_ms")
 	if w.name == "" {
 		w.name = "worker"
 	}
@@ -90,7 +101,30 @@ func (w *Worker) Handler() http.Handler {
 		fmt.Fprintln(rw, "ok")
 	}))
 	mux.Handle("/metrics", telemetry.GetOnly(w.serveMetrics))
+	// The Go pprof surface on the API port: the coordinator's
+	// mid-sweep fleet scrape (FleetProfile) hits /debug/pprof/profile
+	// on the base URL it already has, and /debug/pprof/{heap,mutex,
+	// block,...} come along via the index handler. Mutex/block pages
+	// are only populated when the worker was started with
+	// -profile-mutex / -profile-block.
+	mux.Handle("/debug/pprof/", telemetry.GetOnly(pprof.Index))
+	mux.Handle("/debug/pprof/profile", telemetry.GetOnly(pprof.Profile))
 	return mux
+}
+
+// observeBatch records one completed batch's wall time in the
+// worker-side latency histogram.
+func (w *Worker) observeBatch(d time.Duration) {
+	w.statsMu.Lock()
+	w.stats.Histogram("batch_ms").Observe(uint64(d.Milliseconds()))
+	w.statsMu.Unlock()
+}
+
+// Stats snapshots the worker-side registry (batch latency histogram).
+func (w *Worker) Stats() telemetry.Snapshot {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	return w.stats.Snapshot()
 }
 
 // serveMetrics renders the worker's counters in Prometheus text form
@@ -100,6 +134,7 @@ func (w *Worker) serveMetrics(rw http.ResponseWriter, _ *http.Request) {
 	rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	telemetry.WriteBuildInfo(rw)
 	telemetry.WritePrometheus(rw, "bce_dist", Snapshot())
+	telemetry.WritePrometheus(rw, "bce_worker", w.Stats())
 	telemetry.WritePrometheus(rw, "bce_runner", runner.LiveSnapshot())
 	hits, misses := core.ResultCacheStats()
 	telemetry.WritePrometheus(rw, "bce_result_cache",
@@ -180,6 +215,7 @@ func (w *Worker) handleExec(rw http.ResponseWriter, req *http.Request) {
 	execSpan.SetAttr("seq", fmt.Sprint(batch.Seq))
 	execSpan.SetAttr("jobs", fmt.Sprint(len(batch.Jobs)))
 	live.batchStart(len(batch.Jobs))
+	batchT0 := time.Now()
 	w.log.DebugContext(ctx, "batch accepted",
 		"worker", w.name, "shard", batch.Shard, "seq", batch.Seq, "jobs", len(batch.Jobs))
 
@@ -224,6 +260,7 @@ func (w *Worker) handleExec(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	live.batchEnd(true)
+	w.observeBatch(time.Since(batchT0))
 	rw.Header().Set("Content-Type", "application/json")
 	rw.Header().Set(HeaderDigest, ContentDigest(reply))
 	rw.Write(reply) //nolint:errcheck // client hangup only

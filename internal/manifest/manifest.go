@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"bce/internal/metrics"
+	"bce/internal/prof"
 	"bce/internal/runner"
 )
 
@@ -75,6 +76,14 @@ type Manifest struct {
 	Runner *runner.LiveStats `json:"runner,omitempty"`
 	// Cache is the timing-result cache tally for the invocation.
 	Cache *CacheStats `json:"cache,omitempty"`
+	// Profiles lists the profiles captured during the run: per-window
+	// digests into the content-addressed profile ring plus capture
+	// metadata (see internal/prof). Operational provenance, like
+	// Worker on jobs: it never feeds the config fingerprint, and
+	// result comparisons ignore it — but `bcereport -compare` uses the
+	// digests to attribute wall/CPU drift between two manifests when
+	// handed the ring that holds them.
+	Profiles []prof.Record `json:"profiles,omitempty"`
 	// Notes carries small tool-specific annotations.
 	Notes map[string]string `json:"notes,omitempty"`
 }
@@ -217,6 +226,17 @@ func (b *Builder) AddResult(name string, v any) error {
 	}
 	b.m.Results[name] = buf
 	return nil
+}
+
+// AddProfiles appends capture records from the continuous profiler.
+// Call before Finish; records are kept in capture order.
+func (b *Builder) AddProfiles(recs ...prof.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m.Profiles = append(b.m.Profiles, recs...)
 }
 
 // Finish stamps timings, runner stats, the cache tally and the config

@@ -1,0 +1,357 @@
+package prof
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"bce/internal/telemetry"
+)
+
+// capture.go is the in-process capture side: a Capturer opens
+// phase-scoped capture windows (one per sweep, per bench suite, or
+// per worker batch), records a CPU profile across each window plus
+// point-in-time heap/mutex/block profiles at its close, stores the
+// bytes in the ring, and remembers a Record per profile for the
+// manifest.
+//
+// Two invariants the rest of the stack depends on:
+//
+//   - Profiling is out-of-band: nothing here writes to stdout, so
+//     simulator output stays byte-identical with profiling on. CI
+//     asserts this.
+//   - Overhead is governed: the synchronous cost the capturer adds
+//     (start/stop/serialize/hash/write) is metered against wall time
+//     since the capturer was created, and once the spent fraction
+//     exceeds Options.Budget further windows are skipped (counted in
+//     Overhead().Skipped). The *sampling* cost is not metered — it is
+//     bounded by the sampling rate itself (~0.5% at the default
+//     100 Hz) and is the price of continuous profiling.
+
+// DefaultBudget is the default governed-overhead budget: 3% of wall
+// time, matching the repo's acceptance bar for profiling a quick
+// Table-4 sweep.
+const DefaultBudget = 0.03
+
+// Options configures a Capturer.
+type Options struct {
+	// Dir is the ring directory (required).
+	Dir string
+	// RateHz is the CPU sampling rate; 0 means the runtime default
+	// (100 Hz). Non-default rates make the Go runtime print one
+	// advisory line to stderr per window; stdout is untouched.
+	RateHz int
+	// MaxEntries/MaxBytes bound the ring (0 = package defaults).
+	MaxEntries int
+	MaxBytes   int64
+	// Budget is the governed-overhead fraction (0 = DefaultBudget;
+	// negative disables the governor).
+	Budget float64
+	// Heap additionally snapshots the heap profile at each window
+	// close.
+	Heap bool
+	// MutexFraction enables mutex profiling via
+	// runtime.SetMutexProfileFraction and snapshots the mutex profile
+	// at each window close (0 = off).
+	MutexFraction int
+	// BlockRate enables block profiling via
+	// runtime.SetBlockProfileRate (nanoseconds; 0 = off) and
+	// snapshots the block profile at each window close.
+	BlockRate int
+	// Logger receives capture failures (nil = slog.Default).
+	Logger *slog.Logger
+}
+
+// Record is the capture metadata for one stored profile; manifests
+// embed these so any later run can pull the bytes from a ring by
+// digest and attribute them to the sweep/shard/batch span that
+// produced them.
+type Record struct {
+	// Phase names the capture window ("sweep(jobs=128)#3", "process",
+	// "suite(kernel)", "fleet"). The "#n" suffix is the capturer's
+	// window sequence number, so repeated phases stay distinct and
+	// deterministic run-to-run.
+	Phase string `json:"phase"`
+	// Kind is the profile kind: "cpu", "heap", "mutex", "block".
+	Kind string `json:"kind"`
+	// Digest is the ring content address of the profile bytes.
+	Digest string `json:"digest"`
+	// Bytes is the stored (compressed) size.
+	Bytes int64 `json:"bytes"`
+	// DurationSeconds is the capture window's wall duration.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// RateHz is the CPU sampling rate for cpu records (0 for others).
+	RateHz int `json:"rate_hz,omitempty"`
+	// TraceID/SpanID tie the window to the distributed-tracing span
+	// active when it opened (empty outside a traced sweep).
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
+	// Worker labels fleet-scraped bundles ("" for local captures).
+	Worker string `json:"worker,omitempty"`
+}
+
+// Overhead is the governor's self-accounting.
+type Overhead struct {
+	// Captures is the number of profiles stored.
+	Captures int `json:"captures"`
+	// Skipped counts windows refused by the governor or by window
+	// overlap (only one CPU profile can run per process).
+	Skipped int `json:"skipped"`
+	// SpentSeconds is the cumulative governed cost.
+	SpentSeconds float64 `json:"spent_seconds"`
+	// WallSeconds is wall time since the capturer was created.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Fraction is SpentSeconds/WallSeconds.
+	Fraction float64 `json:"fraction"`
+}
+
+// Capturer owns a ring plus the process-wide profiling configuration.
+// All methods are safe for concurrent use; a nil *Capturer is a
+// functional no-op, so call sites never need enablement checks.
+type Capturer struct {
+	ring *Ring
+	opts Options
+	log  *slog.Logger
+
+	mu      sync.Mutex
+	born    time.Time
+	active  bool
+	seq     int
+	spent   time.Duration
+	skipped int
+	records []Record
+}
+
+// NewCapturer opens the ring and applies the process-wide mutex/block
+// profiling rates.
+func NewCapturer(o Options) (*Capturer, error) {
+	ring, err := OpenRing(o.Dir, o.MaxEntries, o.MaxBytes)
+	if err != nil {
+		return nil, err
+	}
+	if o.Budget == 0 {
+		o.Budget = DefaultBudget
+	}
+	logger := o.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	if o.MutexFraction > 0 {
+		runtime.SetMutexProfileFraction(o.MutexFraction)
+	}
+	if o.BlockRate > 0 {
+		runtime.SetBlockProfileRate(o.BlockRate)
+	}
+	return &Capturer{ring: ring, opts: o, log: logger, born: time.Now()}, nil
+}
+
+// Ring exposes the underlying store (for readers like bcebench's
+// attribution path).
+func (c *Capturer) Ring() *Ring {
+	if c == nil {
+		return nil
+	}
+	return c.ring
+}
+
+// Phase is one open capture window. A nil *Phase is a no-op, which is
+// what StartPhase returns when capture is disabled, skipped, or
+// already running.
+type Phase struct {
+	c       *Capturer
+	name    string
+	sc      telemetry.SpanContext
+	started time.Time
+	buf     bytes.Buffer
+	done    bool
+}
+
+// StartPhase opens a capture window named phase, tagging it with the
+// span identity carried by ctx (if any). Only one window may be open
+// per process — the Go runtime supports a single CPU profile — so a
+// nested or concurrent StartPhase returns nil (recorded as skipped)
+// rather than blocking the caller.
+func (c *Capturer) StartPhase(ctx context.Context, phase string) *Phase {
+	if c == nil {
+		return nil
+	}
+	t0 := time.Now()
+	c.mu.Lock()
+	if c.active {
+		c.skipped++
+		c.mu.Unlock()
+		return nil
+	}
+	if c.opts.Budget > 0 {
+		wall := t0.Sub(c.born)
+		if c.spent > 0 && float64(c.spent) > c.opts.Budget*float64(wall) {
+			c.skipped++
+			c.mu.Unlock()
+			return nil
+		}
+	}
+	c.seq++
+	p := &Phase{c: c, name: fmt.Sprintf("%s#%d", phase, c.seq), started: t0}
+	if sc, ok := telemetry.SpanContextFrom(ctx); ok {
+		p.sc = sc
+	}
+	if c.opts.RateHz > 0 && c.opts.RateHz != 100 {
+		runtime.SetCPUProfileRate(c.opts.RateHz)
+	}
+	if err := pprof.StartCPUProfile(&p.buf); err != nil {
+		// Someone else (e.g. go test -cpuprofile) owns the CPU
+		// profiler; skip rather than fight over it.
+		c.skipped++
+		c.spent += time.Since(t0)
+		c.mu.Unlock()
+		c.log.Debug("profile capture skipped", "phase", phase, "err", err)
+		return nil
+	}
+	c.active = true
+	c.spent += time.Since(t0)
+	c.mu.Unlock()
+	return p
+}
+
+// End closes the window: stops the CPU profile, snapshots the
+// configured point-in-time profiles, stores everything in the ring,
+// and files Records. Idempotent and nil-safe.
+func (p *Phase) End() {
+	if p == nil || p.done {
+		return
+	}
+	p.done = true
+	c := p.c
+	t0 := time.Now()
+	pprof.StopCPUProfile()
+	dur := t0.Sub(p.started).Seconds()
+
+	type captured struct {
+		kind string
+		data []byte
+		rate int
+	}
+	caps := []captured{{kind: "cpu", data: p.buf.Bytes(), rate: c.cpuRate()}}
+	for _, lk := range p.pointInTime() {
+		var buf bytes.Buffer
+		prof := pprof.Lookup(lk)
+		if prof == nil {
+			continue
+		}
+		// debug=0 emits the gzipped protobuf form.
+		if err := prof.WriteTo(&buf, 0); err != nil {
+			c.log.Warn("profile snapshot failed", "kind", lk, "err", err)
+			continue
+		}
+		kind := lk
+		if lk == "allocs" {
+			kind = "heap"
+		}
+		caps = append(caps, captured{kind: kind, data: buf.Bytes()})
+	}
+
+	var recs []Record
+	for _, cp := range caps {
+		if len(cp.data) == 0 {
+			continue
+		}
+		digest, err := c.ring.Put(cp.data)
+		if err != nil {
+			c.log.Warn("profile store failed", "phase", p.name, "kind", cp.kind, "err", err)
+			continue
+		}
+		recs = append(recs, Record{
+			Phase: p.name, Kind: cp.kind, Digest: digest,
+			Bytes: int64(len(cp.data)), DurationSeconds: dur, RateHz: cp.rate,
+			TraceID: p.sc.TraceID, SpanID: p.sc.SpanID,
+		})
+	}
+
+	c.mu.Lock()
+	c.active = false
+	c.records = append(c.records, recs...)
+	c.spent += time.Since(t0)
+	c.mu.Unlock()
+}
+
+// pointInTime lists the pprof.Lookup profiles to snapshot at window
+// close under the capturer's options.
+func (p *Phase) pointInTime() []string {
+	var out []string
+	if p.c.opts.Heap {
+		out = append(out, "heap")
+	}
+	if p.c.opts.MutexFraction > 0 {
+		out = append(out, "mutex")
+	}
+	if p.c.opts.BlockRate > 0 {
+		out = append(out, "block")
+	}
+	return out
+}
+
+func (c *Capturer) cpuRate() int {
+	if c.opts.RateHz > 0 {
+		return c.opts.RateHz
+	}
+	return 100
+}
+
+// Store files an externally produced profile (e.g. the merged fleet
+// bundle scraped from workers) into the ring with a Record. The cost
+// is metered against the governor's budget but never refused — the
+// caller already paid to produce the bytes.
+func (c *Capturer) Store(phase, kind, worker string, durationSeconds float64, data []byte) (Record, error) {
+	if c == nil {
+		return Record{}, fmt.Errorf("prof: nil capturer")
+	}
+	t0 := time.Now()
+	digest, err := c.ring.Put(data)
+	if err != nil {
+		return Record{}, err
+	}
+	rec := Record{
+		Phase: phase, Kind: kind, Digest: digest, Bytes: int64(len(data)),
+		DurationSeconds: durationSeconds, Worker: worker,
+	}
+	c.mu.Lock()
+	c.records = append(c.records, rec)
+	c.spent += time.Since(t0)
+	c.mu.Unlock()
+	return rec, nil
+}
+
+// Records returns a copy of all capture records so far, in capture
+// order.
+func (c *Capturer) Records() []Record {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Record(nil), c.records...)
+}
+
+// Overhead reports the governor's accounting.
+func (c *Capturer) Overhead() Overhead {
+	if c == nil {
+		return Overhead{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o := Overhead{
+		Captures:     len(c.records),
+		Skipped:      c.skipped,
+		SpentSeconds: c.spent.Seconds(),
+		WallSeconds:  time.Since(c.born).Seconds(),
+	}
+	if o.WallSeconds > 0 {
+		o.Fraction = o.SpentSeconds / o.WallSeconds
+	}
+	return o
+}

@@ -1,0 +1,178 @@
+package prof
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"bce/internal/telemetry"
+)
+
+func TestCapturerPhaseLifecycle(t *testing.T) {
+	c, err := NewCapturer(Options{Dir: t.TempDir(), Heap: true, Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.StartPhase(context.Background(), "sweep(jobs=4)")
+	if p == nil {
+		t.Skip("CPU profiler unavailable (owned by the test harness?)")
+	}
+	deadline := time.Now().Add(150 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		burnSink = burnCPU(1 << 14)
+	}
+	p.End()
+	p.End() // idempotent
+
+	recs := c.Records()
+	kinds := map[string]Record{}
+	for _, r := range recs {
+		kinds[r.Kind] = r
+	}
+	cpu, ok := kinds["cpu"]
+	if !ok {
+		t.Fatalf("no cpu record in %+v", recs)
+	}
+	if cpu.Phase != "sweep(jobs=4)#1" {
+		t.Errorf("cpu phase = %q, want sweep(jobs=4)#1", cpu.Phase)
+	}
+	if cpu.DurationSeconds <= 0 || cpu.RateHz != 100 {
+		t.Errorf("cpu record = %+v, want positive duration and 100 Hz", cpu)
+	}
+	if _, ok := kinds["heap"]; !ok {
+		t.Errorf("no heap record in %+v", recs)
+	}
+	for _, r := range recs {
+		if !c.Ring().Has(r.Digest) {
+			t.Errorf("record %s/%s digest %s missing from ring", r.Phase, r.Kind, r.Digest)
+		}
+		data, err := c.Ring().Get(r.Digest)
+		if err != nil {
+			t.Errorf("Get(%s): %v", r.Digest, err)
+			continue
+		}
+		if _, err := Parse(data); err != nil {
+			t.Errorf("stored %s profile does not parse: %v", r.Kind, err)
+		}
+	}
+	ov := c.Overhead()
+	if ov.Captures != len(recs) || ov.SpentSeconds <= 0 || ov.WallSeconds <= 0 {
+		t.Errorf("Overhead = %+v", ov)
+	}
+}
+
+func TestStartPhaseRejectsNesting(t *testing.T) {
+	c, err := NewCapturer(Options{Dir: t.TempDir(), Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.StartPhase(context.Background(), "outer")
+	if p == nil {
+		t.Skip("CPU profiler unavailable")
+	}
+	defer p.End()
+	if inner := c.StartPhase(context.Background(), "inner"); inner != nil {
+		inner.End()
+		t.Fatal("nested StartPhase returned a live window")
+	}
+	if ov := c.Overhead(); ov.Skipped != 1 {
+		t.Errorf("Skipped = %d, want 1", ov.Skipped)
+	}
+}
+
+func TestGovernorSkipsOverBudget(t *testing.T) {
+	c, err := NewCapturer(Options{Dir: t.TempDir(), Budget: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First window is always admitted (nothing spent yet).
+	p := c.StartPhase(context.Background(), "first")
+	if p == nil {
+		t.Skip("CPU profiler unavailable")
+	}
+	p.End()
+	// Its cost now dwarfs the 1e-12 budget, so the next window is
+	// refused.
+	if p2 := c.StartPhase(context.Background(), "second"); p2 != nil {
+		p2.End()
+		t.Fatal("governor admitted a window over budget")
+	}
+	if ov := c.Overhead(); ov.Skipped == 0 {
+		t.Errorf("Skipped = 0, want > 0; overhead %+v", ov)
+	}
+}
+
+func TestPhaseCarriesSpanIdentity(t *testing.T) {
+	c, err := NewCapturer(Options{Dir: t.TempDir(), Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := telemetry.NewTracer("test")
+	span := tr.StartTrace("sweep")
+	ctx := telemetry.ContextWithSpan(context.Background(), span)
+	p := c.StartPhase(ctx, "sweep(jobs=1)")
+	if p == nil {
+		t.Skip("CPU profiler unavailable")
+	}
+	p.End()
+	span.End()
+	recs := c.Records()
+	if len(recs) == 0 {
+		t.Fatal("no records")
+	}
+	sc := span.Context()
+	for _, r := range recs {
+		if r.TraceID != sc.TraceID || r.SpanID != sc.SpanID {
+			t.Errorf("record %s/%s span = (%s, %s), want (%s, %s)",
+				r.Phase, r.Kind, r.TraceID, r.SpanID, sc.TraceID, sc.SpanID)
+		}
+	}
+}
+
+func TestStoreExternalProfile(t *testing.T) {
+	c, err := NewCapturer(Options{Dir: t.TempDir(), Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := testProfile().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Store("fleet", "cpu", "127.0.0.1:8371", 1.0, data)
+	if err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	if rec.Worker != "127.0.0.1:8371" || rec.Phase != "fleet" || rec.Kind != "cpu" {
+		t.Errorf("record = %+v", rec)
+	}
+	if !c.Ring().Has(rec.Digest) {
+		t.Error("stored bytes missing from ring")
+	}
+	if got := c.Records(); len(got) != 1 || got[0].Digest != rec.Digest {
+		t.Errorf("Records = %+v", got)
+	}
+}
+
+func TestNilCapturerIsSafe(t *testing.T) {
+	var c *Capturer
+	if p := c.StartPhase(context.Background(), "x"); p != nil {
+		t.Error("nil capturer returned a live phase")
+	}
+	var p *Phase
+	p.End()
+	if recs := c.Records(); recs != nil {
+		t.Errorf("nil Records = %v", recs)
+	}
+	if ov := c.Overhead(); ov != (Overhead{}) {
+		t.Errorf("nil Overhead = %+v", ov)
+	}
+	if c.Ring() != nil {
+		t.Error("nil Ring != nil")
+	}
+	if v := c.DebugVar()(); v != (Overhead{}) {
+		t.Errorf("nil DebugVar = %+v", v)
+	}
+	if _, err := c.Store("p", "cpu", "", 0, nil); err == nil {
+		t.Error("nil Store succeeded")
+	}
+}

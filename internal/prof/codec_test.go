@@ -1,0 +1,228 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"reflect"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// testProfile builds a small two-sample CPU profile exercising every
+// model field the encoder serializes.
+func testProfile() *Profile {
+	return &Profile{
+		SampleTypes:       []ValueType{{Type: "samples", Unit: "count"}, {Type: "cpu", Unit: "nanoseconds"}},
+		DefaultSampleType: "cpu",
+		Samples: []Sample{
+			{
+				Stack: []Frame{
+					{Function: "bce/internal/perceptron.dotGeneric", File: "dot.go", Line: 42},
+					{Function: "bce/internal/core.(*Simulator).Step", File: "sim.go", Line: 310},
+				},
+				Values: []int64{3, 30_000_000},
+				Labels: map[string]string{"worker": "w0"},
+			},
+			{
+				Stack:     []Frame{{Function: "runtime.mallocgc", File: "malloc.go", Line: 1}},
+				Values:    []int64{1, 10_000_000},
+				NumLabels: map[string]int64{"bytes": 4096},
+			},
+		},
+		TimeNanos:     1_700_000_000_000_000_000,
+		DurationNanos: 2_000_000_000,
+		PeriodType:    ValueType{Type: "cpu", Unit: "nanoseconds"},
+		Period:        10_000_000,
+		Comments:      []string{"worker=w0"},
+	}
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	want := testProfile()
+	data, err := want.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !IsGzipped(data) {
+		t.Fatalf("Encode output is not gzipped")
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !reflect.DeepEqual(got.SampleTypes, want.SampleTypes) {
+		t.Errorf("SampleTypes = %+v, want %+v", got.SampleTypes, want.SampleTypes)
+	}
+	if got.DefaultSampleType != want.DefaultSampleType {
+		t.Errorf("DefaultSampleType = %q, want %q", got.DefaultSampleType, want.DefaultSampleType)
+	}
+	if got.TimeNanos != want.TimeNanos || got.DurationNanos != want.DurationNanos {
+		t.Errorf("times = (%d, %d), want (%d, %d)",
+			got.TimeNanos, got.DurationNanos, want.TimeNanos, want.DurationNanos)
+	}
+	if got.PeriodType != want.PeriodType || got.Period != want.Period {
+		t.Errorf("period = (%+v, %d), want (%+v, %d)", got.PeriodType, got.Period, want.PeriodType, want.Period)
+	}
+	if !reflect.DeepEqual(got.Comments, want.Comments) {
+		t.Errorf("Comments = %v, want %v", got.Comments, want.Comments)
+	}
+	if len(got.Samples) != len(want.Samples) {
+		t.Fatalf("got %d samples, want %d", len(got.Samples), len(want.Samples))
+	}
+	for i := range want.Samples {
+		g, w := got.Samples[i], want.Samples[i]
+		if !reflect.DeepEqual(g.Stack, w.Stack) {
+			t.Errorf("sample %d stack = %+v, want %+v", i, g.Stack, w.Stack)
+		}
+		if !reflect.DeepEqual(g.Values, w.Values) {
+			t.Errorf("sample %d values = %v, want %v", i, g.Values, w.Values)
+		}
+		if !reflect.DeepEqual(g.Labels, w.Labels) {
+			t.Errorf("sample %d labels = %v, want %v", i, g.Labels, w.Labels)
+		}
+		if !reflect.DeepEqual(g.NumLabels, w.NumLabels) {
+			t.Errorf("sample %d num labels = %v, want %v", i, g.NumLabels, w.NumLabels)
+		}
+	}
+	if got.Total() != 40_000_000 {
+		t.Errorf("Total = %d, want 40000000", got.Total())
+	}
+	if got.Unit() != "nanoseconds" {
+		t.Errorf("Unit = %q, want nanoseconds", got.Unit())
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, err := testProfile().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testProfile().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two encodings of the same profile differ")
+	}
+}
+
+func TestEncodeRejectsValueCountMismatch(t *testing.T) {
+	p := testProfile()
+	p.Samples[0].Values = []int64{1}
+	if _, err := p.Encode(); err == nil {
+		t.Error("Encode accepted a sample whose value count disagrees with SampleTypes")
+	}
+}
+
+// burnCPU gives the sampling profiler something attributable; the
+// result defeats dead-code elimination.
+func burnCPU(iters int) float64 {
+	x := 1.0
+	for i := 0; i < iters; i++ {
+		x = x*1.000000001 + float64(i%7)
+	}
+	return x
+}
+
+var burnSink float64
+
+func TestParseRealCPUProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("CPU profiler unavailable: %v", err)
+	}
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		burnSink = burnCPU(1 << 16)
+	}
+	pprof.StopCPUProfile()
+
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse(real cpu profile): %v", err)
+	}
+	var hasCPU bool
+	for _, st := range p.SampleTypes {
+		if st.Type == "cpu" && st.Unit == "nanoseconds" {
+			hasCPU = true
+		}
+	}
+	if !hasCPU {
+		t.Errorf("sample types %+v missing cpu/nanoseconds", p.SampleTypes)
+	}
+	if p.Period <= 0 {
+		t.Errorf("Period = %d, want > 0", p.Period)
+	}
+	// 300ms of spinning at 100Hz yields samples on any but a absurdly
+	// overloaded machine; verify the stacks symbolized.
+	if len(p.Samples) == 0 {
+		t.Skip("no samples collected (machine too loaded?); symbol check skipped")
+	}
+	found := false
+	for _, s := range p.Samples {
+		for _, f := range s.Stack {
+			if f.Function == "bce/internal/prof.burnCPU" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no sample stack contains bce/internal/prof.burnCPU")
+	}
+}
+
+func TestParseRealHeapProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+		t.Fatalf("heap WriteTo: %v", err)
+	}
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse(real heap profile): %v", err)
+	}
+	var hasInuse bool
+	for _, st := range p.SampleTypes {
+		if st.Type == "inuse_space" && st.Unit == "bytes" {
+			hasInuse = true
+		}
+	}
+	if !hasInuse {
+		t.Errorf("sample types %+v missing inuse_space/bytes", p.SampleTypes)
+	}
+	if p.Unit() != "bytes" {
+		t.Errorf("Unit = %q, want bytes (heap default column)", p.Unit())
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":           nil,
+		"garbage":         []byte("not a profile at all"),
+		"truncated gzip":  {0x1f, 0x8b, 0x08, 0x00, 0x01},
+		"bad wire type":   {0x0f, 0x01},
+		"truncated field": {0x0a, 0x7f, 0x01},
+	}
+	for name, data := range cases {
+		if _, err := Parse(data); err == nil {
+			t.Errorf("Parse(%s) succeeded, want error", name)
+		}
+	}
+	// Valid gzip wrapping garbage must also fail cleanly.
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(bytes.Repeat([]byte{0xff}, 64)) //nolint:errcheck
+	zw.Close()
+	if _, err := Parse(buf.Bytes()); err == nil {
+		t.Error("Parse(gzipped garbage) succeeded, want error")
+	}
+}
+
+func TestIsGzipped(t *testing.T) {
+	if IsGzipped([]byte{0x0a, 0x00}) {
+		t.Error("raw protobuf misdetected as gzip")
+	}
+	if !IsGzipped([]byte{0x1f, 0x8b, 0x08}) {
+		t.Error("gzip magic not detected")
+	}
+}

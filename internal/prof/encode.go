@@ -1,0 +1,210 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"sort"
+)
+
+// encode.go serializes a Profile back to gzipped pprof protobuf, so
+// merged fleet bundles and test fixtures round-trip through `go tool
+// pprof` and any other standard consumer. String/function/location
+// tables are rebuilt from scratch: every distinct (function, file,
+// line) triple becomes one location with one line, which loses inline
+// nesting (already flattened into Frames at parse time) but preserves
+// exact stacks, values, and labels — everything the delta engine and
+// pprof's text views consume.
+
+type encoder struct{ buf bytes.Buffer }
+
+func (e *encoder) varint(v uint64) {
+	for v >= 0x80 {
+		e.buf.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	e.buf.WriteByte(byte(v))
+}
+
+func (e *encoder) tag(field, wire int) { e.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (e *encoder) intf(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	e.tag(field, wireVarint)
+	e.varint(uint64(v))
+}
+
+func (e *encoder) uintf(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	e.tag(field, wireVarint)
+	e.varint(v)
+}
+
+func (e *encoder) bytesf(field int, b []byte) {
+	e.tag(field, wireLen)
+	e.varint(uint64(len(b)))
+	e.buf.Write(b)
+}
+
+// packed emits a packed repeated varint field (profile.proto encodes
+// repeated location_id/value this way).
+func (e *encoder) packed(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var sub encoder
+	for _, v := range vs {
+		sub.varint(v)
+	}
+	e.bytesf(field, sub.buf.Bytes())
+}
+
+type strTable struct {
+	index map[string]int64
+	list  []string
+}
+
+func newStrTable() *strTable {
+	return &strTable{index: map[string]int64{"": 0}, list: []string{""}}
+}
+
+func (t *strTable) id(s string) int64 {
+	if i, ok := t.index[s]; ok {
+		return i
+	}
+	i := int64(len(t.list))
+	t.index[s] = i
+	t.list = append(t.list, s)
+	return i
+}
+
+// Encode serializes the profile as gzipped pprof protobuf.
+func (p *Profile) Encode() ([]byte, error) {
+	for i, s := range p.Samples {
+		if len(s.Values) != len(p.SampleTypes) {
+			return nil, fmt.Errorf("prof: encode: sample %d has %d values, profile has %d sample types",
+				i, len(s.Values), len(p.SampleTypes))
+		}
+	}
+
+	strs := newStrTable()
+	var (
+		funcIDs = map[string]uint64{} // function name\x00file -> id
+		locIDs  = map[string]uint64{} // name\x00file\x00line -> id
+		funcs   encoder               // accumulated Function messages
+		locs    encoder               // accumulated Location messages
+	)
+	locFor := func(f Frame) uint64 {
+		lkey := fmt.Sprintf("%s\x00%s\x00%d", f.Function, f.File, f.Line)
+		if id, ok := locIDs[lkey]; ok {
+			return id
+		}
+		fkey := f.Function + "\x00" + f.File
+		fid, ok := funcIDs[fkey]
+		if !ok {
+			fid = uint64(len(funcIDs) + 1)
+			funcIDs[fkey] = fid
+			var fe encoder
+			fe.uintf(1, fid)
+			fe.intf(2, strs.id(f.Function))
+			fe.intf(4, strs.id(f.File))
+			funcs.bytesf(5, fe.buf.Bytes())
+		}
+		lid := uint64(len(locIDs) + 1)
+		locIDs[lkey] = lid
+		var line encoder
+		line.uintf(1, fid)
+		line.intf(2, f.Line)
+		var le encoder
+		le.uintf(1, lid)
+		le.bytesf(4, line.buf.Bytes())
+		locs.bytesf(4, le.buf.Bytes())
+		return lid
+	}
+
+	valueType := func(vt ValueType) []byte {
+		var e encoder
+		e.intf(1, strs.id(vt.Type))
+		e.intf(2, strs.id(vt.Unit))
+		return e.buf.Bytes()
+	}
+
+	var body encoder
+	for _, st := range p.SampleTypes {
+		body.bytesf(1, valueType(st))
+	}
+	for _, s := range p.Samples {
+		var se encoder
+		ids := make([]uint64, len(s.Stack))
+		for i, f := range s.Stack {
+			ids[i] = locFor(f)
+		}
+		se.packed(1, ids)
+		vals := make([]uint64, len(s.Values))
+		for i, v := range s.Values {
+			vals[i] = uint64(v)
+		}
+		se.packed(2, vals)
+		for _, k := range sortedKeys(s.Labels) {
+			var le encoder
+			le.intf(1, strs.id(k))
+			le.intf(2, strs.id(s.Labels[k]))
+			se.bytesf(3, le.buf.Bytes())
+		}
+		for _, k := range sortedKeys(s.NumLabels) {
+			var le encoder
+			le.intf(1, strs.id(k))
+			le.intf(3, s.NumLabels[k])
+			se.bytesf(3, le.buf.Bytes())
+		}
+		body.bytesf(2, se.buf.Bytes())
+	}
+	body.buf.Write(locs.buf.Bytes())
+	body.buf.Write(funcs.buf.Bytes())
+	body.intf(9, p.TimeNanos)
+	body.intf(10, p.DurationNanos)
+	if p.PeriodType != (ValueType{}) {
+		body.bytesf(11, valueType(p.PeriodType))
+	}
+	body.intf(12, p.Period)
+	for _, c := range p.Comments {
+		body.intf(13, strs.id(c))
+	}
+	if p.DefaultSampleType != "" {
+		body.intf(14, strs.id(p.DefaultSampleType))
+	}
+	// String table last in the buffer is fine (protobuf fields are
+	// order-independent), but every index above must already be
+	// interned, so emit it now that interning is done.
+	var out encoder
+	for _, s := range strs.list {
+		out.bytesf(6, []byte(s))
+	}
+	out.buf.Write(body.buf.Bytes())
+
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(out.buf.Bytes()); err != nil {
+		return nil, fmt.Errorf("prof: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("prof: encode: %w", err)
+	}
+	return gz.Bytes(), nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,78 @@
+package prof
+
+import "fmt"
+
+// LabeledProfile pairs a parsed profile with the labels to stamp on
+// every one of its samples when merging — the fleet scrape uses
+// {"worker": <name>} so a merged bundle still attributes cost
+// per-worker under pprof's tag filters.
+type LabeledProfile struct {
+	Profile *Profile
+	Labels  map[string]string
+}
+
+// Merge combines several profiles of the same shape (identical
+// sample-type lists) into one, stamping each input's extra labels
+// onto its samples. Sample stacks are kept as-is rather than
+// re-aggregated: pprof consumers and the delta engine both aggregate
+// on demand, and keeping samples verbatim preserves per-input labels.
+//
+// TimeNanos of the merge is the earliest input capture time;
+// DurationNanos is the sum (total sampled machine time across the
+// fleet).
+func Merge(inputs []LabeledProfile) (*Profile, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("prof: merge: no profiles")
+	}
+	base := inputs[0].Profile
+	if base == nil {
+		return nil, fmt.Errorf("prof: merge: input 0 is nil")
+	}
+	out := &Profile{
+		SampleTypes:       append([]ValueType(nil), base.SampleTypes...),
+		DefaultSampleType: base.DefaultSampleType,
+		PeriodType:        base.PeriodType,
+		Period:            base.Period,
+	}
+	for i, in := range inputs {
+		p := in.Profile
+		if p == nil {
+			return nil, fmt.Errorf("prof: merge: input %d is nil", i)
+		}
+		if !sameShape(base.SampleTypes, p.SampleTypes) {
+			return nil, fmt.Errorf("prof: merge: input %d sample types %v incompatible with %v",
+				i, p.SampleTypes, base.SampleTypes)
+		}
+		if p.TimeNanos != 0 && (out.TimeNanos == 0 || p.TimeNanos < out.TimeNanos) {
+			out.TimeNanos = p.TimeNanos
+		}
+		out.DurationNanos += p.DurationNanos
+		out.Comments = append(out.Comments, p.Comments...)
+		for _, s := range p.Samples {
+			ns := Sample{Stack: s.Stack, Values: s.Values, NumLabels: s.NumLabels}
+			if len(s.Labels)+len(in.Labels) > 0 {
+				ns.Labels = make(map[string]string, len(s.Labels)+len(in.Labels))
+				for k, v := range s.Labels {
+					ns.Labels[k] = v
+				}
+				for k, v := range in.Labels {
+					ns.Labels[k] = v
+				}
+			}
+			out.Samples = append(out.Samples, ns)
+		}
+	}
+	return out, nil
+}
+
+func sameShape(a, b []ValueType) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

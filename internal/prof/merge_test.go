@@ -1,0 +1,69 @@
+package prof
+
+import (
+	"testing"
+)
+
+func TestMergeStampsWorkerLabels(t *testing.T) {
+	w0 := cpuProfile(Sample{Stack: stack("kernel"), Values: []int64{100}})
+	w0.TimeNanos, w0.DurationNanos = 2000, 10
+	w0.Comments = []string{"worker=w0"}
+	w1 := cpuProfile(Sample{Stack: stack("kernel"), Values: []int64{50}})
+	w1.TimeNanos, w1.DurationNanos = 1000, 20
+	w1.Comments = []string{"worker=w1"}
+
+	m, err := Merge([]LabeledProfile{
+		{Profile: w0, Labels: map[string]string{"worker": "w0"}},
+		{Profile: w1, Labels: map[string]string{"worker": "w1"}},
+	})
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if len(m.Samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(m.Samples))
+	}
+	if m.Samples[0].Labels["worker"] != "w0" || m.Samples[1].Labels["worker"] != "w1" {
+		t.Errorf("worker labels = %v, %v", m.Samples[0].Labels, m.Samples[1].Labels)
+	}
+	if m.TimeNanos != 1000 {
+		t.Errorf("TimeNanos = %d, want earliest (1000)", m.TimeNanos)
+	}
+	if m.DurationNanos != 30 {
+		t.Errorf("DurationNanos = %d, want summed (30)", m.DurationNanos)
+	}
+	if len(m.Comments) != 2 {
+		t.Errorf("Comments = %v, want both workers' provenance", m.Comments)
+	}
+	if m.Total() != 150 {
+		t.Errorf("Total = %d, want 150", m.Total())
+	}
+	// A merged bundle must survive the wire: encode and re-parse.
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatalf("Encode(merged): %v", err)
+	}
+	rt, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse(merged): %v", err)
+	}
+	if rt.Total() != 150 || rt.Samples[0].Labels["worker"] != "w0" {
+		t.Errorf("round-trip lost data: total %d labels %v", rt.Total(), rt.Samples[0].Labels)
+	}
+}
+
+func TestMergeRejectsShapeMismatch(t *testing.T) {
+	cpu := cpuProfile(Sample{Stack: stack("f"), Values: []int64{1}})
+	heap := &Profile{
+		SampleTypes: []ValueType{{Type: "inuse_space", Unit: "bytes"}},
+		Samples:     []Sample{{Stack: stack("f"), Values: []int64{1}}},
+	}
+	if _, err := Merge([]LabeledProfile{{Profile: cpu}, {Profile: heap}}); err == nil {
+		t.Error("Merge accepted cpu + heap")
+	}
+	if _, err := Merge(nil); err == nil {
+		t.Error("Merge accepted zero inputs")
+	}
+	if _, err := Merge([]LabeledProfile{{Profile: nil}}); err == nil {
+		t.Error("Merge accepted a nil profile")
+	}
+}

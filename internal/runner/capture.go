@@ -1,0 +1,37 @@
+package runner
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// capture.go is the runner side of continuous profiling. The runner
+// deliberately does not import internal/prof — the profiler is
+// injected as a function value by whichever main enabled it
+// (prof.Enable), keeping the dependency arrow pointing from the
+// profiling subsystem toward the execution core and never back.
+
+// CaptureHook opens a capture window for one sweep and returns the
+// function that closes it. The ctx carries the sweep's span identity
+// (telemetry.ContextWithSpan) so captured profiles attribute to the
+// same sweep→shard→batch tree as traces. A nil return is a no-op
+// window.
+type CaptureHook func(ctx context.Context, phase string) (stop func())
+
+var captureHook atomic.Value // of CaptureHook
+
+// SetCaptureHook installs (or, with nil, removes) the process-wide
+// sweep capture hook. Pool.Map invokes it once per sweep, around the
+// whole sweep.
+func SetCaptureHook(h CaptureHook) {
+	captureHook.Store(h)
+}
+
+// startCapture opens a window via the installed hook, if any.
+func startCapture(ctx context.Context, phase string) func() {
+	h, _ := captureHook.Load().(CaptureHook)
+	if h == nil {
+		return nil
+	}
+	return h(ctx, phase)
+}

@@ -1,0 +1,55 @@
+package runner
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapInvokesCaptureHook(t *testing.T) {
+	defer SetCaptureHook(nil)
+
+	var opened, closed atomic.Int32
+	var gotPhase atomic.Value
+	SetCaptureHook(func(ctx context.Context, phase string) func() {
+		opened.Add(1)
+		gotPhase.Store(phase)
+		return func() { closed.Add(1) }
+	})
+
+	p := New(Options{Workers: 2})
+	out, err := Map(context.Background(), p, []int{10, 20, 30, 40},
+		func(ctx context.Context, i int, item int) (int, error) { return item + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[3] != 41 {
+		t.Errorf("out = %v", out)
+	}
+	if opened.Load() != 1 || closed.Load() != 1 {
+		t.Errorf("hook opened %d / closed %d windows, want 1/1", opened.Load(), closed.Load())
+	}
+	if ph := gotPhase.Load(); ph != "sweep(jobs=4)" {
+		t.Errorf("phase = %v, want sweep(jobs=4)", ph)
+	}
+
+	// A hook returning nil means "no window"; Map must tolerate it.
+	SetCaptureHook(func(ctx context.Context, phase string) func() { return nil })
+	if _, err := Map(context.Background(), p, []int{1}, func(ctx context.Context, i int, item int) (int, error) {
+		return item, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninstalling stops further invocations.
+	SetCaptureHook(nil)
+	before := opened.Load()
+	if _, err := Map(context.Background(), p, []int{1}, func(ctx context.Context, i int, item int) (int, error) {
+		return item, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if opened.Load() != before {
+		t.Error("hook invoked after SetCaptureHook(nil)")
+	}
+}

@@ -35,9 +35,11 @@ func RegisterBuildLabel(name, value string) {
 	buildLabelMu.Unlock()
 }
 
-// WriteBuildInfo writes the bce_build_info gauge in Prometheus text
-// form: HELP, TYPE, then one sample with sorted, escaped labels.
-func WriteBuildInfo(w io.Writer) {
+// BuildInfoLine returns the bce_build_info sample line alone —
+// sorted, escaped labels, no HELP/TYPE — which doubles as the
+// process's one-line identity string for the -version flag every
+// binary carries (register labels first, then print this and exit 0).
+func BuildInfoLine() string {
 	buildLabelMu.Lock()
 	labels := make(map[string]string, len(buildLabels)+1)
 	for k, v := range buildLabels {
@@ -56,7 +58,13 @@ func WriteBuildInfo(w io.Writer) {
 	for _, k := range names {
 		pairs = append(pairs, fmt.Sprintf(`%s="%s"`, k, escapeLabelValue(labels[k])))
 	}
+	return fmt.Sprintf("bce_build_info{%s} 1", strings.Join(pairs, ","))
+}
+
+// WriteBuildInfo writes the bce_build_info gauge in Prometheus text
+// form: HELP, TYPE, then one sample with sorted, escaped labels.
+func WriteBuildInfo(w io.Writer) {
 	fmt.Fprint(w, "# HELP bce_build_info Build identity of this process; value is always 1.\n")
 	fmt.Fprint(w, "# TYPE bce_build_info gauge\n")
-	fmt.Fprintf(w, "bce_build_info{%s} 1\n", strings.Join(pairs, ","))
+	fmt.Fprint(w, BuildInfoLine()+"\n")
 }

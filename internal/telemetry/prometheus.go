@@ -69,7 +69,7 @@ func WritePrometheus(w io.Writer, prefix string, v any) {
 }
 
 func writeSnapshot(w io.Writer, prefix string, s Snapshot) {
-	flat := make(map[string]float64, len(s.Counters)+4*len(s.Histograms))
+	flat := make(map[string]float64, len(s.Counters)+7*len(s.Histograms))
 	p := sanitizeMetricName(prefix)
 	for _, c := range s.Counters {
 		flat[p+"_"+sanitizeMetricName(c.Name)] = float64(c.Value)
@@ -80,6 +80,12 @@ func writeSnapshot(w io.Writer, prefix string, s Snapshot) {
 		flat[hp+"_sum"] = float64(h.Sum)
 		flat[hp+"_max"] = float64(h.Max)
 		flat[hp+"_mean"] = h.Mean
+		// Quantiles as plain gauges (not native-histogram quantile
+		// labels): scrape-friendly and greppable, matching the
+		// _count/_sum/_max convention above.
+		flat[hp+"_p50"] = float64(h.P50)
+		flat[hp+"_p95"] = float64(h.P95)
+		flat[hp+"_p99"] = float64(h.P99)
 	}
 	writeGauges(w, flat)
 }

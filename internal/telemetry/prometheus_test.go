@@ -55,6 +55,56 @@ func TestWritePrometheusSnapshot(t *testing.T) {
 	}
 }
 
+func TestWritePrometheusHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("batch.ms")
+	for v := uint64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	hv := snap.Histograms[0]
+	// Snapshot quantiles are Histogram.Quantile clamped to the observed
+	// max (the top bucket's upper edge can exceed anything seen).
+	if hv.P50 != min(h.Quantile(0.5), h.Max()) ||
+		hv.P95 != min(h.Quantile(0.95), h.Max()) ||
+		hv.P99 != min(h.Quantile(0.99), h.Max()) {
+		t.Errorf("snapshot quantiles (%d, %d, %d) disagree with clamped Histogram.Quantile (%d, %d, %d; max %d)",
+			hv.P50, hv.P95, hv.P99, h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+	}
+	if !(hv.P50 <= hv.P95 && hv.P95 <= hv.P99 && hv.P99 <= hv.Max) {
+		t.Errorf("quantiles not monotone: %+v", hv)
+	}
+
+	var b strings.Builder
+	WritePrometheus(&b, "bce_worker", snap)
+	// The exposition page must carry the quantile gauges and satisfy
+	// the same parser promcheck runs in CI.
+	m, err := ParsePromText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("quantile exposition does not parse: %v", err)
+	}
+	for q, want := range map[string]uint64{
+		"bce_worker_batch_ms_p50": hv.P50,
+		"bce_worker_batch_ms_p95": hv.P95,
+		"bce_worker_batch_ms_p99": hv.P99,
+	} {
+		s, ok := m.Get(q)
+		if !ok {
+			t.Errorf("gauge %s missing:\n%s", q, b.String())
+			continue
+		}
+		if s.Value != float64(want) {
+			t.Errorf("%s = %v, want %d", q, s.Value, want)
+		}
+		if m.Types[q] != "gauge" {
+			t.Errorf("%s TYPE = %q, want gauge", q, m.Types[q])
+		}
+	}
+}
+
 func TestWritePrometheusDeterministicOrder(t *testing.T) {
 	v := map[string]any{"b": 2, "a": 1, "c": map[string]any{"z": 9, "y": 8}}
 	render := func() string {

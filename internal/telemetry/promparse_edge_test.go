@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Edge cases of the text exposition format that real scrapes produce:
+// escaped label values, the special float spellings (+Inf, -Inf, NaN),
+// exponent-notation values, and the same metric name appearing on
+// several samples (quantile/label series).
+
+func TestParsePromTextEscapedLabelValues(t *testing.T) {
+	page := `m{path="C:\\tmp\\x",msg="say \"hi\"",multi="a\nb"} 1` + "\n"
+	m, err := ParsePromText(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := m.Get("m")
+	if !ok {
+		t.Fatal("sample m missing")
+	}
+	if got := s.Labels["path"]; got != `C:\tmp\x` {
+		t.Errorf("backslash escape = %q, want %q", got, `C:\tmp\x`)
+	}
+	if got := s.Labels["msg"]; got != `say "hi"` {
+		t.Errorf("quote escape = %q, want %q", got, `say "hi"`)
+	}
+	if got := s.Labels["multi"]; got != "a\nb" {
+		t.Errorf("newline escape = %q, want %q", got, "a\nb")
+	}
+	// Unknown escapes and dangling backslashes are malformed.
+	for _, bad := range []string{
+		`m{x="\q"} 1` + "\n",
+		`m{x="trailing\` + "\n",
+	} {
+		if _, err := ParsePromText(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted malformed escape %q", bad)
+		}
+	}
+}
+
+func TestParsePromTextSpecialFloats(t *testing.T) {
+	page := `up_bound +Inf
+down_bound -Inf
+broken NaN
+`
+	m, err := ParsePromText(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Value("up_bound"); !math.IsInf(v, 1) {
+		t.Errorf("+Inf parsed as %v", v)
+	}
+	if v := m.Value("down_bound"); !math.IsInf(v, -1) {
+		t.Errorf("-Inf parsed as %v", v)
+	}
+	if s, ok := m.Get("broken"); !ok || !math.IsNaN(s.Value) {
+		t.Errorf("NaN parsed as %+v", s)
+	}
+}
+
+func TestParsePromTextExponentNotation(t *testing.T) {
+	page := `tiny 1.5e-9
+huge 2.25E+15
+neg -3e2
+labeled{q="0.5"} 9.109e-31
+`
+	m, err := ParsePromText(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]float64{
+		"tiny":    1.5e-9,
+		"huge":    2.25e+15,
+		"neg":     -300,
+		"labeled": 9.109e-31,
+	}
+	for name, want := range cases {
+		if got := m.Value(name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestParsePromTextDuplicateMetricNames(t *testing.T) {
+	// One metric name, many samples — the shape every labeled series
+	// (and our _p50/_p95/_p99 trio's sibling, the summary form) takes.
+	page := `# TYPE lat summary
+lat{worker="w0"} 1
+lat{worker="w1"} 2
+lat{worker="w1"} 3
+`
+	m, err := ParsePromText(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Samples) != 3 {
+		t.Fatalf("want all 3 duplicate-name samples kept, got %+v", m.Samples)
+	}
+	// Get returns the first, in page order.
+	if s, _ := m.Get("lat"); s.Labels["worker"] != "w0" || s.Value != 1 {
+		t.Errorf("Get returned %+v, want the first sample", s)
+	}
+	var sum float64
+	for _, s := range m.Samples {
+		if s.Name == "lat" {
+			sum += s.Value
+		}
+	}
+	if sum != 6 {
+		t.Errorf("duplicate samples sum = %v, want 6", sum)
+	}
+	if m.Types["lat"] != "summary" {
+		t.Errorf("TYPE lat = %q", m.Types["lat"])
+	}
+}

@@ -201,11 +201,19 @@ type CounterValue struct {
 
 // HistogramValue is one histogram in a snapshot.
 type HistogramValue struct {
-	Name    string
-	Count   uint64
-	Sum     uint64
-	Max     uint64
-	Mean    float64
+	Name  string
+	Count uint64
+	Sum   uint64
+	Max   uint64
+	Mean  float64
+	// P50/P95/P99 are Histogram.Quantile(0.5/0.95/0.99) at snapshot
+	// time, clamped to Max: Quantile reports the upper edge of the log2
+	// bucket holding the quantile, which for the top bucket can exceed
+	// anything actually observed — fine for steering policies, wrong in
+	// a report.
+	P50     uint64
+	P95     uint64
+	P99     uint64
 	Buckets []Bucket
 }
 
@@ -225,7 +233,11 @@ func (r *Registry) Snapshot() Snapshot {
 		} else if h, ok := r.histograms[name]; ok {
 			s.Histograms = append(s.Histograms, HistogramValue{
 				Name: name, Count: h.Count(), Sum: h.Sum(), Max: h.Max(),
-				Mean: h.Mean(), Buckets: h.Buckets(),
+				Mean:    h.Mean(),
+				P50:     min(h.Quantile(0.5), h.Max()),
+				P95:     min(h.Quantile(0.95), h.Max()),
+				P99:     min(h.Quantile(0.99), h.Max()),
+				Buckets: h.Buckets(),
 			})
 		}
 	}
